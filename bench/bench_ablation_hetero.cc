@@ -1,0 +1,82 @@
+// Extension experiment: heterogeneous link capacities.
+//
+// The paper normalizes all links to equal capacity (Sec. II-A, "without
+// loss of generality"); this library generalizes Eq. 2/Eq. 5 to per-link
+// capacities (P* = min_i C_i / Σ_k c_k^i). This bench checks the claim
+// behind "without loss of generality": the NC-DRF-vs-baselines ordering is
+// preserved when a fraction of links is upgraded to 10 Gbps and another
+// fraction degraded to 500 Mbps — a realistic mixed-generation cluster.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+namespace {
+
+ncdrf::Fabric mixed_fabric(std::uint64_t seed, int machines) {
+  using namespace ncdrf;
+  Rng rng(seed);
+  std::vector<double> capacities;
+  capacities.reserve(static_cast<std::size_t>(2 * machines));
+  // Per machine: 20% upgraded (10 Gbps), 20% degraded (500 Mbps),
+  // 60% stock (1 Gbps); up/downlink upgraded together, as in practice.
+  std::vector<double> machine_capacity(static_cast<std::size_t>(machines));
+  for (double& c : machine_capacity) {
+    const double roll = rng.uniform();
+    c = roll < 0.2 ? gbps(10.0) : (roll < 0.4 ? mbps(500.0) : gbps(1.0));
+  }
+  for (int m = 0; m < machines; ++m) {
+    capacities.push_back(machine_capacity[static_cast<std::size_t>(m)]);
+  }
+  for (int m = 0; m < machines; ++m) {
+    capacities.push_back(machine_capacity[static_cast<std::size_t>(m)]);
+  }
+  return Fabric(std::move(capacities));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncdrf;
+  bench::print_header(
+      "Extension — heterogeneous link capacities (mixed-generation racks)",
+      "policy ordering is capacity-profile invariant (not in the paper)");
+
+  SyntheticFbOptions trace_options;
+  trace_options.num_coflows = 200;
+  trace_options.num_racks = 100;
+  trace_options.duration_s = 1200.0;
+  const Trace trace = generate_synthetic_fb(trace_options);
+  std::cout << "# workload: synthetic, " << trace.coflows.size()
+            << " coflows over " << trace.num_machines
+            << " racks; 20% 10G / 60% 1G / 20% 500M machines\n";
+
+  const Fabric fabric = mixed_fabric(11, trace.num_machines);
+
+  SimOptions sim_options;
+  sim_options.record_intervals = false;
+  const auto drf = make_scheduler("drf");
+  std::cerr << "  running DRF baseline...\n";
+  const RunResult base = simulate(fabric, trace, *drf, sim_options);
+
+  AsciiTable table({"Policy", "Avg norm. CCT", "P95 norm. CCT",
+                    "Avg slowdown"});
+  for (const std::string name : {"tcp", "psp", "ncdrf", "drf"}) {
+    const auto scheduler = make_scheduler(name);
+    std::cerr << "  running " << scheduler->name() << "...\n";
+    const RunResult run =
+        name == "drf" ? base : simulate(fabric, trace, *scheduler,
+                                        sim_options);
+    const Summary norm = summarize(normalized_ccts(run, base));
+    const Summary slow = summarize(slowdowns(run));
+    table.add_row({scheduler->name(), AsciiTable::fmt(norm.mean, 2),
+                   AsciiTable::fmt(norm.p95, 2),
+                   AsciiTable::fmt(slow.mean, 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\n(NC-DRF must keep its position — close to DRF, clearly\n"
+               " ahead of PS-P and TCP — on the mixed-capacity fabric;\n"
+               " the generalized P̂* = min_i C_i / Σ_k ĉ_k^i makes that\n"
+               " work without any uniformity assumption)\n";
+  return 0;
+}

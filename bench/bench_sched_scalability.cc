@@ -1,0 +1,86 @@
+// Scheduler scalability microbenchmark (google-benchmark): wall-clock cost
+// of one allocate() call as the number of active coflows grows, for every
+// policy. The paper's master recomputes the allocation on every coflow
+// event, so allocation latency bounds how fast a cluster can churn
+// coflows; NC-DRF's allocation is O(flows + coflows·links), no LP solves.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "sched/scheduler.h"
+#include "trace/synthetic_fb.h"
+
+namespace {
+
+using namespace ncdrf;
+
+// A reusable snapshot with `num_coflows` active coflows on 150 racks.
+struct Workbench {
+  Fabric fabric{150, gbps(1.0)};
+  Trace trace;
+  ScheduleInput input;
+  std::vector<double> remaining;
+  std::unique_ptr<ClairvoyantInfo> info;
+
+  explicit Workbench(int num_coflows) {
+    SyntheticFbOptions options;
+    options.num_coflows = num_coflows;
+    options.duration_s = 1.0;  // everything concurrently active
+    options.max_flows_per_coflow = 200;
+    trace = generate_synthetic_fb(options);
+
+    input.fabric = &fabric;
+    remaining.assign(static_cast<std::size_t>(trace.total_flows), 0.0);
+    for (const Coflow& coflow : trace.coflows) {
+      ActiveCoflow view;
+      view.id = coflow.id();
+      view.arrival_time = coflow.arrival_time();
+      for (const Flow& f : coflow.flows()) {
+        view.flows.push_back(ActiveFlow{f.id, f.coflow, f.src, f.dst});
+        remaining[static_cast<std::size_t>(f.id)] = f.size_bits;
+      }
+      input.coflows.push_back(std::move(view));
+    }
+    info = std::make_unique<ClairvoyantInfo>(&remaining);
+  }
+};
+
+void run_allocate(benchmark::State& state, const std::string& name) {
+  const auto coflows = static_cast<int>(state.range(0));
+  Workbench bench(coflows);
+  const auto scheduler = make_scheduler(name);
+  bench.input.clairvoyant = scheduler->clairvoyant() ? bench.info.get()
+                                                     : nullptr;
+  int flows = 0;
+  for (const ActiveCoflow& c : bench.input.coflows) {
+    flows += static_cast<int>(c.flows.size());
+  }
+  for (auto _ : state) {
+    Allocation alloc = scheduler->allocate(bench.input);
+    benchmark::DoNotOptimize(alloc);
+  }
+  state.counters["coflows"] = coflows;
+  state.counters["flows"] = flows;
+}
+
+}  // namespace
+
+#define NCDRF_SCALE_BENCH(tag, name)                       \
+  void BM_##tag(benchmark::State& state) {                 \
+    run_allocate(state, name);                             \
+  }                                                        \
+  BENCHMARK(BM_##tag)->Arg(10)->Arg(50)->Arg(200)->Unit(   \
+      benchmark::kMillisecond)
+
+NCDRF_SCALE_BENCH(NcDrf, "ncdrf");
+NCDRF_SCALE_BENCH(Drf, "drf");
+NCDRF_SCALE_BENCH(Hug, "hug");
+NCDRF_SCALE_BENCH(Psp, "psp");
+NCDRF_SCALE_BENCH(Tcp, "tcp");
+NCDRF_SCALE_BENCH(Aalo, "aalo");
+NCDRF_SCALE_BENCH(Varys, "varys");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table I: coflows binned by length (Short/Long at 5 MB on the largest
+// flow) and width (Narrow/Wide at 50 flows) in the Coflow-Benchmark
+// workload. Paper: SN 60%, LN 16%, SW 12%, LW 12%.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "coflow/coflow.h"
+
+int main() {
+  using namespace ncdrf;
+  bench::print_header(
+      "Table I — coflows binned by length and width",
+      "SN 60%  LN 16%  SW 12%  LW 12% (526 coflows, 150 racks)");
+
+  const Trace trace = bench::evaluation_trace();
+
+  std::map<CoflowBin, int> counts;
+  for (const Coflow& coflow : trace.coflows) {
+    counts[classify_bin(coflow)] += 1;
+  }
+  const double n = static_cast<double>(trace.coflows.size());
+
+  AsciiTable table({"Bin", "SN", "LN", "SW", "LW"});
+  table.add_row(
+      {"% of Coflows",
+       AsciiTable::fmt(100.0 * counts[CoflowBin::kShortNarrow] / n, 0) + "%",
+       AsciiTable::fmt(100.0 * counts[CoflowBin::kLongNarrow] / n, 0) + "%",
+       AsciiTable::fmt(100.0 * counts[CoflowBin::kShortWide] / n, 0) + "%",
+       AsciiTable::fmt(100.0 * counts[CoflowBin::kLongWide] / n, 0) + "%"});
+  table.add_row({"# of Coflows",
+                 std::to_string(counts[CoflowBin::kShortNarrow]),
+                 std::to_string(counts[CoflowBin::kLongNarrow]),
+                 std::to_string(counts[CoflowBin::kShortWide]),
+                 std::to_string(counts[CoflowBin::kLongWide])});
+  std::cout << table.render();
+  std::cout << "\ntotal: " << trace.coflows.size() << " coflows, "
+            << trace.total_flows << " flows, "
+            << to_megabytes(trace.total_bits()) / 1024.0 << " GB\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Theorem 1: long-term isolation guarantee — offline, under the paper's
+// assumptions (R_k < M_k uplinks/downlinks; identical flow sizes from all
+// uplinks into each downlink), NC-DRF completes every coflow within
+// e_max × its DRF completion time, where e_max is the largest intra-coflow
+// demand disparity (Eq. 4).
+//
+// This bench sweeps randomized theorem-satisfying instances across
+// increasing size spreads and reports the worst measured CCT ratio against
+// the proven e_max bound; the measured ratio must stay below the bound and
+// typically sits far below it (the paper's remark 2: "coflows usually
+// complete faster").
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/ncdrf.h"
+#include "sched/drf.h"
+
+namespace {
+
+ncdrf::Trace theorem1_instance(std::uint64_t seed, int machines, int coflows,
+                               double size_spread) {
+  using namespace ncdrf;
+  Rng rng(seed);
+  TraceBuilder builder(machines);
+  for (int c = 0; c < coflows; ++c) {
+    builder.begin_coflow(0.0);
+    const int m_k = static_cast<int>(rng.uniform_int(2, machines));
+    const int r_k = static_cast<int>(rng.uniform_int(1, m_k - 1));
+    const std::vector<int> ups =
+        rng.sample_without_replacement(machines, m_k);
+    const std::vector<int> downs =
+        rng.sample_without_replacement(machines, r_k);
+    const double base = rng.uniform(megabits(20.0), megabits(200.0));
+    for (const int down : downs) {
+      const double size = base * rng.uniform(1.0, size_spread);
+      for (const int up : ups) builder.add_flow(up, down, size);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncdrf;
+  bench::print_header(
+      "Theorem 1 — long-term isolation bound F_k <= e_max * F_k^D",
+      "worst-case guarantee; average delay far below the bound");
+
+  const Fabric fabric(8, gbps(1.0));
+  AsciiTable table({"Size spread", "e_max (bound)", "Worst F/F^D",
+                    "Mean F/F^D", "Instances", "Bound holds"});
+
+  for (const double spread : {1.0, 1.5, 2.0, 3.0, 5.0, 8.0}) {
+    double worst_ratio = 0.0;
+    double sum_ratio = 0.0;
+    int count = 0;
+    double e_max_max = 1.0;
+    bool holds = true;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      const Trace trace = theorem1_instance(seed, 8, 10, spread);
+      double e_max = 1.0;
+      for (const Coflow& coflow : trace.coflows) {
+        e_max = std::max(e_max, coflow.demand(fabric).disparity());
+      }
+      e_max_max = std::max(e_max_max, e_max);
+
+      NcDrfScheduler ncdrf;
+      DrfScheduler drf;
+      SimOptions options;
+      options.record_intervals = false;
+      const RunResult run_nc = simulate(fabric, trace, ncdrf, options);
+      const RunResult run_drf = simulate(fabric, trace, drf, options);
+      for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+        const double ratio = run_nc.coflows[k].cct / run_drf.coflows[k].cct;
+        worst_ratio = std::max(worst_ratio, ratio);
+        sum_ratio += ratio;
+        ++count;
+        holds = holds && ratio <= e_max * (1.0 + 1e-6);
+      }
+    }
+    table.add_row({AsciiTable::fmt(spread, 1), AsciiTable::fmt(e_max_max, 2),
+                   AsciiTable::fmt(worst_ratio, 2),
+                   AsciiTable::fmt(sum_ratio / count, 2),
+                   std::to_string(count), holds ? "yes" : "NO"});
+  }
+  std::cout << table.render();
+  std::cout << "\n(spread 1.0 is the identical-flow-size extreme where"
+               " NC-DRF == DRF exactly)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared setup for the paper-reproduction bench binaries: the evaluation
+// fabric (150×150 racks, 1 Gbps ports — "300 Gbps availability"), the
+// workload (the real Coflow-Benchmark file if NCDRF_TRACE_FILE is set,
+// otherwise the synthetic statistical twin), and small print helpers.
+//
+// Every bench prints its workload provenance (seed or file) so runs are
+// reproducible and comparable.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "fabric/fabric.h"
+#include "metrics/eval.h"
+#include "sim/sim.h"
+#include "trace/benchmark_format.h"
+#include "trace/synthetic_fb.h"
+
+namespace ncdrf::bench {
+
+// The Sec. V-A workload: honours NCDRF_TRACE_FILE (a real Coflow-Benchmark
+// trace) and NCDRF_TRACE_SEED (synthetic seed override).
+inline Trace evaluation_trace() {
+  if (const char* path = std::getenv("NCDRF_TRACE_FILE")) {
+    std::cout << "# workload: Coflow-Benchmark file " << path << "\n";
+    return load_benchmark_trace(path);
+  }
+  SyntheticFbOptions options;
+  if (const char* seed = std::getenv("NCDRF_TRACE_SEED")) {
+    options.seed = std::stoull(seed);
+  }
+  std::cout << "# workload: synthetic FB-like trace (seed " << options.seed
+            << ", " << options.num_coflows << " coflows, "
+            << options.num_racks << " racks, " << options.duration_s
+            << " s)\n";
+  return generate_synthetic_fb(options);
+}
+
+// The Sec. V-A fabric for a given trace: 1 Gbps per rack port.
+inline Fabric evaluation_fabric(const Trace& trace) {
+  return Fabric(trace.num_machines, gbps(1.0));
+}
+
+// Runs one policy over the trace. `with_intervals` enables the
+// time-weighted interval metrics (needed for Figs. 5a/5b; costs extra).
+inline RunResult run_policy(const std::string& name, const Fabric& fabric,
+                            const Trace& trace, bool with_intervals) {
+  const auto scheduler = make_scheduler(name);
+  SimOptions options;
+  options.record_intervals = with_intervals;
+  std::cerr << "  running " << scheduler->name() << "...\n";
+  return simulate(fabric, trace, *scheduler, options);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_claim) {
+  std::cout << "==============================================================="
+               "=\n"
+            << experiment << "\n"
+            << "paper: " << paper_claim << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+}  // namespace ncdrf::bench

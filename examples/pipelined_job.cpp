@@ -1,0 +1,62 @@
+// Pipelined multi-stage jobs: the scenario that motivates non-clairvoyant
+// coflow scheduling (paper Sec. I-II). Later stages' coflows do not exist
+// when earlier ones are scheduled — no scheduler can know the future — and
+// NC-DRF needs nothing beyond the flow counts of whatever is currently
+// running.
+//
+// Two jobs share a 12-machine cluster: a 4-stage ring pipeline and a
+// map-shuffle-aggregate-collect diamond. The example prints per-stage and
+// per-job timings under a chosen policy.
+//
+//   ./pipelined_job [scheduler]     # default: ncdrf
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "job/job.h"
+#include "trace/patterns.h"
+
+int main(int argc, char** argv) {
+  using namespace ncdrf;
+  const std::string name = argc >= 2 ? argv[1] : "ncdrf";
+  const auto scheduler = make_scheduler(name);
+
+  const Fabric fabric(12, gbps(1.0));
+  std::vector<JobSpec> jobs;
+  jobs.push_back(make_linear_pipeline("ring-pipeline", /*arrival=*/0.0,
+                                      /*stages=*/4, machine_range(0, 6),
+                                      megabits(600.0),
+                                      /*compute_delay_s=*/0.2));
+  jobs.push_back(make_diamond_job("diamond", /*arrival=*/0.5,
+                                  machine_range(2, 4), machine_range(6, 4),
+                                  /*sink=*/11, megabits(400.0)));
+
+  const JobSetResult result = run_jobs(fabric, jobs, *scheduler);
+
+  std::cout << "Pipelined jobs under " << scheduler->name()
+            << " on a 12-machine, 1 Gbps fabric\n\n";
+  AsciiTable stages({"Stage", "Released (s)", "Completed (s)", "CCT (s)"});
+  for (const StageResult& s : result.stages) {
+    stages.add_row(
+        {jobs[static_cast<std::size_t>(s.job)]
+             .stages[static_cast<std::size_t>(s.stage)]
+             .name,
+         AsciiTable::fmt(s.release_time, 2),
+         AsciiTable::fmt(s.completion_time, 2),
+         AsciiTable::fmt(s.coflow_cct, 2)});
+  }
+  std::cout << stages.render() << '\n';
+
+  AsciiTable table({"Job", "Arrival (s)", "Completion (s)", "Duration (s)"});
+  for (const JobResult& job : result.jobs) {
+    table.add_row({job.name, AsciiTable::fmt(job.arrival, 1),
+                   AsciiTable::fmt(job.completion, 2),
+                   AsciiTable::fmt(job.duration, 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nStage coflows were created on the fly as dependencies\n"
+               "completed — the scheduler never saw a byte count.\n";
+  return 0;
+}

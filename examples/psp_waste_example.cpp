@@ -1,0 +1,76 @@
+// The paper's worked example (Sec. III-B, Figs. 3-4): two coflows
+// contending on four 1 Gbps links, showing how per-link fairness (PS-P)
+// wastes bandwidth that demand-correlation-aware policies (DRF, NC-DRF)
+// put to work — and that NC-DRF reproduces DRF's allocation *without*
+// seeing any flow size.
+//
+//   ./psp_waste_example
+#include <iostream>
+#include <memory>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "sched/drf.h"
+#include "sched/psp.h"
+#include "sim/sim.h"
+#include "trace/trace.h"
+
+namespace {
+
+ncdrf::Trace fig3_trace() {
+  using namespace ncdrf;
+  TraceBuilder builder(2);
+  // Coflow-A: 100 Mb from machine 0 and machine 1 into machine 1:
+  // demand <100, 100, 0, 200> Mb over (up0, up1, down0, down1).
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, megabits(100.0));
+  builder.add_flow(1, 1, megabits(100.0));
+  // Coflow-B: 100 Mb from machine 1 into machines 0 and 1:
+  // demand <0, 200, 100, 100> Mb.
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 0, megabits(100.0));
+  builder.add_flow(1, 1, megabits(100.0));
+  return builder.build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncdrf;
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = fig3_trace();
+
+  std::cout << "Paper Fig. 3: coflow-A d=<100,100,0,200> Mb, "
+               "coflow-B d=<0,200,100,100> Mb on 1 Gbps links\n\n";
+
+  AsciiTable table({"Policy", "CCT A (s)", "CCT B (s)", "vs DRF"});
+
+  PspScheduler psp_plain(PspOptions{.work_conserving = false});
+  DrfScheduler drf;
+  NcDrfScheduler ncdrf;
+
+  const RunResult run_drf = simulate(fabric, trace, drf);
+  const double base = run_drf.coflows[0].cct;
+
+  auto report = [&](const std::string& name, const RunResult& run) {
+    table.add_row({name, AsciiTable::fmt(run.coflows[0].cct, 3),
+                   AsciiTable::fmt(run.coflows[1].cct, 3),
+                   AsciiTable::fmt(run.coflows[0].cct / base, 2) + "x"});
+  };
+
+  report("PS-P (no backfill, Fig. 4a)",
+         simulate(fabric, trace, psp_plain));
+  report("DRF (Fig. 4b)", run_drf);
+  report("NC-DRF (sizes hidden)", simulate(fabric, trace, ncdrf));
+  std::cout << table.render() << '\n';
+
+  std::cout
+      << "PS-P halves link 2 and link 4 between the coflows but cannot\n"
+         "line its per-link gifts up with the coupled links, so each flow\n"
+         "runs at 0.25 Gbps and 0.25 Gbps per contended link is wasted\n"
+         "(CCT 0.4 s). DRF allocates along the demand correlation and\n"
+         "finishes both coflows in 0.3 s — 25% faster. NC-DRF, seeing\n"
+         "only flow *counts*, reproduces the DRF allocation exactly.\n";
+  return 0;
+}

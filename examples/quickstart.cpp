@@ -1,0 +1,52 @@
+// Quickstart: the smallest end-to-end use of the NC-DRF library.
+//
+// Builds a 4-machine fabric, submits two coflows whose sizes the scheduler
+// never sees, runs the event-driven simulator under NC-DRF, and prints the
+// resulting allocation behaviour and coflow completion times.
+//
+//   ./quickstart
+#include <iostream>
+
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "fabric/fabric.h"
+#include "sim/sim.h"
+#include "trace/trace.h"
+
+int main() {
+  using namespace ncdrf;
+
+  // A 4-machine cluster with 1 Gbps port links, modelled as one
+  // non-blocking switch (the only contention is at the 8 machine links).
+  const Fabric fabric(4, gbps(1.0));
+
+  // Two coflows. The scheduler will only ever see flow *endpoints* —
+  // NC-DRF is non-clairvoyant, so these sizes stay hidden from it.
+  TraceBuilder builder(fabric.num_machines());
+  builder.begin_coflow(/*arrival_time_s=*/0.0);  // a 2×1 shuffle
+  builder.add_flow(/*src=*/0, /*dst=*/3, megabytes(100.0));
+  builder.add_flow(/*src=*/1, /*dst=*/3, megabytes(100.0));
+  builder.begin_coflow(/*arrival_time_s=*/0.0);  // a 1×2 broadcast-ish stage
+  builder.add_flow(/*src=*/1, /*dst=*/2, megabytes(50.0));
+  builder.add_flow(/*src=*/1, /*dst=*/3, megabytes(50.0));
+  const Trace trace = builder.build();
+
+  // NC-DRF with the paper's defaults: flow-count DRF + one backfill round.
+  NcDrfScheduler scheduler;
+
+  const RunResult run = simulate(fabric, trace, scheduler);
+
+  std::cout << "NC-DRF quickstart on a " << fabric.num_machines()
+            << "-machine, 1 Gbps fabric\n\n";
+  for (const CoflowRecord& rec : run.coflows) {
+    std::cout << "coflow " << rec.id << ": " << rec.width << " flows, "
+              << to_megabytes(rec.total_bits) << " MB total"
+              << " -> CCT " << rec.cct << " s"
+              << " (minimum possible " << rec.min_cct << " s, slowdown "
+              << rec.cct / rec.min_cct << ")\n";
+  }
+  std::cout << "\nmakespan " << run.makespan << " s, "
+            << run.num_allocations << " allocation rounds, "
+            << to_gbps(run.total_bits_delivered) << " Gb delivered\n";
+  return 0;
+}

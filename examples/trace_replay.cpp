@@ -1,0 +1,82 @@
+// Trace replay: run a Coflow-Benchmark-style workload under every policy
+// in the design space and print the paper's headline metrics.
+//
+// Usage:
+//   ./trace_replay                                  # fast synthetic subset
+//   ./trace_replay <seed> [coflows racks duration]  # custom synthetic trace
+//   ./trace_replay --file <path>                    # real benchmark file
+//
+// This is the programmable counterpart of the bench/ binaries: point it at
+// the real FB2010-1Hr-150-0.txt if you have it, and the same pipeline runs.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "metrics/eval.h"
+#include "sim/sim.h"
+#include "trace/benchmark_format.h"
+#include "trace/synthetic_fb.h"
+
+int main(int argc, char** argv) {
+  using namespace ncdrf;
+
+  Trace trace;
+  if (argc >= 3 && std::string(argv[1]) == "--file") {
+    trace = load_benchmark_trace(argv[2]);
+    std::cout << "loaded trace " << argv[2] << ": ";
+  } else {
+    SyntheticFbOptions options;
+    options.num_coflows = 120;  // a fast subset; bench/ runs the full 526
+    options.num_racks = 50;
+    options.duration_s = 600.0;
+    if (argc >= 2) options.seed = std::stoull(argv[1]);
+    if (argc >= 5) {
+      options.num_coflows = std::stoi(argv[2]);
+      options.num_racks = std::stoi(argv[3]);
+      options.duration_s = std::stod(argv[4]);
+    }
+    trace = generate_synthetic_fb(options);
+    std::cout << "synthetic FB-like trace (seed " << options.seed << "): ";
+  }
+  std::cout << trace.coflows.size() << " coflows, " << trace.total_flows
+            << " flows, " << to_megabytes(trace.total_bits()) / 1024.0
+            << " GB over " << trace.num_machines << " racks\n\n";
+
+  const Fabric fabric(trace.num_machines, gbps(1.0));
+
+  // DRF is the normalization baseline for every other policy.
+  const auto drf = make_scheduler("drf");
+  const RunResult run_drf = simulate(fabric, trace, *drf);
+
+  AsciiTable table({"Policy", "Avg CCT (s)", "Avg norm. CCT", "Avg slowdown",
+                    "Util (Gbps)", "P95 disparity"});
+  for (const std::string name :
+       {"tcp", "psp", "ncdrf", "drf", "hug", "aalo", "varys"}) {
+    const auto sched = make_scheduler(name);
+    const RunResult run =
+        name == "drf" ? run_drf : simulate(fabric, trace, *sched);
+
+    double avg_cct = 0.0;
+    for (const CoflowRecord& rec : run.coflows) avg_cct += rec.cct;
+    avg_cct /= static_cast<double>(run.coflows.size());
+
+    const Summary norm = summarize(normalized_ccts(run, run_drf));
+    const Summary slow = summarize(slowdowns(run));
+    const WeightedCdf disparity = disparity_cdf(run);
+
+    table.add_row({sched->name(), AsciiTable::fmt(avg_cct, 2),
+                   AsciiTable::fmt(norm.mean, 2),
+                   AsciiTable::fmt(slow.mean, 2),
+                   AsciiTable::fmt(to_gbps(average_link_usage(run)), 1),
+                   disparity.empty()
+                       ? std::string("-")
+                       : AsciiTable::fmt(disparity.quantile(0.95), 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\n(normalized CCT is relative to DRF; disparity is the\n"
+               " time-weighted 95th percentile of max/min coflow progress)\n";
+  return 0;
+}

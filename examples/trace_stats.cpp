@@ -1,0 +1,33 @@
+// trace_stats: print the statistical profile of a workload — the synthetic
+// FB-like twin by default, or any Coflow-Benchmark file. Use it to check
+// how a trace will exercise the schedulers (hotspots, bin mix, disparity)
+// and to compare a synthetic trace against the real one.
+//
+//   ./trace_stats                 # default synthetic twin
+//   ./trace_stats <seed>          # re-rolled synthetic twin
+//   ./trace_stats --file <path>   # a Coflow-Benchmark trace file
+#include <iostream>
+#include <string>
+
+#include "common/units.h"
+#include "fabric/fabric.h"
+#include "trace/benchmark_format.h"
+#include "trace/synthetic_fb.h"
+#include "trace/trace_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ncdrf;
+  Trace trace;
+  if (argc >= 3 && std::string(argv[1]) == "--file") {
+    trace = load_benchmark_trace(argv[2]);
+    std::cout << "trace file: " << argv[2] << "\n";
+  } else {
+    SyntheticFbOptions options;
+    if (argc >= 2) options.seed = std::stoull(argv[1]);
+    trace = generate_synthetic_fb(options);
+    std::cout << "synthetic FB-like trace, seed " << options.seed << "\n";
+  }
+  const Fabric fabric(trace.num_machines, gbps(1.0));
+  std::cout << format_trace_stats(compute_trace_stats(trace, fabric));
+  return 0;
+}

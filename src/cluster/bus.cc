@@ -1,0 +1,40 @@
+#include "cluster/bus.h"
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+SimBus::SimBus(double latency_s, double loss_probability, std::uint64_t seed)
+    : latency_(latency_s), loss_probability_(loss_probability), rng_(seed) {
+  NCDRF_CHECK(latency_s >= 0.0, "bus latency must be non-negative");
+  NCDRF_CHECK(loss_probability >= 0.0 && loss_probability < 1.0,
+              "loss probability must be in [0, 1)");
+}
+
+void SimBus::send(double now, Address to, MessagePayload payload) {
+  queue_.emplace(std::make_pair(now + latency_, seq_++),
+                 Envelope{to, std::move(payload)});
+}
+
+bool SimBus::send_unreliable(double now, Address to,
+                             MessagePayload payload) {
+  if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
+    ++dropped_;
+    return false;
+  }
+  send(now, to, std::move(payload));
+  return true;
+}
+
+std::vector<SimBus::Delivery> SimBus::deliver_due(double now) {
+  std::vector<Delivery> due;
+  auto it = queue_.begin();
+  while (it != queue_.end() && it->first.first <= now) {
+    due.push_back(Delivery{it->second.to, std::move(it->second.payload),
+                           it->first.first});
+    it = queue_.erase(it);
+  }
+  return due;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,61 @@
+// SimBus: an in-memory control-plane network with a fixed one-way latency
+// and optional message loss for failure injection. Messages sent at time t
+// become deliverable at t + latency; delivery order is (deliver_time, send
+// sequence), so the bus is FIFO per sender — matching a TCP control
+// connection. Best-effort sends (heartbeats, rate updates) may be dropped
+// with the configured probability; reliable sends (registrations) never
+// are.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cluster/message.h"
+#include "common/rng.h"
+
+namespace ncdrf {
+
+class SimBus {
+ public:
+  // `loss_probability` applies to send_unreliable only; requires a value
+  // in [0, 1). Losses are drawn deterministically from `seed`.
+  explicit SimBus(double latency_s, double loss_probability = 0.0,
+                  std::uint64_t seed = 1);
+
+  // Enqueues a message sent at `now` to `to`. Always delivered.
+  void send(double now, Address to, MessagePayload payload);
+
+  // Like send, but the message is dropped with the bus's loss
+  // probability. Returns false when dropped.
+  bool send_unreliable(double now, Address to, MessagePayload payload);
+
+  // Pops every message deliverable at or before `now`, in delivery order.
+  struct Delivery {
+    Address to;
+    MessagePayload payload;
+    double deliver_time = 0.0;
+  };
+  std::vector<Delivery> deliver_due(double now);
+
+  bool empty() const { return queue_.empty(); }
+  long long total_sent() const { return seq_; }
+  long long total_dropped() const { return dropped_; }
+
+ private:
+  struct Envelope {
+    Address to;
+    MessagePayload payload;
+  };
+
+  double latency_;
+  double loss_probability_;
+  Rng rng_;
+  long long seq_ = 0;
+  long long dropped_ = 0;
+  // Ordered by (deliver_time, send sequence): earliest first, FIFO within
+  // an instant.
+  std::map<std::pair<double, long long>, Envelope> queue_;
+};
+
+}  // namespace ncdrf

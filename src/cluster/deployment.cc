@@ -1,0 +1,244 @@
+#include <cmath>
+#include "cluster/deployment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "coflow/coflow.h"
+#include "common/check.h"
+
+namespace ncdrf {
+namespace {
+
+// Tracks ground truth for result reporting (independent of the master's
+// lagged view).
+struct TruthCoflow {
+  const Coflow* coflow = nullptr;
+  int unfinished = 0;
+  bool registered = false;
+  std::vector<double> correlation;  // c_k from original demand (Eq. 1)
+};
+
+}  // namespace
+
+DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
+                                Scheduler& scheduler,
+                                const DeploymentOptions& options) {
+  NCDRF_CHECK(trace.num_machines == fabric.num_machines(),
+              "trace and fabric machine counts differ");
+  NCDRF_CHECK(options.tick_s > 0.0, "tick must be positive");
+
+  SimBus bus(options.control_latency_s, options.control_loss_probability,
+             options.loss_seed);
+  Master master(fabric, scheduler);
+  std::vector<Slave> slaves;
+  slaves.reserve(static_cast<std::size_t>(fabric.num_machines()));
+  for (MachineId m = 0; m < fabric.num_machines(); ++m) {
+    slaves.emplace_back(m, options.heartbeat_period_s);
+  }
+
+  DeploymentResult result;
+  result.coflows.resize(trace.coflows.size());
+  std::vector<TruthCoflow> truth(trace.coflows.size());
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    const Coflow& coflow = trace.coflows[k];
+    truth[k].coflow = &coflow;
+    truth[k].unfinished = coflow.width();
+    CoflowRecord& rec = result.coflows[k];
+    rec.id = coflow.id();
+    rec.arrival = coflow.arrival_time();
+    rec.width = coflow.width();
+    rec.max_flow_bits = coflow.max_flow_bits();
+    rec.total_bits = coflow.total_bits();
+    const DemandVectors d = coflow.demand(fabric);
+    truth[k].correlation = d.correlation();
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      rec.min_cct =
+          std::max(rec.min_cct, d.demand[idx] / fabric.capacity(i));
+    }
+  }
+
+  // Flow lookup for receiver-side bookkeeping.
+  std::vector<const Flow*> flow_by_id(
+      static_cast<std::size_t>(trace.total_flows), nullptr);
+  for (const Coflow& coflow : trace.coflows) {
+    for (const Flow& f : coflow.flows()) {
+      flow_by_id[static_cast<std::size_t>(f.id)] = &f;
+    }
+  }
+
+  std::size_t next_arrival = 0;
+  int coflows_remaining = static_cast<int>(trace.coflows.size());
+  double now = 0.0;
+  double next_progress_sample = 0.0;
+  double next_refresh = 0.0;
+
+  while (coflows_remaining > 0) {
+    NCDRF_CHECK(now <= options.max_time_s,
+                "deployment time limit exceeded under " + scheduler.name());
+
+    // 1. Register due coflows (client → master over the bus).
+    while (next_arrival < trace.coflows.size() &&
+           trace.coflows[next_arrival].arrival_time() <= now + 1e-12) {
+      const Coflow& coflow = trace.coflows[next_arrival];
+      RegisterCoflowMsg msg;
+      msg.coflow = coflow.id();
+      msg.arrival_time = coflow.arrival_time();
+      msg.weight = coflow.weight();
+      msg.sizes_known = scheduler.clairvoyant();
+      msg.flows = coflow.flows();
+      if (!msg.sizes_known) {
+        for (Flow& f : msg.flows) f.size_bits = 0.0;  // sizes withheld
+      }
+      bus.send(now, master_address(), std::move(msg));
+      // Slaves start tracking their local flows immediately (the daemon
+      // sits next to the application), but send nothing until rated.
+      for (const Flow& f : coflow.flows()) {
+        slaves[static_cast<std::size_t>(f.src)].add_flow(f);
+      }
+      truth[static_cast<std::size_t>(coflow.id())].registered = true;
+      ++next_arrival;
+    }
+
+    // 2. Deliver due control messages.
+    for (SimBus::Delivery& d : bus.deliver_due(now)) {
+      if (d.to.is_master) {
+        if (auto* reg = std::get_if<RegisterCoflowMsg>(&d.payload)) {
+          master.on_register(*reg);
+        } else if (auto* fin = std::get_if<FlowFinishedMsg>(&d.payload)) {
+          master.on_flow_finished(*fin);
+        } else if (auto* hb = std::get_if<HeartbeatMsg>(&d.payload)) {
+          master.on_heartbeat(*hb);
+        }
+      } else {
+        if (auto* rates = std::get_if<RateUpdateMsg>(&d.payload)) {
+          slaves[static_cast<std::size_t>(d.to.machine)].on_rate_update(
+              *rates);
+        }
+      }
+    }
+
+    // 3. Master reallocates when its view changed, or on the periodic
+    // refresh that re-pushes rates lost to control-plane failures.
+    if (master.dirty() ||
+        (options.reallocation_refresh_period_s > 0.0 &&
+         now + 1e-12 >= next_refresh && master.active_coflows() > 0)) {
+      master.reallocate(now, bus);
+      ++result.num_reallocations;
+      next_refresh = now + options.reallocation_refresh_period_s;
+    }
+
+    // 4. Data plane: desired rates → physical contention → transfer.
+    std::vector<double> link_demand(
+        static_cast<std::size_t>(fabric.num_links()), 0.0);
+    std::vector<std::pair<FlowId, double>> sends;  // (flow, desired rate)
+    for (const Slave& slave : slaves) {
+      for (const auto& [flow_id, rate] : slave.desired_rates()) {
+        if (rate <= 0.0) continue;
+        const Flow* f = flow_by_id[static_cast<std::size_t>(flow_id)];
+        link_demand[static_cast<std::size_t>(fabric.uplink(f->src))] += rate;
+        link_demand[static_cast<std::size_t>(fabric.downlink(f->dst))] +=
+            rate;
+        sends.emplace_back(flow_id, rate);
+      }
+    }
+    std::vector<double> scale(static_cast<std::size_t>(fabric.num_links()),
+                              1.0);
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (link_demand[idx] > fabric.capacity(i)) {
+        scale[idx] = fabric.capacity(i) / link_demand[idx];
+      }
+    }
+
+    // Realized per-flow rates this tick (kept for progress sampling).
+    std::vector<std::pair<const Flow*, double>> realized;
+    realized.reserve(sends.size());
+    for (const auto& [flow_id, rate] : sends) {
+      const Flow* f = flow_by_id[static_cast<std::size_t>(flow_id)];
+      const double s = std::min(
+          scale[static_cast<std::size_t>(fabric.uplink(f->src))],
+          scale[static_cast<std::size_t>(fabric.downlink(f->dst))]);
+      realized.emplace_back(f, rate * s);
+    }
+
+    // 5. Progress sampling (Fig. 8), before committing the transfer.
+    if (options.record_progress && now + 1e-12 >= next_progress_sample) {
+      next_progress_sample = now + options.progress_sample_period_s;
+      for (std::size_t k = 0; k < truth.size(); ++k) {
+        if (!truth[k].registered || truth[k].unfinished == 0) continue;
+        // Realized per-link allocation for this coflow, its remaining
+        // per-link demand, and Eq. 1 under the configured normalization.
+        std::vector<double> link_alloc(
+            static_cast<std::size_t>(fabric.num_links()), 0.0);
+        std::vector<double> rem_demand(
+            static_cast<std::size_t>(fabric.num_links()), 0.0);
+        double rem_bottleneck = 0.0;
+        for (const Flow& f : truth[k].coflow->flows()) {
+          const double rem =
+              slaves[static_cast<std::size_t>(f.src)].remaining_bits(f.id);
+          if (rem <= 0.0) continue;
+          rem_demand[static_cast<std::size_t>(fabric.uplink(f.src))] += rem;
+          rem_demand[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+              rem;
+        }
+        for (const double d : rem_demand) {
+          rem_bottleneck = std::max(rem_bottleneck, d);
+        }
+        for (const auto& [f, rate] : realized) {
+          if (f->coflow != truth[k].coflow->id()) continue;
+          link_alloc[static_cast<std::size_t>(fabric.uplink(f->src))] += rate;
+          link_alloc[static_cast<std::size_t>(fabric.downlink(f->dst))] +=
+              rate;
+        }
+        double progress = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < link_alloc.size(); ++i) {
+          if (rem_demand[i] <= 0.0) continue;
+          const double c =
+              options.progress_normalization ==
+                      ProgressNormalization::kRemainingDemand
+                  ? rem_demand[i] / rem_bottleneck
+                  : truth[k].correlation[i];
+          if (c > 0.0) {
+            progress = std::min(progress, link_alloc[i] / c);
+          }
+        }
+        if (!std::isfinite(progress)) continue;
+        result.progress.push_back(ProgressSample{
+            now, now + options.progress_sample_period_s,
+            truth[k].coflow->id(), progress});
+      }
+    }
+
+    for (const auto& [f, rate] : realized) {
+      Slave& slave = slaves[static_cast<std::size_t>(f->src)];
+      if (slave.commit_transfer(f->id, rate * options.tick_s)) {
+        const double finish_time = now + options.tick_s;
+        // Best-effort: a lost finish report is repaired by the refresh
+        // (a finished flow a stale master still rates simply sends 0).
+        bus.send_unreliable(finish_time, master_address(),
+                            FlowFinishedMsg{f->id, f->coflow, finish_time});
+        TruthCoflow& t = truth[static_cast<std::size_t>(f->coflow)];
+        if (--t.unfinished == 0) {
+          CoflowRecord& rec =
+              result.coflows[static_cast<std::size_t>(f->coflow)];
+          rec.completion = finish_time;
+          rec.cct = finish_time - rec.arrival;
+          --coflows_remaining;
+        }
+      }
+    }
+
+    // 6. Heartbeats.
+    for (Slave& slave : slaves) slave.maybe_heartbeat(now, bus);
+
+    now += options.tick_s;
+  }
+
+  result.makespan = now;
+  result.messages_sent = bus.total_sent();
+  return result;
+}
+
+}  // namespace ncdrf

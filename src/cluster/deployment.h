@@ -1,0 +1,75 @@
+// Deployment: the wired-up master/slave cluster emulation — the stand-in
+// for the paper's 60-node EC2 testbed (Sec. V-B; DESIGN.md substitutions).
+//
+// Discrete-time loop with tick `tick_s`:
+//   1. coflows whose arrival time has come register with the master over
+//      the bus (one-way `control_latency_s`);
+//   2. due messages are delivered (registrations / finish reports /
+//      heartbeats to the master, rate updates to slaves);
+//   3. if the master's view changed, it reallocates and pushes rates;
+//   4. slaves send at their enforced rates; physical uplink/downlink
+//      contention scales concurrent senders down proportionally (rates can
+//      transiently oversubscribe because the master's view is stale);
+//   5. finished flows are reported back; per-coflow progress is sampled.
+//
+// The paper's observables fall out: Fig. 7's CCTs and Fig. 8's progress
+// curves, under any Scheduler.
+#pragma once
+
+#include "cluster/bus.h"
+#include "cluster/master.h"
+#include "cluster/slave.h"
+#include "sim/sim.h"
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+// How Fig. 8-style progress samples normalize the per-link allocation
+// (Eq. 1's correlation vector):
+//   kOriginalDemand  — the coflow's static correlation from full demand,
+//                      restricted to links with data left (bounded, used
+//                      for disparity-style comparisons);
+//   kRemainingDemand — the instantaneous correlation from remaining
+//                      demand (the attainable rate of the slowest
+//                      remaining part; what "equal progress" means at an
+//                      instant).
+enum class ProgressNormalization { kOriginalDemand, kRemainingDemand };
+
+struct DeploymentOptions {
+  double tick_s = 0.01;             // enforcement quantum (10 ms)
+  double control_latency_s = 0.005; // one-way master<->slave latency
+  double heartbeat_period_s = 0.1;
+  double progress_sample_period_s = 0.25;  // Fig. 8 sampling
+  bool record_progress = true;
+  ProgressNormalization progress_normalization =
+      ProgressNormalization::kRemainingDemand;
+  double max_time_s = 36000.0;
+
+  // Failure injection: best-effort control messages (rate updates,
+  // heartbeats, flow-finished reports) are dropped with this probability.
+  // Registrations use a reliable channel (an RPC in the prototype).
+  double control_loss_probability = 0.0;
+  std::uint64_t loss_seed = 1;
+
+  // The master re-pushes rates at this period even without view changes,
+  // which bounds the damage of any lost rate update or finish report
+  // (the prototype's heartbeat-driven refresh). 0 disables.
+  double reallocation_refresh_period_s = 1.0;
+};
+
+struct DeploymentResult {
+  std::vector<CoflowRecord> coflows;   // indexed by coflow id
+  std::vector<ProgressSample> progress;
+  double makespan = 0.0;
+  long long num_reallocations = 0;
+  long long messages_sent = 0;
+};
+
+// Runs `trace` on an emulated cluster of fabric.num_machines() machines
+// under `scheduler`. Sizes are registered with the master only when the
+// scheduler is clairvoyant.
+DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
+                                Scheduler& scheduler,
+                                const DeploymentOptions& options = {});
+
+}  // namespace ncdrf

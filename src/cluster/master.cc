@@ -1,0 +1,121 @@
+#include "cluster/master.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+Master::Master(const Fabric& fabric, Scheduler& scheduler)
+    : fabric_(fabric), scheduler_(scheduler) {}
+
+void Master::on_register(const RegisterCoflowMsg& msg) {
+  NCDRF_CHECK(msg.coflow >= 0, "registration with invalid coflow id");
+  NCDRF_CHECK(!msg.flows.empty(), "registration with no flows");
+  CoflowState state;
+  state.id = msg.coflow;
+  state.arrival_time = msg.arrival_time;
+  state.weight = msg.weight;
+  state.sizes_known = msg.sizes_known;
+  for (const Flow& f : msg.flows) {
+    NCDRF_CHECK(!flow_states_.contains(f.id), "duplicate flow registration");
+    flow_states_[f.id] = FlowState{f, false, 0.0};
+    state.flows.push_back(f.id);
+  }
+  coflows_.push_back(std::move(state));
+  dirty_ = true;
+}
+
+void Master::on_flow_finished(const FlowFinishedMsg& msg) {
+  const auto it = flow_states_.find(msg.flow);
+  NCDRF_CHECK(it != flow_states_.end(), "finish report for unknown flow");
+  if (!it->second.finished) {
+    it->second.finished = true;
+    dirty_ = true;
+  }
+  // Drop coflows whose flows have all finished.
+  std::erase_if(coflows_, [&](const CoflowState& c) {
+    return std::all_of(c.flows.begin(), c.flows.end(), [&](FlowId f) {
+      return flow_states_.at(f).finished;
+    });
+  });
+}
+
+void Master::on_heartbeat(const HeartbeatMsg& msg) {
+  // Heartbeats refine the clairvoyant remaining-size estimates; they do
+  // not by themselves force a reallocation.
+  for (const auto& [flow, attained] : msg.attained_bits) {
+    const auto it = flow_states_.find(flow);
+    if (it != flow_states_.end()) {
+      it->second.attained_bits = std::max(it->second.attained_bits, attained);
+    }
+  }
+}
+
+int Master::active_coflows() const {
+  return static_cast<int>(coflows_.size());
+}
+
+ScheduleInput Master::build_view(double now) const {
+  ScheduleInput input;
+  input.fabric = &fabric_;
+  input.now = now;
+  for (const CoflowState& coflow : coflows_) {
+    ActiveCoflow view;
+    view.id = coflow.id;
+    view.arrival_time = coflow.arrival_time;
+    view.weight = coflow.weight;
+    double attained = 0.0;
+    for (const FlowId f : coflow.flows) {
+      const FlowState& fs = flow_states_.at(f);
+      attained += fs.attained_bits;
+      auto& bucket = fs.finished ? view.finished_flows : view.flows;
+      bucket.push_back(
+          ActiveFlow{fs.flow.id, fs.flow.coflow, fs.flow.src, fs.flow.dst});
+    }
+    view.attained_bits = attained;
+    if (!view.flows.empty()) input.coflows.push_back(std::move(view));
+  }
+  return input;
+}
+
+void Master::reallocate(double now, SimBus& bus) {
+  ScheduleInput input = build_view(now);
+  dirty_ = false;
+  if (input.coflows.empty()) return;
+
+  ClairvoyantInfo info(&remaining_estimate_);
+  if (scheduler_.clairvoyant()) {
+    // Remaining = registered size − attained (heartbeat view). Registered
+    // sizes are required for clairvoyant policies.
+    FlowId max_id = 0;
+    for (const auto& [id, fs] : flow_states_) max_id = std::max(max_id, id);
+    remaining_estimate_.assign(static_cast<std::size_t>(max_id) + 1, 0.0);
+    for (const auto& [id, fs] : flow_states_) {
+      NCDRF_CHECK(fs.flow.size_bits > 0.0 || fs.finished,
+                  "clairvoyant scheduler needs registered flow sizes");
+      remaining_estimate_[static_cast<std::size_t>(id)] =
+          std::max(fs.flow.size_bits - fs.attained_bits, 0.0);
+    }
+    input.clairvoyant = &info;
+  }
+
+  Allocation alloc = scheduler_.allocate(input);
+  clamp_to_capacity(input, alloc);
+
+  // One RateUpdate per originating machine (rates are enforced at the
+  // sender, like tc/htb egress shaping).
+  std::unordered_map<MachineId, RateUpdateMsg> per_slave;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      per_slave[flow.src].rates_bps.emplace_back(flow.id,
+                                                 alloc.rate(flow.id));
+    }
+  }
+  for (auto& [machine, msg] : per_slave) {
+    // Rate updates are best-effort; the periodic refresh re-sends them.
+    bus.send_unreliable(now, slave_address(machine), std::move(msg));
+  }
+}
+
+}  // namespace ncdrf

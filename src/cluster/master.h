@@ -1,0 +1,63 @@
+// Master: the centralized controller of the deployment (paper Sec. V-B).
+//
+// Mirrors the EC2 prototype's master: it accepts coflow registrations,
+// tracks flow liveness from FlowFinished reports and attained service from
+// heartbeats, runs the configured Scheduler (Algorithm 1 for NC-DRF) over
+// its current view, and emits per-slave RateUpdate messages. The master
+// only ever acts on its *view* — which lags reality by the bus latency —
+// so the deployment exercises the control-staleness the real system has.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/bus.h"
+#include "fabric/fabric.h"
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+class Master {
+ public:
+  Master(const Fabric& fabric, Scheduler& scheduler);
+
+  // Message intake. Each may mark the view dirty.
+  void on_register(const RegisterCoflowMsg& msg);
+  void on_flow_finished(const FlowFinishedMsg& msg);
+  void on_heartbeat(const HeartbeatMsg& msg);
+
+  bool dirty() const { return dirty_; }
+
+  // Recomputes the allocation from the current view and enqueues one
+  // RateUpdate per machine that originates flows. Clears the dirty flag.
+  void reallocate(double now, SimBus& bus);
+
+  int active_coflows() const;
+
+ private:
+  struct FlowState {
+    Flow flow;           // size_bits is 0 unless the coflow registered sizes
+    bool finished = false;
+    double attained_bits = 0.0;  // last heartbeat report
+  };
+  struct CoflowState {
+    CoflowId id = -1;
+    double arrival_time = 0.0;
+    double weight = 1.0;
+    bool sizes_known = false;
+    std::vector<FlowId> flows;
+  };
+
+  ScheduleInput build_view(double now) const;
+
+  const Fabric& fabric_;
+  Scheduler& scheduler_;
+  std::vector<CoflowState> coflows_;
+  std::unordered_map<FlowId, FlowState> flow_states_;
+  // Remaining-size estimates (size − attained) for clairvoyant policies,
+  // indexed by FlowId; grown on demand.
+  mutable std::vector<double> remaining_estimate_;
+  bool dirty_ = false;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,61 @@
+// Control-plane messages of the master/slave deployment (paper Sec. V-B).
+//
+// The EC2 prototype is a Python master plus per-machine slave daemons:
+// coflows register through a public API, the master runs Algorithm 1 and
+// pushes per-flow rates, slaves enforce them with tc/htb and report status
+// in periodic heartbeats. This emulation exchanges the same four message
+// kinds over a latency-modelling bus.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "coflow/flow.h"
+
+namespace ncdrf {
+
+// A coflow registering with the master. `sizes_known` mirrors the paper's
+// API ("indicates the amount of data in each flow"): clairvoyant baselines
+// (DRF/HUG) receive sizes; NC-DRF and the other non-clairvoyant policies
+// register with sizes stripped.
+struct RegisterCoflowMsg {
+  CoflowId coflow = -1;
+  double arrival_time = 0.0;
+  double weight = 1.0;  // tenant share weight
+  std::vector<Flow> flows;  // size_bits zeroed unless sizes_known
+  bool sizes_known = false;
+};
+
+// Master → slave: new enforced rates for the flows this slave originates.
+struct RateUpdateMsg {
+  std::vector<std::pair<FlowId, double>> rates_bps;
+};
+
+// Slave → master: periodic status with attained bytes per local flow.
+struct HeartbeatMsg {
+  MachineId machine = -1;
+  std::vector<std::pair<FlowId, double>> attained_bits;
+};
+
+// Slave → master: a local flow delivered its last byte.
+struct FlowFinishedMsg {
+  FlowId flow = -1;
+  CoflowId coflow = -1;
+  double finish_time = 0.0;
+};
+
+using MessagePayload = std::variant<RegisterCoflowMsg, RateUpdateMsg,
+                                    HeartbeatMsg, FlowFinishedMsg>;
+
+// Bus addresses: the master, or slave `machine`.
+struct Address {
+  bool is_master = false;
+  MachineId machine = -1;
+};
+
+inline Address master_address() { return Address{true, -1}; }
+inline Address slave_address(MachineId machine) {
+  return Address{false, machine};
+}
+
+}  // namespace ncdrf

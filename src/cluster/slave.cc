@@ -1,0 +1,67 @@
+#include "cluster/slave.h"
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+Slave::Slave(MachineId machine, double heartbeat_period_s)
+    : machine_(machine), heartbeat_period_(heartbeat_period_s) {
+  NCDRF_CHECK(machine >= 0, "slave machine id must be non-negative");
+  NCDRF_CHECK(heartbeat_period_s > 0.0, "heartbeat period must be positive");
+}
+
+void Slave::add_flow(const Flow& flow) {
+  NCDRF_CHECK(flow.src == machine_, "flow does not originate here");
+  NCDRF_CHECK(flow.size_bits > 0.0, "flow size must be positive");
+  NCDRF_CHECK(!flows_.contains(flow.id), "duplicate local flow");
+  flows_[flow.id] = LocalFlow{flow, flow.size_bits, 0.0, 0.0};
+}
+
+void Slave::on_rate_update(const RateUpdateMsg& msg) {
+  for (const auto& [flow, rate] : msg.rates_bps) {
+    const auto it = flows_.find(flow);
+    // Updates can race with completions; stale entries are ignored.
+    if (it != flows_.end()) it->second.rate_bps = rate;
+  }
+}
+
+std::vector<std::pair<FlowId, double>> Slave::desired_rates() const {
+  std::vector<std::pair<FlowId, double>> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, lf] : flows_) out.emplace_back(id, lf.rate_bps);
+  return out;
+}
+
+bool Slave::commit_transfer(FlowId flow, double bits) {
+  auto it = flows_.find(flow);
+  NCDRF_CHECK(it != flows_.end(), "transfer for unknown local flow");
+  NCDRF_CHECK(bits >= 0.0, "transfer must be non-negative");
+  LocalFlow& lf = it->second;
+  lf.remaining_bits -= bits;
+  lf.attained_bits += bits;
+  if (lf.remaining_bits <= 1.0) {  // fluid-model completion epsilon
+    flows_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+double Slave::remaining_bits(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0.0 : it->second.remaining_bits;
+}
+
+void Slave::maybe_heartbeat(double now, SimBus& bus) {
+  if (now + 1e-12 < next_heartbeat_) return;
+  next_heartbeat_ = now + heartbeat_period_;
+  if (flows_.empty()) return;
+  HeartbeatMsg msg;
+  msg.machine = machine_;
+  msg.attained_bits.reserve(flows_.size());
+  for (const auto& [id, lf] : flows_) {
+    msg.attained_bits.emplace_back(id, lf.attained_bits);
+  }
+  bus.send_unreliable(now, master_address(), std::move(msg));
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,59 @@
+// Slave: the per-machine enforcement daemon (paper Sec. V-B).
+//
+// Each slave owns the flows originating at its machine. It applies the
+// master's last RateUpdate as a token-bucket egress shaper per flow (the
+// tc/htb stand-in), advances transfers in discrete ticks, reports attained
+// service in periodic heartbeats, and reports flow completions. A flow
+// whose rate the master has not yet assigned sends nothing — exactly the
+// registration-to-first-allocation gap of the real prototype.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/bus.h"
+#include "coflow/flow.h"
+
+namespace ncdrf {
+
+class Slave {
+ public:
+  Slave(MachineId machine, double heartbeat_period_s);
+
+  MachineId machine() const { return machine_; }
+
+  // Starts enforcing a newly arrived local flow (remaining = full size).
+  void add_flow(const Flow& flow);
+
+  void on_rate_update(const RateUpdateMsg& msg);
+
+  // The rate the shaper would send at this tick for each live local flow:
+  // (flow, desired rate). The deployment applies physical link contention
+  // on top and calls commit_transfer with the realized bytes.
+  std::vector<std::pair<FlowId, double>> desired_rates() const;
+
+  // Applies `bits` of realized transfer to a flow over one tick; returns
+  // true if the flow just finished (caller reports FlowFinished).
+  bool commit_transfer(FlowId flow, double bits);
+
+  double remaining_bits(FlowId flow) const;
+  int live_flows() const { return static_cast<int>(flows_.size()); }
+
+  // Emits a heartbeat if one is due at `now`.
+  void maybe_heartbeat(double now, SimBus& bus);
+
+ private:
+  struct LocalFlow {
+    Flow flow;
+    double remaining_bits = 0.0;
+    double attained_bits = 0.0;
+    double rate_bps = 0.0;  // 0 until the first RateUpdate arrives
+  };
+
+  MachineId machine_;
+  double heartbeat_period_;
+  double next_heartbeat_ = 0.0;
+  std::unordered_map<FlowId, LocalFlow> flows_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,137 @@
+#include "coflow/coflow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/units.h"
+
+namespace ncdrf {
+
+std::vector<double> DemandVectors::correlation() const {
+  std::vector<double> c(demand.size(), 0.0);
+  if (bottleneck_demand <= 0.0) return c;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    c[i] = demand[i] / bottleneck_demand;
+  }
+  return c;
+}
+
+std::vector<double> DemandVectors::flow_count_correlation() const {
+  std::vector<double> c(flow_count.size(), 0.0);
+  if (bottleneck_flow_count <= 0) return c;
+  for (std::size_t i = 0; i < flow_count.size(); ++i) {
+    c[i] = static_cast<double>(flow_count[i]) /
+           static_cast<double>(bottleneck_flow_count);
+  }
+  return c;
+}
+
+double DemandVectors::disparity() const {
+  NCDRF_CHECK(bottleneck_demand > 0.0, "disparity of a zero-demand coflow");
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (const double d : demand) {
+    if (d > 0.0) min_positive = std::min(min_positive, d);
+  }
+  return bottleneck_demand / min_positive;
+}
+
+DemandVectors compute_demand(const Fabric& fabric,
+                             const std::vector<Flow>& flows,
+                             const std::vector<double>& size_bits) {
+  NCDRF_CHECK(flows.size() == size_bits.size(),
+              "flows and sizes must be index-aligned");
+  DemandVectors out;
+  out.demand.assign(static_cast<std::size_t>(fabric.num_links()), 0.0);
+  out.flow_count.assign(static_cast<std::size_t>(fabric.num_links()), 0);
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const Flow& flow = flows[f];
+    NCDRF_CHECK(size_bits[f] >= 0.0, "flow size must be non-negative");
+    const auto up = static_cast<std::size_t>(fabric.uplink(flow.src));
+    const auto down = static_cast<std::size_t>(fabric.downlink(flow.dst));
+    out.demand[up] += size_bits[f];
+    out.demand[down] += size_bits[f];
+    out.flow_count[up] += 1;
+    out.flow_count[down] += 1;
+  }
+
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (out.demand[idx] > out.bottleneck_demand) {
+      out.bottleneck_demand = out.demand[idx];
+      out.bottleneck_link = i;
+    }
+    if (out.flow_count[idx] > out.bottleneck_flow_count) {
+      out.bottleneck_flow_count = out.flow_count[idx];
+      out.flow_count_bottleneck_link = i;
+    }
+  }
+  return out;
+}
+
+double coflow_progress(const DemandVectors& demand,
+                       const std::vector<double>& link_alloc_bps) {
+  NCDRF_CHECK(link_alloc_bps.size() == demand.demand.size(),
+              "allocation vector must cover all links");
+  if (demand.bottleneck_demand <= 0.0) return 0.0;
+  double progress = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < demand.demand.size(); ++i) {
+    const double c = demand.demand[i] / demand.bottleneck_demand;
+    if (c > 0.0) progress = std::min(progress, link_alloc_bps[i] / c);
+  }
+  return progress;
+}
+
+Coflow::Coflow(CoflowId id, double arrival_time_s, std::vector<Flow> flows,
+               double weight)
+    : id_(id),
+      arrival_time_(arrival_time_s),
+      flows_(std::move(flows)),
+      weight_(weight) {
+  NCDRF_CHECK(id >= 0, "coflow id must be non-negative");
+  NCDRF_CHECK(arrival_time_s >= 0.0, "arrival time must be non-negative");
+  NCDRF_CHECK(weight > 0.0, "coflow weight must be positive");
+  NCDRF_CHECK(!flows_.empty(), "a coflow needs at least one flow");
+  for (const Flow& f : flows_) {
+    NCDRF_CHECK(f.coflow == id_, "flow tagged with a different coflow id");
+    NCDRF_CHECK(f.size_bits >= 0.0, "flow size must be non-negative");
+    NCDRF_CHECK(f.src >= 0 && f.dst >= 0, "flow endpoints must be set");
+    max_flow_bits_ = std::max(max_flow_bits_, f.size_bits);
+    total_bits_ += f.size_bits;
+  }
+}
+
+DemandVectors Coflow::demand(const Fabric& fabric) const {
+  std::vector<double> sizes;
+  sizes.reserve(flows_.size());
+  for (const Flow& f : flows_) sizes.push_back(f.size_bits);
+  return compute_demand(fabric, flows_, sizes);
+}
+
+CoflowBin classify_bin(const Coflow& coflow) {
+  // Sec. V-A.2: short/long at 5 MB on the largest flow; narrow/wide at 50
+  // flows.
+  const bool is_short = coflow.max_flow_bits() < megabytes(5.0);
+  const bool narrow = coflow.width() < 50;
+  if (is_short && narrow) return CoflowBin::kShortNarrow;
+  if (!is_short && narrow) return CoflowBin::kLongNarrow;
+  if (is_short && !narrow) return CoflowBin::kShortWide;
+  return CoflowBin::kLongWide;
+}
+
+std::string bin_name(CoflowBin bin) {
+  switch (bin) {
+    case CoflowBin::kShortNarrow:
+      return "SN";
+    case CoflowBin::kLongNarrow:
+      return "LN";
+    case CoflowBin::kShortWide:
+      return "SW";
+    case CoflowBin::kLongWide:
+      return "LW";
+  }
+  NCDRF_CHECK(false, "unreachable: unknown bin");
+  return {};
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,106 @@
+// Coflow abstraction (paper Sec. II-A).
+//
+// A coflow is a set of parallel flows between two computation stages with
+// all-or-nothing semantics: it completes when its last flow completes.
+// This header provides the static description (flows, arrival time) plus
+// the demand-side math the paper defines on top of it:
+//
+//   demand vector      d_k[i]  — bits the coflow moves over link i (2m links)
+//   bottleneck demand  d̄_k     — max_i d_k[i]               (Sec. II-A)
+//   correlation vector c_k[i]  = d_k[i] / d̄_k               (Sec. II-A)
+//   flow counts        n_k[i]  — number of flows touching link i (Sec. IV)
+//   disparity          e_k     = d̄_k / min_{i: d_k[i]>0} d_k[i]   (Eq. 4)
+//   progress           P_k     = min_{i: c_k[i]>0} a_k[i] / c_k[i] (Eq. 1)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coflow/flow.h"
+#include "fabric/fabric.h"
+
+namespace ncdrf {
+
+// Demand-side view of a set of flows against a fabric: everything Eq. 1-5
+// needs. Computed either from full flow sizes (clairvoyant) or from
+// remaining sizes mid-run.
+struct DemandVectors {
+  std::vector<double> demand;       // d_k, indexed by LinkId, size 2m
+  std::vector<int> flow_count;      // n_k, indexed by LinkId
+  double bottleneck_demand = 0.0;   // d̄_k
+  LinkId bottleneck_link = -1;      // b_k (first arg max)
+  int bottleneck_flow_count = 0;    // n̄_k
+  LinkId flow_count_bottleneck_link = -1;  // b̂_k (first arg max)
+
+  // c_k[i] = demand[i] / bottleneck_demand; all-zero when the coflow has no
+  // remaining demand.
+  std::vector<double> correlation() const;
+
+  // ĉ_k[i] = flow_count[i] / bottleneck_flow_count; what NC-DRF uses in
+  // place of the (unknown) correlation vector.
+  std::vector<double> flow_count_correlation() const;
+
+  // e_k per Eq. 4: bottleneck demand over the smallest *non-zero* link
+  // demand. 1.0 for a perfectly balanced coflow; requires some demand.
+  double disparity() const;
+};
+
+// Computes demand vectors for `flows` whose per-flow sizes are
+// `size_bits[f]` for each flow f (index-aligned with `flows`). Sizes must
+// be non-negative; flows with zero size still count toward flow counts
+// (they are "active" until marked done by the caller's filtering).
+DemandVectors compute_demand(const Fabric& fabric,
+                             const std::vector<Flow>& flows,
+                             const std::vector<double>& size_bits);
+
+// Coflow progress per Eq. 1: minimum demand-normalized allocation across
+// links with positive demand, where `link_alloc_bps[i]` is the coflow's
+// aggregate rate on link i. Returns 0 when the coflow has no demand.
+double coflow_progress(const DemandVectors& demand,
+                       const std::vector<double>& link_alloc_bps);
+
+// Static description of a coflow as it appears in a trace.
+class Coflow {
+ public:
+  // Requires: at least one flow; every flow's endpoints within the fabric
+  // would be validated at use (the coflow itself is fabric-agnostic);
+  // non-negative sizes; all flows carry this coflow's id; positive weight.
+  Coflow(CoflowId id, double arrival_time_s, std::vector<Flow> flows,
+         double weight = 1.0);
+
+  CoflowId id() const { return id_; }
+  double arrival_time() const { return arrival_time_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  // Relative share weight (tenant priority) honoured by the fair policies
+  // (NC-DRF, DRF); 1.0 = equal share.
+  double weight() const { return weight_; }
+
+  int width() const { return static_cast<int>(flows_.size()); }
+
+  // Size of the largest flow, bits ("length" for the Table I bins).
+  double max_flow_bits() const { return max_flow_bits_; }
+
+  // Sum of all flow sizes, bits.
+  double total_bits() const { return total_bits_; }
+
+  // Demand vectors against a fabric, from full (original) flow sizes.
+  DemandVectors demand(const Fabric& fabric) const;
+
+ private:
+  CoflowId id_;
+  double arrival_time_;
+  std::vector<Flow> flows_;
+  double weight_ = 1.0;
+  double max_flow_bits_ = 0.0;
+  double total_bits_ = 0.0;
+};
+
+// Table I bins: length threshold 5 MB on the largest flow, width threshold
+// 50 flows (Sec. V-A.2).
+enum class CoflowBin { kShortNarrow, kLongNarrow, kShortWide, kLongWide };
+
+CoflowBin classify_bin(const Coflow& coflow);
+std::string bin_name(CoflowBin bin);  // "SN", "LN", "SW", "LW"
+
+}  // namespace ncdrf

@@ -1,0 +1,25 @@
+// Flow: one point-to-point transfer inside a coflow.
+//
+// Plain data (Core Guidelines C.2: no invariant beyond what the owning
+// Coflow validates). A flow f_k^{ij} in the paper's notation transfers
+// `size_bits` from the uplink of `src` to the downlink of `dst`.
+#pragma once
+
+#include "fabric/fabric.h"
+
+namespace ncdrf {
+
+// Globally unique dense flow identifier, assigned by the trace/workload
+// builder. Dense ids let the simulator index flow state in flat arrays.
+using FlowId = int;
+using CoflowId = int;
+
+struct Flow {
+  FlowId id = -1;
+  CoflowId coflow = -1;
+  MachineId src = -1;
+  MachineId dst = -1;
+  double size_bits = 0.0;
+};
+
+}  // namespace ncdrf

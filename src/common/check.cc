@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace ncdrf::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "NCDRF_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace ncdrf::detail

@@ -1,0 +1,37 @@
+// Runtime invariant checking for the NC-DRF library.
+//
+// NCDRF_CHECK(cond, msg) validates preconditions and invariants in both
+// debug and release builds; violations throw ncdrf::CheckError carrying the
+// failing expression, location and a caller-supplied message. Library code
+// uses it at API boundaries (bad arguments, malformed traces) and for
+// internal invariants whose violation would silently corrupt results
+// (e.g. link over-subscription in an allocation).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ncdrf {
+
+// Error thrown when a checked invariant fails. Deriving from
+// std::logic_error: a failed check is a programming or input error, not an
+// expected runtime condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace ncdrf
+
+// Checks `cond`; on failure throws ncdrf::CheckError with context.
+#define NCDRF_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ncdrf::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)

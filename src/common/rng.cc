@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ncdrf {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  NCDRF_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  NCDRF_CHECK(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::exponential(double rate) {
+  NCDRF_CHECK(rate > 0.0, "exponential rate must be positive");
+  // 1 - uniform() is in (0, 1], so log is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  NCDRF_CHECK(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::normal() {
+  const double u1 = 1.0 - uniform();  // in (0, 1]
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::bernoulli(double p) {
+  NCDRF_CHECK(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    NCDRF_CHECK(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  NCDRF_CHECK(total > 0.0, "weighted_index needs a positive total weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: fall to last bucket
+}
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  NCDRF_CHECK(0 <= k && k <= n, "sample_without_replacement requires k <= n");
+  // Partial Fisher-Yates over [0, n).
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(uniform_int(i, n - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    out.push_back(pool[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+double percentile(std::vector<double> values, double p) {
+  NCDRF_CHECK(!values.empty(), "percentile of empty sample");
+  NCDRF_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = percentile(values, 50.0);
+  s.p95 = percentile(values, 95.0);
+  s.p99 = percentile(values, 99.0);
+  return s;
+}
+
+void WeightedCdf::add(double value, double weight) {
+  NCDRF_CHECK(weight >= 0.0, "CDF weights must be non-negative");
+  if (weight == 0.0) return;
+  points_.emplace_back(value, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void WeightedCdf::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(points_.begin(), points_.end());
+    sorted_ = true;
+  }
+}
+
+double WeightedCdf::quantile(double q) const {
+  NCDRF_CHECK(!points_.empty(), "quantile of empty distribution");
+  NCDRF_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  sort_if_needed();
+  const double target = q * total_weight_;
+  double acc = 0.0;
+  for (const auto& [value, weight] : points_) {
+    acc += weight;
+    if (acc >= target) return value;
+  }
+  return points_.back().first;
+}
+
+double WeightedCdf::cdf_at(double v) const {
+  if (points_.empty()) return 0.0;
+  sort_if_needed();
+  double acc = 0.0;
+  for (const auto& [value, weight] : points_) {
+    if (value > v) break;
+    acc += weight;
+  }
+  return acc / total_weight_;
+}
+
+double WeightedCdf::min() const {
+  NCDRF_CHECK(!points_.empty(), "min of empty distribution");
+  sort_if_needed();
+  return points_.front().first;
+}
+
+double WeightedCdf::max() const {
+  NCDRF_CHECK(!points_.empty(), "max of empty distribution");
+  sort_if_needed();
+  return points_.back().first;
+}
+
+double WeightedCdf::mean() const {
+  NCDRF_CHECK(!points_.empty(), "mean of empty distribution");
+  double acc = 0.0;
+  for (const auto& [value, weight] : points_) acc += value * weight;
+  return acc / total_weight_;
+}
+
+std::vector<std::pair<double, double>> WeightedCdf::curve() const {
+  sort_if_needed();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points_.size());
+  double acc = 0.0;
+  for (const auto& [value, weight] : points_) {
+    acc += weight;
+    if (!out.empty() && out.back().first == value) {
+      out.back().second = acc / total_weight_;
+    } else {
+      out.emplace_back(value, acc / total_weight_);
+    }
+  }
+  return out;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,69 @@
+// Small statistics toolkit used by the evaluation metrics and benches:
+// summary statistics (Table II style) and weighted empirical CDFs
+// (Figs. 5a, 6a are distributions "over time instants", i.e. weighted by
+// interval length).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ncdrf {
+
+// Five-number-style summary over a sample. Percentiles use linear
+// interpolation between order statistics (same convention as numpy).
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes the summary of `values`. Returns a zeroed Summary for an empty
+// input.
+Summary summarize(std::vector<double> values);
+
+// Percentile (p in [0, 100]) of `values` with linear interpolation.
+// Requires a non-empty input.
+double percentile(std::vector<double> values, double p);
+
+// Weighted empirical distribution. Add (value, weight) points — e.g.
+// (progress disparity, interval length) — then query quantiles or the
+// full CDF curve.
+class WeightedCdf {
+ public:
+  // Adds one observation with the given non-negative weight. Zero-weight
+  // points are ignored.
+  void add(double value, double weight = 1.0);
+
+  bool empty() const { return points_.empty(); }
+  double total_weight() const { return total_weight_; }
+
+  // Smallest value v such that at least fraction q of the weight is <= v.
+  // Requires q in [0, 1] and a non-empty distribution.
+  double quantile(double q) const;
+
+  // Fraction of weight at values <= v.
+  double cdf_at(double v) const;
+
+  double min() const;
+  double max() const;
+
+  // Weighted mean of the observations.
+  double mean() const;
+
+  // The full curve as (value, cumulative fraction) steps, sorted by value.
+  std::vector<std::pair<double, double>> curve() const;
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<std::pair<double, double>> points_;  // (value, weight)
+  mutable bool sorted_ = true;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NCDRF_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  NCDRF_CHECK(row.size() == header_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,28 @@
+// Plain-text table rendering for benchmark output. The bench binaries print
+// each paper table/figure as an aligned ASCII table so the reproduction can
+// be compared against the paper by eye (and diffed between runs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ncdrf {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  // Renders the table with a header rule and column alignment.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,42 @@
+// Unit helpers for the fluid-flow model.
+//
+// The whole library works in a single consistent unit system:
+//   data   — bits   (double; fluid model, fractional bits are fine)
+//   rate   — bits per second
+//   time   — seconds
+// These helpers exist so call sites read like the paper ("100 Mb flow on a
+// 1 Gbps link") instead of carrying raw powers of ten around.
+#pragma once
+
+namespace ncdrf {
+
+// Decimal (SI) prefixes, matching how network gear and the paper count.
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+constexpr double bits(double b) { return b; }
+constexpr double kilobits(double kb) { return kb * kKilo; }
+constexpr double megabits(double mb) { return mb * kMega; }
+constexpr double gigabits(double gb) { return gb * kGiga; }
+
+// Data sizes in the trace files are given in bytes-based units.
+constexpr double bytes(double b) { return b * 8.0; }
+constexpr double kilobytes(double kb) { return kb * 8.0 * kKilo; }
+constexpr double megabytes(double mb) { return mb * 8.0 * kMega; }
+constexpr double gigabytes(double gb) { return gb * 8.0 * kGiga; }
+
+constexpr double bps(double r) { return r; }
+constexpr double kbps(double r) { return r * kKilo; }
+constexpr double mbps(double r) { return r * kMega; }
+constexpr double gbps(double r) { return r * kGiga; }
+
+constexpr double to_megabits(double bits_) { return bits_ / kMega; }
+constexpr double to_gigabits(double bits_) { return bits_ / kGiga; }
+constexpr double to_megabytes(double bits_) { return bits_ / (8.0 * kMega); }
+constexpr double to_gbps(double rate_bps) { return rate_bps / kGiga; }
+
+constexpr double seconds(double s) { return s; }
+constexpr double milliseconds(double ms) { return ms / kKilo; }
+
+}  // namespace ncdrf

@@ -1,0 +1,93 @@
+#include <cmath>
+#include "core/ncdrf.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/backfill.h"
+
+namespace ncdrf {
+namespace {
+
+// Flow counts per link for one coflow (Algorithm 1 lines 4-5).
+std::vector<int> coflow_link_counts(const Fabric& fabric,
+                                    const ActiveCoflow& coflow,
+                                    bool count_finished) {
+  std::vector<int> counts(static_cast<std::size_t>(fabric.num_links()), 0);
+  for (const ActiveFlow& f : coflow.flows) {
+    counts[static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+    counts[static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+  }
+  if (count_finished) {
+    for (const ActiveFlow& f : coflow.finished_flows) {
+      counts[static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      counts[static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+NcDrfScheduler::NcDrfScheduler(NcDrfOptions options) : options_(options) {
+  NCDRF_CHECK(options_.backfill_rounds >= 0,
+              "backfill rounds must be non-negative");
+}
+
+double NcDrfScheduler::flow_count_progress(const ScheduleInput& input,
+                                           bool count_finished_flows) {
+  const Fabric& fabric = *input.fabric;
+  // Σ_k ĉ_k^i per link (Algorithm 1 lines 3-8), then
+  // P̂* = min_i C_i / Σ_k ĉ_k^i (line 9; Eq. 5 with unit capacities).
+  std::vector<double> load(static_cast<std::size_t>(fabric.num_links()), 0.0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
+    const std::vector<int> counts =
+        coflow_link_counts(fabric, coflow, count_finished_flows);
+    const int bottleneck = *std::max_element(counts.begin(), counts.end());
+    if (bottleneck == 0) continue;
+    for (std::size_t i = 0; i < load.size(); ++i) {
+      load[i] += coflow.weight * counts[i] / bottleneck;
+    }
+  }
+  double p_star = std::numeric_limits<double>::infinity();
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (load[idx] > 0.0) {
+      p_star = std::min(p_star, fabric.capacity(i) / load[idx]);
+    }
+  }
+  return std::isfinite(p_star) ? p_star : 0.0;
+}
+
+Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
+  // Non-clairvoyance by construction: this function must compile and run
+  // without ever touching input.clairvoyant.
+  const Fabric& fabric = *input.fabric;
+  Allocation alloc;
+
+  const double p_star =
+      flow_count_progress(input, options_.count_finished_flows);
+  if (p_star <= 0.0) return alloc;
+
+  // Algorithm 1 lines 10-15: every flow of coflow k runs at
+  // r_k = w_k · P̂*/n̄_k, so the coflow's aggregate on link i is
+  // w_k · ĉ_k^i · P̂* (weights default to 1, recovering the paper's form).
+  for (const ActiveCoflow& coflow : input.coflows) {
+    if (coflow.flows.empty()) continue;
+    const std::vector<int> counts =
+        coflow_link_counts(fabric, coflow, options_.count_finished_flows);
+    const int bottleneck = *std::max_element(counts.begin(), counts.end());
+    const double r_k = coflow.weight * p_star / bottleneck;
+    for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, r_k);
+  }
+
+  if (options_.work_conserving) {
+    even_backfill(input, alloc, options_.backfill_rounds);
+  }
+  return alloc;
+}
+
+}  // namespace ncdrf

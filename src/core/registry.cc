@@ -1,0 +1,52 @@
+#include "core/registry.h"
+
+#include "common/check.h"
+#include "core/ncdrf.h"
+#include "sched/aalo.h"
+#include "sched/baraat.h"
+#include "sched/drf.h"
+#include "sched/endpoint_fair.h"
+#include "sched/fifo.h"
+#include "sched/hug.h"
+#include "sched/perflow.h"
+#include "sched/psp.h"
+#include "sched/varys.h"
+
+namespace ncdrf {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "ncdrf") return std::make_unique<NcDrfScheduler>();
+  if (name == "ncdrf-live") {
+    return std::make_unique<NcDrfScheduler>(
+        NcDrfOptions{.count_finished_flows = false});
+  }
+  if (name == "psp-live") {
+    return std::make_unique<PspScheduler>(
+        PspOptions{.count_finished_flows = false});
+  }
+  if (name == "drf") return std::make_unique<DrfScheduler>();
+  if (name == "hug") return std::make_unique<HugScheduler>();
+  if (name == "psp") return std::make_unique<PspScheduler>();
+  if (name == "tcp") return std::make_unique<PerFlowScheduler>();
+  if (name == "aalo") return std::make_unique<AaloScheduler>();
+  if (name == "varys") return std::make_unique<VarysScheduler>();
+  if (name == "fifo") return std::make_unique<FifoScheduler>();
+  if (name == "baraat") return std::make_unique<BaraatScheduler>();
+  if (name == "persource") {
+    return std::make_unique<EndpointFairScheduler>(FairnessEntity::kSource);
+  }
+  if (name == "perpair") {
+    return std::make_unique<EndpointFairScheduler>(
+        FairnessEntity::kSourceDestinationPair);
+  }
+  NCDRF_CHECK(false, "unknown scheduler name: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"tcp",   "persource",  "perpair",  "psp",    "psp-live",
+          "ncdrf", "ncdrf-live", "drf",      "hug",    "aalo",
+          "varys", "baraat",     "fifo"};
+}
+
+}  // namespace ncdrf

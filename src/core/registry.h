@@ -1,0 +1,33 @@
+// Scheduler factory: every policy in the design space by its short name.
+// Used by benches, examples and integration tests so experiment code never
+// hard-codes concrete scheduler types.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+// Known names (case-sensitive):
+//   "ncdrf"       NC-DRF, Algorithm 1 (stale counts — the paper's
+//                 simulated behaviour)
+//   "ncdrf-live"  NC-DRF with live flow counts (the adaptive variant the
+//                 EC2 prototype implements)
+//   "drf", "hug"  clairvoyant isolation-optimal baselines
+//   "psp", "psp-live"  FairCloud per-link fairness (stale/live counts)
+//   "tcp"         per-flow max-min fairness
+//   "persource", "perpair"  FairCloud's other flow-level policies
+//   "aalo"        D-CLAS (non-clairvoyant performance-optimal)
+//   "varys"       SEBF+MADD (clairvoyant performance-optimal)
+//   "fifo"        Orchestra-style FIFO
+//   "baraat"      FIFO-LM (decentralized task-aware)
+// Throws CheckError on an unknown name.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+// All registered names, in the order the paper's evaluation lists them.
+std::vector<std::string> scheduler_names();
+
+}  // namespace ncdrf

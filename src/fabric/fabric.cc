@@ -1,0 +1,27 @@
+#include "fabric/fabric.h"
+
+namespace ncdrf {
+
+Fabric::Fabric(int num_machines, double link_capacity_bps)
+    : num_machines_(num_machines) {
+  NCDRF_CHECK(num_machines >= 1, "fabric needs at least one machine");
+  NCDRF_CHECK(link_capacity_bps > 0.0, "link capacity must be positive");
+  capacities_.assign(static_cast<std::size_t>(2 * num_machines),
+                     link_capacity_bps);
+  total_capacity_ = link_capacity_bps * 2.0 * num_machines;
+  uniform_ = true;
+}
+
+Fabric::Fabric(std::vector<double> capacities_bps)
+    : capacities_(std::move(capacities_bps)) {
+  NCDRF_CHECK(!capacities_.empty() && capacities_.size() % 2 == 0,
+              "need an even, positive number of link capacities (2m)");
+  num_machines_ = static_cast<int>(capacities_.size() / 2);
+  for (const double c : capacities_) {
+    NCDRF_CHECK(c > 0.0, "link capacity must be positive");
+    total_capacity_ += c;
+    uniform_ = uniform_ && c == capacities_.front();
+  }
+}
+
+}  // namespace ncdrf

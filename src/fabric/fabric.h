@@ -1,0 +1,80 @@
+// Non-blocking datacenter fabric model (paper Sec. II-A, Fig. 2).
+//
+// The datacenter network is abstracted as one m×m non-blocking switch: the
+// only contention points are the 2m machine port links. Link i in [0, m)
+// is the *uplink* of machine i; link i in [m, 2m) is the *downlink* of
+// machine (i - m). All bandwidth math in the library is expressed against
+// these 2m links.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+// Dense identifiers. Machines are [0, m); links are [0, 2m).
+using MachineId = int;
+using LinkId = int;
+
+class Fabric {
+ public:
+  // Fabric with `num_machines` machines, every up/downlink at
+  // `link_capacity_bps`. Requires num_machines >= 1 and a positive capacity.
+  Fabric(int num_machines, double link_capacity_bps);
+
+  // Heterogeneous-capacity fabric: `capacities_bps` holds 2m per-link
+  // capacities laid out uplinks-first. All must be positive.
+  explicit Fabric(std::vector<double> capacities_bps);
+
+  int num_machines() const { return num_machines_; }
+  int num_links() const { return 2 * num_machines_; }
+
+  LinkId uplink(MachineId machine) const {
+    check_machine(machine);
+    return machine;
+  }
+  LinkId downlink(MachineId machine) const {
+    check_machine(machine);
+    return machine + num_machines_;
+  }
+
+  bool is_uplink(LinkId link) const {
+    check_link(link);
+    return link < num_machines_;
+  }
+
+  // Machine that owns the given (up or down) link.
+  MachineId machine_of(LinkId link) const {
+    check_link(link);
+    return link < num_machines_ ? link : link - num_machines_;
+  }
+
+  double capacity(LinkId link) const {
+    check_link(link);
+    return capacities_[static_cast<std::size_t>(link)];
+  }
+
+  // Sum of all 2m link capacities ("300 Gbps availability" in Fig. 5b).
+  double total_capacity() const { return total_capacity_; }
+
+  // True when every link has the same capacity (the paper's normalized
+  // model; heterogeneous fabrics are an extension exercised in tests).
+  bool uniform_capacity() const { return uniform_; }
+
+ private:
+  void check_machine(MachineId machine) const {
+    NCDRF_CHECK(machine >= 0 && machine < num_machines_,
+                "machine id out of range");
+  }
+  void check_link(LinkId link) const {
+    NCDRF_CHECK(link >= 0 && link < 2 * num_machines_, "link id out of range");
+  }
+
+  int num_machines_;
+  std::vector<double> capacities_;
+  double total_capacity_ = 0.0;
+  bool uniform_ = true;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,124 @@
+#include "identify/identifier.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ncdrf {
+namespace {
+
+// Union-find over observation indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    parent_[find(a)] = find(b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CoflowIdentifier::CoflowIdentifier(IdentifierOptions options)
+    : options_(options) {
+  NCDRF_CHECK(options_.time_window_s >= 0.0,
+              "time window must be non-negative");
+}
+
+std::vector<CoflowId> CoflowIdentifier::identify(
+    const std::vector<FlowObservation>& observations) const {
+  const std::size_t n = observations.size();
+  std::vector<CoflowId> assignment(n, -1);
+  if (n == 0) return assignment;
+
+  // Sort indices by start time; only time-adjacent flows can merge, so a
+  // sliding window over the sorted order finds all connected pairs.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (observations[a].start_time != observations[b].start_time) {
+      return observations[a].start_time < observations[b].start_time;
+    }
+    return observations[a].flow < observations[b].flow;
+  });
+
+  UnionFind clusters(n);
+  std::size_t window_begin = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowObservation& fi = observations[order[i]];
+    while (observations[order[window_begin]].start_time <
+           fi.start_time - options_.time_window_s) {
+      ++window_begin;
+    }
+    for (std::size_t j = window_begin; j < i; ++j) {
+      const FlowObservation& fj = observations[order[j]];
+      if (fi.src == fj.src || fi.dst == fj.dst) {
+        clusters.unite(order[i], order[j]);
+      }
+    }
+  }
+
+  // Densify root ids in first-appearance order (by start time) so results
+  // are deterministic.
+  std::unordered_map<std::size_t, CoflowId> dense;
+  CoflowId next = 0;
+  for (const std::size_t idx : order) {
+    const std::size_t root = clusters.find(idx);
+    const auto [it, inserted] = dense.try_emplace(root, next);
+    if (inserted) ++next;
+    assignment[idx] = it->second;
+  }
+  return assignment;
+}
+
+IdentificationQuality evaluate_identification(
+    const std::vector<FlowObservation>& observations,
+    const std::vector<CoflowId>& assignment) {
+  NCDRF_CHECK(!observations.empty(), "nothing to evaluate");
+  NCDRF_CHECK(observations.size() == assignment.size(),
+              "assignment must cover every observation");
+
+  // Pairwise counts: together-in-truth, together-in-clustering, both.
+  long long truth_pairs = 0;
+  long long cluster_pairs = 0;
+  long long both_pairs = 0;
+  const std::size_t n = observations.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_truth =
+          observations[i].true_coflow == observations[j].true_coflow;
+      const bool same_cluster = assignment[i] == assignment[j];
+      truth_pairs += same_truth;
+      cluster_pairs += same_cluster;
+      both_pairs += same_truth && same_cluster;
+    }
+  }
+
+  IdentificationQuality quality;
+  quality.precision =
+      cluster_pairs > 0
+          ? static_cast<double>(both_pairs) / cluster_pairs
+          : 1.0;  // no merged pairs → vacuously precise
+  quality.recall = truth_pairs > 0
+                       ? static_cast<double>(both_pairs) / truth_pairs
+                       : 1.0;
+  CoflowId max_id = -1;
+  for (const CoflowId id : assignment) max_id = std::max(max_id, id);
+  quality.num_clusters = max_id + 1;
+  return quality;
+}
+
+}  // namespace ncdrf

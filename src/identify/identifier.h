@@ -1,0 +1,70 @@
+// CODA-style coflow identification (Zhang et al., SIGCOMM'16).
+//
+// NC-DRF needs to know which flows form a coflow (for the per-link flow
+// counts n_k^i). The paper (Sec. III) names two ways to get it: the Aalo
+// scheduler API (applications register coflows), or *automatic
+// identification* à la CODA, which clusters observed flows "in the dark".
+// This module implements the latter: flows that start close in time and
+// share application-level structure (an endpoint community) are clustered
+// into inferred coflows, and the result is scored against ground truth
+// with the pairwise precision/recall CODA reports.
+//
+// The clustering is single-linkage over the relation
+//   connected(f, g)  ⇔  |start_f − start_g| ≤ time_window
+//                       ∧ (src_f = src_g ∨ dst_f = dst_g)
+// computed with a union-find — a deterministic, O(n·m) stand-in for
+// CODA's DBSCAN over (time, community) attributes that preserves the
+// behaviour that matters here: time-adjacent, endpoint-sharing flows
+// merge; isolated flows become singleton coflows.
+#pragma once
+
+#include <vector>
+
+#include "coflow/flow.h"
+
+namespace ncdrf {
+
+// One observed flow start ("in the dark": no sizes, no coflow labels).
+struct FlowObservation {
+  FlowId flow = -1;
+  MachineId src = -1;
+  MachineId dst = -1;
+  double start_time = 0.0;
+  // Ground truth, used only by evaluate_identification().
+  CoflowId true_coflow = -1;
+};
+
+struct IdentifierOptions {
+  // Flows starting within this window of each other may belong to the
+  // same coflow (CODA exploits the wave structure of stage starts).
+  double time_window_s = 0.5;
+};
+
+class CoflowIdentifier {
+ public:
+  explicit CoflowIdentifier(IdentifierOptions options = {});
+
+  // Clusters the observations; returns one inferred coflow id per
+  // observation (dense ids, 0-based, deterministic).
+  std::vector<CoflowId> identify(
+      const std::vector<FlowObservation>& observations) const;
+
+ private:
+  IdentifierOptions options_;
+};
+
+// CODA's pairwise quality metrics: precision = P(two flows truly belong
+// together | they were clustered together); recall = P(clustered together
+// | truly together). Both 1.0 for a perfect identification; requires at
+// least one observation.
+struct IdentificationQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  int num_clusters = 0;
+};
+
+IdentificationQuality evaluate_identification(
+    const std::vector<FlowObservation>& observations,
+    const std::vector<CoflowId>& assignment);
+
+}  // namespace ncdrf

@@ -1,0 +1,62 @@
+#include "identify/perturbed.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ncdrf {
+
+PerturbedGroupingScheduler::PerturbedGroupingScheduler(
+    std::unique_ptr<Scheduler> inner, PerturbOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  NCDRF_CHECK(inner_ != nullptr, "inner scheduler required");
+  NCDRF_CHECK(options_.error_rate >= 0.0 && options_.error_rate <= 1.0,
+              "error rate must be in [0, 1]");
+}
+
+ScheduleInput PerturbedGroupingScheduler::perturb(
+    const ScheduleInput& input) const {
+  if (options_.error_rate == 0.0 || input.coflows.size() < 2) return input;
+
+  ScheduleInput out = input;
+  // Deterministic per-flow decision: hash (seed, flow id) so a stray flow
+  // stays stray, and stays with the same wrong coflow, for its lifetime.
+  const std::size_t num_coflows = out.coflows.size();
+  std::vector<std::vector<ActiveFlow>> moved(num_coflows);
+  for (std::size_t k = 0; k < num_coflows; ++k) {
+    auto& flows = out.coflows[k].flows;
+    std::erase_if(flows, [&](const ActiveFlow& f) {
+      Rng rng(options_.seed ^
+              (static_cast<std::uint64_t>(f.id) * 0x9e3779b97f4a7c15ULL));
+      if (!rng.bernoulli(options_.error_rate)) return false;
+      // Misattribute to a random *other* active coflow.
+      std::size_t target = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_coflows) - 2));
+      if (target >= k) ++target;
+      moved[target].push_back(f);
+      return true;
+    });
+  }
+  for (std::size_t k = 0; k < num_coflows; ++k) {
+    out.coflows[k].flows.insert(out.coflows[k].flows.end(),
+                                moved[k].begin(), moved[k].end());
+  }
+  // A coflow whose flows all strayed must not present an empty flow list.
+  std::erase_if(out.coflows,
+                [](const ActiveCoflow& c) { return c.flows.empty(); });
+  return out;
+}
+
+Allocation PerturbedGroupingScheduler::allocate(const ScheduleInput& input) {
+  const ScheduleInput perturbed = perturb(input);
+  return inner_->allocate(perturbed);
+}
+
+std::optional<double> PerturbedGroupingScheduler::next_internal_event(
+    const ScheduleInput& input, const Allocation& current) const {
+  const ScheduleInput perturbed = perturb(input);
+  return inner_->next_internal_event(perturbed, current);
+}
+
+}  // namespace ncdrf

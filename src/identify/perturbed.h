@@ -1,0 +1,52 @@
+// PerturbedGroupingScheduler: injects coflow-identification errors between
+// the driver and any non-clairvoyant scheduler.
+//
+// When coflows are identified automatically (CODA) instead of registered,
+// some flows get attributed to the wrong coflow. This wrapper models that:
+// before delegating to the inner policy, it reassigns each active flow,
+// with probability `error_rate`, to a uniformly random *other* active
+// coflow (CODA's "stray flow" error model). The perturbation is
+// deterministic per (seed, coflow id, flow id), so a flow stays
+// misattributed consistently across scheduling rounds rather than
+// flickering.
+//
+// Measured in bench_identification: how gracefully NC-DRF's isolation
+// degrades as identification accuracy drops — the property CODA calls
+// error-tolerant scheduling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct PerturbOptions {
+  double error_rate = 0.0;  // fraction of flows misattributed, in [0, 1]
+  std::uint64_t seed = 1;
+};
+
+class PerturbedGroupingScheduler : public Scheduler {
+ public:
+  PerturbedGroupingScheduler(std::unique_ptr<Scheduler> inner,
+                             PerturbOptions options);
+
+  std::string name() const override {
+    return inner_->name() + "+iderr";
+  }
+  bool clairvoyant() const override { return inner_->clairvoyant(); }
+
+  Allocation allocate(const ScheduleInput& input) override;
+
+  std::optional<double> next_internal_event(
+      const ScheduleInput& input, const Allocation& current) const override;
+
+ private:
+  ScheduleInput perturb(const ScheduleInput& input) const;
+
+  std::unique_ptr<Scheduler> inner_;
+  PerturbOptions options_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,219 @@
+#include "job/job.h"
+
+#include <algorithm>
+
+#include "coflow/coflow.h"
+#include "common/check.h"
+#include "sim/engine.h"
+
+namespace ncdrf {
+namespace {
+
+// Dense global identity for every (job, stage) pair's coflow.
+struct StageKey {
+  int job;
+  int stage;
+};
+
+}  // namespace
+
+void validate_jobs(const std::vector<JobSpec>& jobs) {
+  NCDRF_CHECK(!jobs.empty(), "job set must not be empty");
+  for (const JobSpec& job : jobs) {
+    NCDRF_CHECK(!job.stages.empty(), "job '" + job.name + "' has no stages");
+    NCDRF_CHECK(job.arrival_s >= 0.0, "job arrival must be non-negative");
+    for (std::size_t s = 0; s < job.stages.size(); ++s) {
+      const Stage& stage = job.stages[s];
+      NCDRF_CHECK(!stage.transfers.empty(),
+                  "stage '" + stage.name + "' has no transfers");
+      NCDRF_CHECK(stage.compute_delay_s >= 0.0,
+                  "compute delay must be non-negative");
+      for (const int parent : stage.parents) {
+        NCDRF_CHECK(parent >= 0 && parent < static_cast<int>(s),
+                    "stage '" + stage.name +
+                        "' has a non-topological parent index");
+      }
+      for (const StageTransfer& t : stage.transfers) {
+        NCDRF_CHECK(t.size_bits > 0.0, "transfer size must be positive");
+        NCDRF_CHECK(t.src >= 0 && t.dst >= 0, "transfer endpoints unset");
+      }
+    }
+  }
+}
+
+JobSetResult run_jobs(const Fabric& fabric, const std::vector<JobSpec>& jobs,
+                      Scheduler& scheduler, const SimOptions& options) {
+  validate_jobs(jobs);
+
+  // Dense coflow ids: stage (j, s) → running index; dense flow ids follow.
+  std::vector<int> coflow_base(jobs.size() + 1, 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    coflow_base[j + 1] =
+        coflow_base[j] + static_cast<int>(jobs[j].stages.size());
+  }
+  const int total_stages = coflow_base.back();
+  std::vector<StageKey> stage_of_coflow(
+      static_cast<std::size_t>(total_stages));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t s = 0; s < jobs[j].stages.size(); ++s) {
+      stage_of_coflow[static_cast<std::size_t>(coflow_base[j]) + s] = {
+          static_cast<int>(j), static_cast<int>(s)};
+    }
+  }
+
+  // Remaining unmet dependencies per stage, and children lists.
+  std::vector<std::vector<int>> waiting(jobs.size());
+  std::vector<std::vector<std::vector<int>>> children(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    waiting[j].resize(jobs[j].stages.size(), 0);
+    children[j].resize(jobs[j].stages.size());
+    for (std::size_t s = 0; s < jobs[j].stages.size(); ++s) {
+      waiting[j][s] = static_cast<int>(jobs[j].stages[s].parents.size());
+      for (const int parent : jobs[j].stages[s].parents) {
+        children[j][static_cast<std::size_t>(parent)].push_back(
+            static_cast<int>(s));
+      }
+    }
+  }
+
+  DynamicSimulator sim(fabric, scheduler, options);
+  int next_flow_id = 0;
+
+  JobSetResult result;
+  result.jobs.resize(jobs.size());
+  std::vector<std::vector<double>> release_time(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    release_time[j].resize(jobs[j].stages.size(), 0.0);
+    result.jobs[j].job = static_cast<int>(j);
+    result.jobs[j].name = jobs[j].name;
+    result.jobs[j].arrival = jobs[j].arrival_s;
+  }
+
+  auto release_stage = [&](int j, int s, double when) {
+    const Stage& stage = jobs[static_cast<std::size_t>(j)]
+                             .stages[static_cast<std::size_t>(s)];
+    const double release = when + stage.compute_delay_s;
+    release_time[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] =
+        release;
+    const CoflowId id = coflow_base[static_cast<std::size_t>(j)] + s;
+    std::vector<Flow> flows;
+    flows.reserve(stage.transfers.size());
+    for (const StageTransfer& t : stage.transfers) {
+      flows.push_back(Flow{next_flow_id++, id, t.src, t.dst, t.size_bits});
+    }
+    sim.submit(Coflow(id, release, std::move(flows)));
+  };
+
+  sim.set_completion_callback([&](const CoflowRecord& rec) {
+    const StageKey key = stage_of_coflow[static_cast<std::size_t>(rec.id)];
+    const auto j = static_cast<std::size_t>(key.job);
+    const auto s = static_cast<std::size_t>(key.stage);
+
+    StageResult stage_result;
+    stage_result.job = key.job;
+    stage_result.stage = key.stage;
+    stage_result.release_time = release_time[j][s];
+    stage_result.completion_time = rec.completion;
+    stage_result.coflow_cct = rec.cct;
+    result.stages.push_back(stage_result);
+    result.jobs[j].completion =
+        std::max(result.jobs[j].completion, rec.completion);
+
+    for (const int child : children[j][s]) {
+      if (--waiting[j][static_cast<std::size_t>(child)] == 0) {
+        release_stage(key.job, child, rec.completion);
+      }
+    }
+  });
+
+  // Seed: every stage with no parents is released at its job's arrival.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t s = 0; s < jobs[j].stages.size(); ++s) {
+      if (waiting[j][s] == 0) {
+        release_stage(static_cast<int>(j), static_cast<int>(s),
+                      jobs[j].arrival_s);
+      }
+    }
+  }
+
+  sim.run();
+  result.network = sim.take_result();
+  for (JobResult& job : result.jobs) {
+    job.duration = job.completion - job.arrival;
+  }
+  return result;
+}
+
+JobSpec make_linear_pipeline(const std::string& name, double arrival_s,
+                             int num_stages,
+                             const std::vector<MachineId>& group,
+                             double flow_bits, double compute_delay_s) {
+  NCDRF_CHECK(num_stages >= 1, "pipeline needs at least one stage");
+  NCDRF_CHECK(group.size() >= 2, "pipeline group needs >= 2 machines");
+  JobSpec job;
+  job.name = name;
+  job.arrival_s = arrival_s;
+  for (int s = 0; s < num_stages; ++s) {
+    Stage stage;
+    stage.name = name + "/stage" + std::to_string(s);
+    if (s > 0) stage.parents.push_back(s - 1);
+    stage.compute_delay_s = compute_delay_s;
+    // Ring shuffle: machine i sends to machine (i+1) mod |group| — a
+    // pipelined stage boundary touching every group member.
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      stage.transfers.push_back(StageTransfer{
+          group[i], group[(i + 1) % group.size()], flow_bits});
+    }
+    job.stages.push_back(std::move(stage));
+  }
+  return job;
+}
+
+JobSpec make_diamond_job(const std::string& name, double arrival_s,
+                         const std::vector<MachineId>& mappers,
+                         const std::vector<MachineId>& reducers,
+                         MachineId sink, double flow_bits) {
+  NCDRF_CHECK(!mappers.empty() && !reducers.empty(),
+              "diamond job needs mappers and reducers");
+  JobSpec job;
+  job.name = name;
+  job.arrival_s = arrival_s;
+
+  Stage shuffle;  // stage 0: map → reduce shuffle
+  shuffle.name = name + "/shuffle";
+  for (const MachineId m : mappers) {
+    for (const MachineId r : reducers) {
+      shuffle.transfers.push_back(StageTransfer{m, r, flow_bits});
+    }
+  }
+  job.stages.push_back(std::move(shuffle));
+
+  // Stages 1 and 2: two parallel aggregations over halves of the
+  // reducers, back toward the mappers.
+  for (int half = 0; half < 2; ++half) {
+    Stage agg;
+    agg.name = name + "/aggregate" + std::to_string(half);
+    agg.parents.push_back(0);
+    for (std::size_t i = static_cast<std::size_t>(half);
+         i < reducers.size(); i += 2) {
+      agg.transfers.push_back(StageTransfer{
+          reducers[i], mappers[i % mappers.size()], flow_bits / 2.0});
+    }
+    if (agg.transfers.empty()) {
+      agg.transfers.push_back(
+          StageTransfer{reducers[0], mappers[0], flow_bits / 2.0});
+    }
+    job.stages.push_back(std::move(agg));
+  }
+
+  Stage collect;  // stage 3: final collect at the sink
+  collect.name = name + "/collect";
+  collect.parents = {1, 2};
+  for (const MachineId m : mappers) {
+    collect.transfers.push_back(StageTransfer{m, sink, flow_bits / 4.0});
+  }
+  job.stages.push_back(std::move(collect));
+  return job;
+}
+
+}  // namespace ncdrf

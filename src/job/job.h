@@ -1,0 +1,96 @@
+// Multi-stage data-parallel jobs: the workloads that make coflow sizes
+// unknowable a priori (paper Sec. I-II — Apache Tez, MapReduce Online,
+// wave-based execution).
+//
+// A job is a DAG of computation stages; each stage, once all its parents'
+// shuffles complete and its compute time elapses, releases one coflow.
+// Downstream stages' coflows therefore *do not exist yet* when upstream
+// ones are scheduled — a clairvoyant scheduler can know the sizes of
+// released coflows, but nobody can know the future DAG state, which is
+// precisely the regime NC-DRF targets. The driver runs any Scheduler over
+// a set of jobs on the DynamicSimulator and reports per-stage and
+// per-job completion times.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "sched/scheduler.h"
+#include "sim/sim.h"
+
+namespace ncdrf {
+
+// One data transfer of a stage's shuffle.
+struct StageTransfer {
+  MachineId src = -1;
+  MachineId dst = -1;
+  double size_bits = 0.0;
+};
+
+// One computation stage. Stages are listed in topological order: parents
+// must have smaller indices.
+struct Stage {
+  std::string name;
+  std::vector<int> parents;      // indices into JobSpec::stages
+  double compute_delay_s = 0.0;  // time between readiness and the shuffle
+  std::vector<StageTransfer> transfers;  // at least one
+};
+
+struct JobSpec {
+  std::string name;
+  double arrival_s = 0.0;
+  std::vector<Stage> stages;  // at least one; topologically ordered
+};
+
+struct StageResult {
+  int job = -1;
+  int stage = -1;
+  double release_time = 0.0;     // when the stage's coflow was submitted
+  double completion_time = 0.0;  // when its coflow finished
+  double coflow_cct = 0.0;
+};
+
+struct JobResult {
+  int job = -1;
+  std::string name;
+  double arrival = 0.0;
+  double completion = 0.0;  // last stage's completion
+  double duration = 0.0;    // completion − arrival
+};
+
+struct JobSetResult {
+  std::vector<JobResult> jobs;      // indexed by job
+  std::vector<StageResult> stages;  // all stages, ordered by completion
+  RunResult network;                // the underlying coflow-level result
+};
+
+// Validates job specs (topological parent order, non-empty stages,
+// endpoints within the fabric would be checked at submission). Throws
+// CheckError on malformed input.
+void validate_jobs(const std::vector<JobSpec>& jobs);
+
+// Runs the job set under `scheduler` on `fabric`. Every stage's coflow is
+// released only when its dependencies complete, so arrivals are driven by
+// the schedule itself (pipelined execution).
+JobSetResult run_jobs(const Fabric& fabric, const std::vector<JobSpec>& jobs,
+                      Scheduler& scheduler, const SimOptions& options = {});
+
+// Convenience builders for common job shapes (used by tests, the example
+// and the pipeline bench).
+
+// A linear pipeline: `stages` shuffles, each an m×m shuffle over the given
+// machine group with per-flow size `flow_bits`.
+JobSpec make_linear_pipeline(const std::string& name, double arrival_s,
+                             int num_stages,
+                             const std::vector<MachineId>& group,
+                             double flow_bits, double compute_delay_s = 0.0);
+
+// A map-shuffle-reduce-writeback diamond: map group → reduce group →
+// (two parallel aggregation stages) → final collect at one machine.
+JobSpec make_diamond_job(const std::string& name, double arrival_s,
+                         const std::vector<MachineId>& mappers,
+                         const std::vector<MachineId>& reducers,
+                         MachineId sink, double flow_bits);
+
+}  // namespace ncdrf

@@ -1,0 +1,101 @@
+#include "metrics/eval.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ncdrf {
+
+std::vector<double> normalized_ccts(const RunResult& compared,
+                                    const RunResult& baseline) {
+  NCDRF_CHECK(compared.coflows.size() == baseline.coflows.size(),
+              "runs cover different numbers of coflows");
+  std::vector<double> out;
+  out.reserve(compared.coflows.size());
+  for (std::size_t k = 0; k < compared.coflows.size(); ++k) {
+    NCDRF_CHECK(compared.coflows[k].id == baseline.coflows[k].id,
+                "runs are not over the same trace");
+    NCDRF_CHECK(baseline.coflows[k].cct > 0.0,
+                "baseline CCT must be positive");
+    out.push_back(compared.coflows[k].cct / baseline.coflows[k].cct);
+  }
+  return out;
+}
+
+std::vector<double> slowdowns(const RunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.coflows.size());
+  for (const CoflowRecord& rec : run.coflows) {
+    NCDRF_CHECK(rec.min_cct > 0.0, "minimum CCT must be positive");
+    out.push_back(rec.cct / rec.min_cct);
+  }
+  return out;
+}
+
+WeightedCdf disparity_cdf(const RunResult& run, int min_active,
+                          double starved_value) {
+  WeightedCdf cdf;
+  for (const IntervalRecord& rec : run.intervals) {
+    if (rec.active_coflows < min_active) continue;
+    const double weight = rec.t1 - rec.t0;
+    if (rec.min_progress > 0.0) {
+      cdf.add(rec.max_progress / rec.min_progress, weight);
+    } else if (rec.max_progress > 0.0) {
+      cdf.add(starved_value, weight);
+    }
+    // All-zero progress intervals (no demand at all) carry no information.
+  }
+  return cdf;
+}
+
+double average_link_usage(const RunResult& run) {
+  double weighted = 0.0;
+  double total_time = 0.0;
+  for (const IntervalRecord& rec : run.intervals) {
+    const double weight = rec.t1 - rec.t0;
+    weighted += rec.link_usage_bps * weight;
+    total_time += weight;
+  }
+  return total_time > 0.0 ? weighted / total_time : 0.0;
+}
+
+WeightedCdf utilization_cdf(const RunResult& run) {
+  WeightedCdf cdf;
+  for (const IntervalRecord& rec : run.intervals) {
+    cdf.add(rec.link_usage_bps, rec.t1 - rec.t0);
+  }
+  return cdf;
+}
+
+CoflowBin record_bin(const CoflowRecord& record) {
+  const bool is_short = record.max_flow_bits < megabytes(5.0);
+  const bool narrow = record.width < 50;
+  if (is_short && narrow) return CoflowBin::kShortNarrow;
+  if (!is_short && narrow) return CoflowBin::kLongNarrow;
+  if (is_short && !narrow) return CoflowBin::kShortWide;
+  return CoflowBin::kLongWide;
+}
+
+double mean_over_bin(const RunResult& run, const std::vector<double>& values,
+                     CoflowBin bin) {
+  NCDRF_CHECK(values.size() == run.coflows.size(),
+              "values must be indexed by coflow id");
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t k = 0; k < run.coflows.size(); ++k) {
+    if (record_bin(run.coflows[k]) == bin) {
+      sum += values[k];
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::map<CoflowBin, int> bin_counts(const RunResult& run) {
+  std::map<CoflowBin, int> counts;
+  for (const CoflowRecord& rec : run.coflows) counts[record_bin(rec)] += 1;
+  return counts;
+}
+
+}  // namespace ncdrf

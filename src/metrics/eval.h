@@ -1,0 +1,57 @@
+// Evaluation metrics over simulator runs — exactly the quantities the
+// paper's Sec. V plots:
+//
+//   normalized CCT      = CCT under a scheduler / CCT under DRF   (Fig. 6)
+//   shuffle slowdown    = CCT / minimum CCT                       (Table II)
+//   progress disparity  = max_k P_k / min_k P_k at each instant   (Fig. 5a)
+//   network utilization = Σ link usage out of total capacity      (Fig. 5b)
+//
+// All "over time" distributions are weighted by interval length, so they
+// are exact for the piecewise-constant fluid model.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "common/stats.h"
+#include "sim/sim.h"
+
+namespace ncdrf {
+
+// Per-coflow CCT ratios between two runs of the same trace (index-aligned
+// by coflow id). Requires both runs to cover the same coflows.
+std::vector<double> normalized_ccts(const RunResult& compared,
+                                    const RunResult& baseline);
+
+// Per-coflow shuffle slowdowns: CCT / min_cct.
+std::vector<double> slowdowns(const RunResult& run);
+
+// Time-weighted distribution of the coflow progress disparity
+// max_k P_k / min_k P_k over intervals with at least `min_active` active
+// coflows. Intervals where some active coflow has zero progress are
+// recorded at `starved_value` (priority policies can starve a coflow;
+// fair policies never hit this).
+WeightedCdf disparity_cdf(const RunResult& run, int min_active = 2,
+                          double starved_value = 1e6);
+
+// Time-weighted average of Σ link usage in bps (compare against
+// fabric.total_capacity()). Measured until the last completion.
+double average_link_usage(const RunResult& run);
+
+// Time-weighted distribution of Σ link usage.
+WeightedCdf utilization_cdf(const RunResult& run);
+
+// Mean of `values` restricted to coflows in the given bin. The bins are
+// recomputed from the run's static coflow records (Table I thresholds).
+// `values` must be indexed by coflow id.
+double mean_over_bin(const RunResult& run, const std::vector<double>& values,
+                     CoflowBin bin);
+
+// Number of coflows per bin.
+std::map<CoflowBin, int> bin_counts(const RunResult& run);
+
+// Bin of a recorded coflow (5 MB / 50 flows thresholds).
+CoflowBin record_bin(const CoflowRecord& record);
+
+}  // namespace ncdrf

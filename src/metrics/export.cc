@@ -1,0 +1,61 @@
+#include "metrics/export.h"
+
+#include <ostream>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "metrics/eval.h"
+
+namespace ncdrf {
+
+void write_coflow_csv(std::ostream& out, const RunResult& run) {
+  out << "coflow,arrival_s,completion_s,cct_s,min_cct_s,slowdown,width,"
+         "max_flow_mb,total_mb,bin\n";
+  for (const CoflowRecord& rec : run.coflows) {
+    NCDRF_CHECK(rec.min_cct > 0.0, "record without a minimum CCT");
+    out << rec.id << ',' << rec.arrival << ',' << rec.completion << ','
+        << rec.cct << ',' << rec.min_cct << ',' << rec.cct / rec.min_cct
+        << ',' << rec.width << ',' << to_megabytes(rec.max_flow_bits) << ','
+        << to_megabytes(rec.total_bits) << ',' << bin_name(record_bin(rec))
+        << '\n';
+  }
+}
+
+void write_intervals_csv(std::ostream& out, const RunResult& run) {
+  out << "t0_s,t1_s,active_coflows,link_usage_gbps,min_progress_mbps,"
+         "max_progress_mbps\n";
+  for (const IntervalRecord& rec : run.intervals) {
+    out << rec.t0 << ',' << rec.t1 << ',' << rec.active_coflows << ','
+        << to_gbps(rec.link_usage_bps) << ',' << rec.min_progress / 1e6
+        << ',' << rec.max_progress / 1e6 << '\n';
+  }
+}
+
+void write_cdf_csv(std::ostream& out, const WeightedCdf& cdf,
+                   const std::string& value_column) {
+  out << value_column << ",cumulative_fraction\n";
+  for (const auto& [value, fraction] : cdf.curve()) {
+    out << value << ',' << fraction << '\n';
+  }
+}
+
+void write_normalized_cct_csv(
+    std::ostream& out, const std::map<std::string, RunResult>& runs,
+    const RunResult& baseline) {
+  NCDRF_CHECK(!runs.empty(), "no runs to export");
+  out << "coflow";
+  for (const auto& [name, run] : runs) out << ',' << name;
+  out << '\n';
+
+  std::map<std::string, std::vector<double>> normalized;
+  for (const auto& [name, run] : runs) {
+    normalized[name] = normalized_ccts(run, baseline);
+  }
+  for (std::size_t k = 0; k < baseline.coflows.size(); ++k) {
+    out << baseline.coflows[k].id;
+    for (const auto& [name, values] : normalized) out << ',' << values[k];
+    out << '\n';
+  }
+}
+
+}  // namespace ncdrf

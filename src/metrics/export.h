@@ -1,0 +1,35 @@
+// CSV exporters for run results and distributions — the bridge between
+// the C++ library and external analysis/plotting. All writers emit a
+// header row and deterministic formatting, so outputs diff cleanly
+// between runs.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/sim.h"
+
+namespace ncdrf {
+
+// Per-coflow outcomes: id, arrival, completion, cct, min_cct, slowdown,
+// width, sizes, bin.
+void write_coflow_csv(std::ostream& out, const RunResult& run);
+
+// Time-weighted interval samples: t0, t1, active coflows, Σ link usage,
+// min/max progress.
+void write_intervals_csv(std::ostream& out, const RunResult& run);
+
+// A weighted CDF as (value, cumulative_fraction) steps.
+void write_cdf_csv(std::ostream& out, const WeightedCdf& cdf,
+                   const std::string& value_column = "value");
+
+// Side-by-side normalized CCTs: one row per coflow, one column per
+// policy, normalized against `baseline`. Every run must cover the same
+// coflows as the baseline.
+void write_normalized_cct_csv(
+    std::ostream& out, const std::map<std::string, RunResult>& runs,
+    const RunResult& baseline);
+
+}  // namespace ncdrf

@@ -1,0 +1,117 @@
+#include <cmath>
+#include "sched/aalo.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/maxmin.h"
+
+namespace ncdrf {
+
+AaloScheduler::AaloScheduler(AaloOptions options) : options_(options) {
+  NCDRF_CHECK(options_.initial_queue_limit_bits > 0.0,
+              "Q0 must be positive");
+  NCDRF_CHECK(options_.exchange_rate > 1.0, "exchange rate must exceed 1");
+  NCDRF_CHECK(options_.num_queues >= 1, "need at least one queue");
+}
+
+int AaloScheduler::queue_of(double attained_bits) const {
+  NCDRF_CHECK(attained_bits >= 0.0, "attained service must be non-negative");
+  double limit = options_.initial_queue_limit_bits;
+  for (int q = 0; q < options_.num_queues - 1; ++q) {
+    if (attained_bits < limit) return q;
+    limit *= options_.exchange_rate;
+  }
+  return options_.num_queues - 1;
+}
+
+double AaloScheduler::queue_upper_bound(int queue) const {
+  NCDRF_CHECK(queue >= 0 && queue < options_.num_queues,
+              "queue index out of range");
+  if (queue == options_.num_queues - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double limit = options_.initial_queue_limit_bits;
+  for (int q = 0; q < queue; ++q) limit *= options_.exchange_rate;
+  return limit;
+}
+
+Allocation AaloScheduler::allocate(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+
+  // Priority order: (queue, arrival time, id) — strict priority across
+  // queues, FIFO within a queue.
+  std::vector<std::size_t> order(input.coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> queue(input.coflows.size());
+  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+    queue[k] = queue_of(input.coflows[k].attained_bits);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (queue[a] != queue[b]) return queue[a] < queue[b];
+    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
+      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
+    }
+    return input.coflows[a].id < input.coflows[b].id;
+  });
+
+  std::vector<double> residual(num_links);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+
+  Allocation alloc;
+  for (const std::size_t k : order) {
+    const ActiveCoflow& coflow = input.coflows[k];
+    // The head coflow takes what is left of each link, split evenly among
+    // its own flows there; a flow realizes the min of its two shares.
+    std::vector<int> counts(num_links, 0);
+    for (const ActiveFlow& f : coflow.flows) {
+      counts[static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      counts[static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+    }
+    for (const ActiveFlow& f : coflow.flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      const double r =
+          std::min(residual[u] / counts[u], residual[d] / counts[d]);
+      alloc.set_rate(f.id, std::max(r, 0.0));
+    }
+    // Subtract actual usage after the whole coflow is assigned so flows of
+    // the same coflow see the same residual snapshot (even split).
+    for (const ActiveFlow& f : coflow.flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      const double r = alloc.rate(f.id);
+      residual[u] = std::max(residual[u] - r, 0.0);
+      residual[d] = std::max(residual[d] - r, 0.0);
+    }
+  }
+
+  if (options_.work_conserving) max_min_backfill(input, alloc);
+  return alloc;
+}
+
+std::optional<double> AaloScheduler::next_internal_event(
+    const ScheduleInput& input, const Allocation& current) const {
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const ActiveCoflow& coflow : input.coflows) {
+    const int q = queue_of(coflow.attained_bits);
+    const double bound = queue_upper_bound(q);
+    if (!std::isfinite(bound)) continue;  // already in the last queue
+    double rate = 0.0;
+    for (const ActiveFlow& f : coflow.flows) rate += current.rate(f.id);
+    if (rate <= 0.0) continue;
+    soonest = std::min(soonest, (bound - coflow.attained_bits) / rate);
+  }
+  if (!std::isfinite(soonest)) return std::nullopt;
+  // Guard against a zero-length event loop when attained sits exactly on a
+  // boundary after integration.
+  return std::max(soonest, 1e-9);
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,54 @@
+// Aalo baseline (Chowdhury & Stoica, SIGCOMM'15): non-clairvoyant,
+// performance-optimal coflow scheduling via Discretized Coflow-Aware
+// Least-Attained Service (D-CLAS).
+//
+// Coflows are placed into K priority queues by *attained service* (total
+// bits already sent): queue q holds coflows with attained in
+// [Q0·E^(q-1), Q0·E^q) (queue 0 is [0, Q0)), with Aalo's defaults
+// Q0 = 10 MB, E = 10, K = 10. Lower queues have strict priority; FIFO by
+// arrival within a queue. Per-link bandwidth is handed to coflows in that
+// order (even split among a coflow's flows on a link, min across the two
+// endpoints), and leftover capacity is water-filled max-min across all
+// flows (Aalo is work-conserving).
+//
+// D-CLAS mimics shortest-first without size knowledge, which minimizes
+// average CCT but provides *no isolation*: large coflows can be delayed
+// unboundedly (the >100 normalized-CCT tail in Fig. 6a).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct AaloOptions {
+  double initial_queue_limit_bits = 8e7;  // Q0 = 10 MB
+  double exchange_rate = 10.0;            // E
+  int num_queues = 10;                    // K
+  bool work_conserving = true;
+};
+
+class AaloScheduler : public Scheduler {
+ public:
+  explicit AaloScheduler(AaloOptions options = {});
+
+  std::string name() const override { return "Aalo"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+  // Aalo's allocation changes when a coflow's attained service crosses a
+  // queue boundary; report the soonest such crossing so the driver can
+  // re-invoke allocate() then.
+  std::optional<double> next_internal_event(
+      const ScheduleInput& input, const Allocation& current) const override;
+
+  // Queue index for a given attained service (exposed for tests).
+  int queue_of(double attained_bits) const;
+
+  // Upper threshold of the given queue (infinity for the last queue).
+  double queue_upper_bound(int queue) const;
+
+ private:
+  AaloOptions options_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,88 @@
+#include "sched/allocation.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+void Allocation::set_rate(FlowId flow, double rate_bps) {
+  NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
+              "flow rate must be finite and non-negative");
+  rates_[flow] = rate_bps;
+}
+
+void Allocation::add_rate(FlowId flow, double rate_bps) {
+  NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
+              "flow rate increment must be finite and non-negative");
+  rates_[flow] += rate_bps;
+}
+
+double Allocation::rate(FlowId flow) const {
+  const auto it = rates_.find(flow);
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+double Allocation::total_rate() const {
+  double total = 0.0;
+  for (const auto& [flow, rate] : rates_) total += rate;
+  return total;
+}
+
+std::vector<double> link_usage(const ScheduleInput& input,
+                               const Allocation& alloc) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
+                            0.0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      const double r = alloc.rate(flow.id);
+      usage[static_cast<std::size_t>(fabric.uplink(flow.src))] += r;
+      usage[static_cast<std::size_t>(fabric.downlink(flow.dst))] += r;
+    }
+  }
+  return usage;
+}
+
+void check_capacity(const ScheduleInput& input, const Allocation& alloc,
+                    double relative_tolerance) {
+  const Fabric& fabric = *input.fabric;
+  const std::vector<double> usage = link_usage(input, alloc);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const double cap = fabric.capacity(i);
+    if (usage[static_cast<std::size_t>(i)] >
+        cap * (1.0 + relative_tolerance)) {
+      std::ostringstream os;
+      os << "link " << i << " oversubscribed: usage "
+         << usage[static_cast<std::size_t>(i)] << " > capacity " << cap;
+      NCDRF_CHECK(false, os.str());
+    }
+  }
+}
+
+void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> usage = link_usage(input, alloc);
+  std::vector<double> scale(static_cast<std::size_t>(fabric.num_links()),
+                            1.0);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (usage[idx] > fabric.capacity(i)) {
+      scale[idx] = fabric.capacity(i) / usage[idx];
+    }
+  }
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      const double r = alloc.rate(flow.id);
+      if (r <= 0.0) continue;
+      const double s = std::min(
+          scale[static_cast<std::size_t>(fabric.uplink(flow.src))],
+          scale[static_cast<std::size_t>(fabric.downlink(flow.dst))]);
+      if (s < 1.0) alloc.set_rate(flow.id, r * s);
+    }
+  }
+}
+
+}  // namespace ncdrf

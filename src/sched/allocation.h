@@ -1,0 +1,54 @@
+// Allocation: the result of one scheduling decision — a rate (bps) for each
+// active flow — plus the validation helpers every policy's output must pass
+// (capacity feasibility on all 2m links).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "coflow/flow.h"
+#include "fabric/fabric.h"
+
+namespace ncdrf {
+
+struct ActiveFlow;
+struct ScheduleInput;
+
+class Allocation {
+ public:
+  // Sets the rate for a flow (replacing any previous value). Rates must be
+  // non-negative and finite.
+  void set_rate(FlowId flow, double rate_bps);
+
+  // Adds to the flow's current rate (used by backfilling stages).
+  void add_rate(FlowId flow, double rate_bps);
+
+  // Rate for a flow; 0 for flows never mentioned.
+  double rate(FlowId flow) const;
+
+  const std::unordered_map<FlowId, double>& rates() const { return rates_; }
+
+  // Sum of all flow rates (total fabric throughput contribution; each flow
+  // counted once, so total link usage is twice this).
+  double total_rate() const;
+
+ private:
+  std::unordered_map<FlowId, double> rates_;
+};
+
+// Aggregate usage per link implied by `alloc` over the snapshot's flows,
+// indexed by LinkId.
+std::vector<double> link_usage(const ScheduleInput& input,
+                               const Allocation& alloc);
+
+// Throws CheckError if any link's usage exceeds its capacity beyond a
+// relative tolerance. Call after every allocate() in debug paths and tests.
+void check_capacity(const ScheduleInput& input, const Allocation& alloc,
+                    double relative_tolerance = 1e-6);
+
+// Scales rates down (never up) so that no link exceeds capacity: each flow
+// rate is multiplied by min over its two links of (capacity / usage, 1).
+// Used to make numerically borderline allocations exactly feasible.
+void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc);
+
+}  // namespace ncdrf

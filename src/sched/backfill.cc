@@ -1,0 +1,41 @@
+#include "sched/backfill.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+void even_backfill(const ScheduleInput& input, Allocation& alloc,
+                   int rounds) {
+  NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
+  const Fabric& fabric = *input.fabric;
+  const std::vector<int> counts = link_flow_counts(input);
+
+  for (int round = 0; round < rounds; ++round) {
+    const std::vector<double> usage = link_usage(input, alloc);
+    std::vector<double> share(static_cast<std::size_t>(fabric.num_links()),
+                              0.0);
+    bool any_spare = false;
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double unused = std::max(fabric.capacity(i) - usage[idx], 0.0);
+      if (counts[idx] > 0 && unused > 0.0) {
+        share[idx] = unused / counts[idx];
+        any_spare = true;
+      }
+    }
+    if (!any_spare) return;
+
+    for (const ActiveCoflow& coflow : input.coflows) {
+      for (const ActiveFlow& flow : coflow.flows) {
+        const auto u = static_cast<std::size_t>(fabric.uplink(flow.src));
+        const auto d = static_cast<std::size_t>(fabric.downlink(flow.dst));
+        const double w = std::min(share[u], share[d]);
+        if (w > 0.0) alloc.add_rate(flow.id, w);
+      }
+    }
+  }
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,22 @@
+// The paper's work-conserving backfilling stage (Sec. IV-B, "Retaining Work
+// Conservation"): unused bandwidth on each link is divided evenly among all
+// active flows on that link, and each flow receives the minimum of its
+// uplink and downlink shares:
+//
+//   w_k^{ij} = min( u^i / Σ_k n_k^i ,  u^j / Σ_k n_k^j )
+//
+// where u^i is the unused bandwidth on link i. One round is what
+// Algorithm 1 describes; additional rounds converge toward full
+// utilization and are exposed for the ablation bench.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+// Runs `rounds` rounds of even backfilling on top of `alloc`, in place.
+// Requires rounds >= 0 (0 is a no-op). Never oversubscribes a link.
+void even_backfill(const ScheduleInput& input, Allocation& alloc,
+                   int rounds = 1);
+
+}  // namespace ncdrf

@@ -1,0 +1,106 @@
+#include "sched/baraat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/maxmin.h"
+
+namespace ncdrf {
+namespace {
+
+std::vector<std::size_t> fifo_order(const ScheduleInput& input) {
+  std::vector<std::size_t> order(input.coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
+      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
+    }
+    return input.coflows[a].id < input.coflows[b].id;
+  });
+  return order;
+}
+
+}  // namespace
+
+BaraatScheduler::BaraatScheduler(BaraatOptions options) : options_(options) {
+  NCDRF_CHECK(options_.heavy_threshold_bits > 0.0,
+              "heavy threshold must be positive");
+}
+
+Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+
+  // FIFO-LM served set: FIFO prefix through the heavy coflows, ending at
+  // (and including) the first light one.
+  std::vector<std::size_t> served;
+  for (const std::size_t k : fifo_order(input)) {
+    served.push_back(k);
+    if (input.coflows[k].attained_bits <= options_.heavy_threshold_bits) {
+      break;  // a light head serves alone behind the heavies before it
+    }
+  }
+
+  // Equal per-link split among served coflows, even among a coflow's flows
+  // on the link, min across the two endpoints.
+  std::vector<int> served_on_link(num_links, 0);
+  std::vector<std::vector<int>> counts(served.size(),
+                                       std::vector<int>(num_links, 0));
+  for (std::size_t s = 0; s < served.size(); ++s) {
+    for (const ActiveFlow& f : input.coflows[served[s]].flows) {
+      counts[s][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      counts[s][static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+    }
+    for (std::size_t i = 0; i < num_links; ++i) {
+      if (counts[s][i] > 0) served_on_link[i] += 1;
+    }
+  }
+
+  Allocation alloc;
+  for (std::size_t s = 0; s < served.size(); ++s) {
+    for (const ActiveFlow& f : input.coflows[served[s]].flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      const double up = fabric.capacity(static_cast<LinkId>(u)) /
+                        served_on_link[u] / counts[s][u];
+      const double down = fabric.capacity(static_cast<LinkId>(d)) /
+                          served_on_link[d] / counts[s][d];
+      alloc.set_rate(f.id, std::min(up, down));
+    }
+  }
+  // Coflows outside the served set wait (rate 0 before backfilling).
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      if (alloc.rates().find(f.id) == alloc.rates().end()) {
+        alloc.set_rate(f.id, 0.0);
+      }
+    }
+  }
+
+  if (options_.work_conserving) max_min_backfill(input, alloc);
+  return alloc;
+}
+
+std::optional<double> BaraatScheduler::next_internal_event(
+    const ScheduleInput& input, const Allocation& current) const {
+  // The served set changes when the (single) light serving coflow crosses
+  // the heavy threshold.
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const ActiveCoflow& coflow : input.coflows) {
+    if (coflow.attained_bits > options_.heavy_threshold_bits) continue;
+    double rate = 0.0;
+    for (const ActiveFlow& f : coflow.flows) rate += current.rate(f.id);
+    if (rate <= 0.0) continue;
+    soonest = std::min(
+        soonest,
+        (options_.heavy_threshold_bits - coflow.attained_bits) / rate);
+  }
+  if (!std::isfinite(soonest)) return std::nullopt;
+  return std::max(soonest, 1e-9);
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,46 @@
+// Baraat baseline (Dogar et al., SIGCOMM'14): decentralized task-aware
+// scheduling with FIFO-LM — FIFO with Limited Multiplexing.
+//
+// Pure FIFO suffers head-of-line blocking behind heavy tasks. Baraat keeps
+// FIFO order but detects *heavy* tasks on-line (attained service beyond a
+// threshold) and lets the tasks behind a heavy one share the network with
+// it instead of waiting. Non-clairvoyant: uses only arrival order and
+// attained bytes.
+//
+// Adaptation to the fabric model (DESIGN.md substitutions): walk coflows
+// in FIFO order, adding each to the served set; stop after the first
+// coflow that is not heavy (a light head serves alone — exactly FIFO —
+// while heavy heads multiplex with everything behind them up to the next
+// light coflow). Served coflows split each link's remaining capacity
+// evenly (per coflow, then per flow, min across endpoints); leftover
+// capacity is max-min backfilled.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct BaraatOptions {
+  // A coflow is "heavy" once it has attained more than this many bits
+  // (Baraat's elephant detection threshold; 80 Mb ~ 10 MB).
+  double heavy_threshold_bits = 8e7;
+  bool work_conserving = true;
+};
+
+class BaraatScheduler : public Scheduler {
+ public:
+  explicit BaraatScheduler(BaraatOptions options = {});
+
+  std::string name() const override { return "Baraat"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+  // Allocation changes when a light serving coflow turns heavy.
+  std::optional<double> next_internal_event(
+      const ScheduleInput& input, const Allocation& current) const override;
+
+ private:
+  BaraatOptions options_;
+};
+
+}  // namespace ncdrf

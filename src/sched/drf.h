@@ -1,0 +1,41 @@
+// DRF baseline (Ghodsi et al., NSDI'11), as used for coflows by HUG:
+// clairvoyant, isolation-optimal fair sharing (paper Sec. II-B, Eq. 2).
+//
+// At every event the correlation vector c_k is recomputed from each
+// coflow's *remaining* demand and every coflow's progress is raised to the
+// common maximum P* = min_i C_i / Σ_k c_k^i (Eq. 2 with unit capacities).
+// Intra-coflow, each flow is given rate ∝ its remaining size so that all
+// of a coflow's flows — and all links it uses — finish simultaneously;
+// this keeps the instantaneous progress of every coflow exactly equal
+// (disparity 1, the Fig. 5a reference line).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct DrfOptions {
+  // The paper's DRF baseline is the non-work-conserving first stage of
+  // HUG; enable backfilling only for ablations.
+  bool work_conserving = false;
+  int backfill_rounds = 1;
+};
+
+class DrfScheduler : public Scheduler {
+ public:
+  explicit DrfScheduler(DrfOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "DRF"; }
+  bool clairvoyant() const override { return true; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+  // The optimal isolation guarantee P* (Eq. 2) for the snapshot, in
+  // progress units (bps on the bottleneck of a unit-correlation coflow).
+  // Exposed for tests and for HUG's second stage.
+  static double optimal_progress(const ScheduleInput& input);
+
+ private:
+  DrfOptions options_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,48 @@
+#include "sched/endpoint_fair.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sched/maxmin.h"
+
+namespace ncdrf {
+
+Allocation EndpointFairScheduler::allocate(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+
+  // Count flows per entity, then weight each flow by 1 / |entity|.
+  std::map<std::pair<MachineId, MachineId>, int> entity_size;
+  auto key = [&](const ActiveFlow& f) {
+    return entity_ == FairnessEntity::kSource
+               ? std::make_pair(f.src, MachineId{-1})
+               : std::make_pair(f.src, f.dst);
+  };
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) entity_size[key(f)] += 1;
+  }
+
+  std::vector<MaxMinFlow> flows;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      flows.push_back(
+          {f.id, f.src, f.dst, 1.0 / entity_size.at(key(f))});
+    }
+  }
+
+  std::vector<double> capacities(
+      static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+  const std::vector<double> rates =
+      weighted_max_min(fabric, flows, capacities);
+
+  Allocation alloc;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    alloc.set_rate(flows[k].id, rates[k]);
+  }
+  return alloc;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,34 @@
+// FairCloud's flow-level alternatives to per-flow fairness (Popa et al.,
+// SIGCOMM'12), cited by the paper's Sec. III-B as policies that provide no
+// application-level isolation: fairness among *sources* and among
+// *source-destination pairs*.
+//
+// Modelled as weighted network-wide max-min where each flow's weight is
+// 1 / (number of flows sharing its entity): per-source fairness gives each
+// sending machine an equal aggregate claim; per-pair fairness gives each
+// (src, dst) pair one. Like TCP, both are coflow-agnostic — a coflow
+// spreading over more sources or pairs grabs more bandwidth, which is
+// precisely the gaming channel the paper criticizes.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+enum class FairnessEntity { kSource, kSourceDestinationPair };
+
+class EndpointFairScheduler : public Scheduler {
+ public:
+  explicit EndpointFairScheduler(FairnessEntity entity) : entity_(entity) {}
+
+  std::string name() const override {
+    return entity_ == FairnessEntity::kSource ? "PerSource" : "PerPair";
+  }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+ private:
+  FairnessEntity entity_;
+};
+
+}  // namespace ncdrf

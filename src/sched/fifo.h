@@ -1,0 +1,32 @@
+// Orchestra-style FIFO baseline (Chowdhury et al., SIGCOMM'11), the
+// earliest point in the paper's design space (Fig. 1): a centralized
+// Inter-Transfer Controller serves coflows strictly in arrival order.
+//
+// Non-clairvoyant: ordering needs only arrival times. The head coflow
+// takes each link it touches (even split among its own flows there, min
+// across the two endpoints); later coflows get what is left, in order —
+// i.e. D-CLAS with a single queue. Head-of-line blocking is the cost the
+// paper's Sec. II-B attributes to FIFO schedulers.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct FifoOptions {
+  bool work_conserving = true;
+};
+
+class FifoScheduler : public Scheduler {
+ public:
+  explicit FifoScheduler(FifoOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "FIFO"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+ private:
+  FifoOptions options_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,97 @@
+#include "sched/hug.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/drf.h"
+
+namespace ncdrf {
+
+Allocation HugScheduler::allocate(const ScheduleInput& input) {
+  NCDRF_CHECK(input.clairvoyant != nullptr,
+              "HUG requires clairvoyant remaining-size information");
+  NCDRF_CHECK(options_.spare_rounds >= 0, "spare rounds must be >= 0");
+
+  // Stage 1: DRF allocation at the optimal isolation guarantee.
+  DrfScheduler drf(DrfOptions{.work_conserving = false});
+  Allocation alloc = drf.allocate(input);
+  const double p_star = DrfScheduler::optimal_progress(input);
+  if (p_star <= 0.0) return alloc;
+
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  const std::size_t num_coflows = input.coflows.size();
+
+  // Per-coflow active-flow counts per link (fixed across rounds).
+  std::vector<std::vector<int>> coflow_counts(
+      num_coflows, std::vector<int>(num_links, 0));
+  for (std::size_t k = 0; k < num_coflows; ++k) {
+    for (const ActiveFlow& f : input.coflows[k].flows) {
+      coflow_counts[k][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      coflow_counts[k][static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+    }
+  }
+
+  for (int round = 0; round < options_.spare_rounds; ++round) {
+    // Per-coflow usage per link under the current allocation.
+    std::vector<std::vector<double>> coflow_usage(
+        num_coflows, std::vector<double>(num_links, 0.0));
+    std::vector<double> total_usage(num_links, 0.0);
+    for (std::size_t k = 0; k < num_coflows; ++k) {
+      for (const ActiveFlow& f : input.coflows[k].flows) {
+        const double r = alloc.rate(f.id);
+        const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+        const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+        coflow_usage[k][u] += r;
+        coflow_usage[k][d] += r;
+        total_usage[u] += r;
+        total_usage[d] += r;
+      }
+    }
+
+    // Per-coflow extra budget per link: an even split of the link's spare,
+    // clipped by the coflow's remaining headroom below the P* cap.
+    std::vector<std::vector<double>> extra_budget(
+        num_coflows, std::vector<double>(num_links, 0.0));
+    bool any_spare = false;
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double spare =
+          std::max(fabric.capacity(i) - total_usage[idx], 0.0);
+      if (spare <= 0.0) continue;
+      const double cap = p_star * fabric.capacity(i);
+      int eligible = 0;
+      for (std::size_t k = 0; k < num_coflows; ++k) {
+        if (coflow_counts[k][idx] > 0 && coflow_usage[k][idx] < cap) {
+          ++eligible;
+        }
+      }
+      if (eligible == 0) continue;
+      const double per_coflow = spare / eligible;
+      for (std::size_t k = 0; k < num_coflows; ++k) {
+        if (coflow_counts[k][idx] > 0 && coflow_usage[k][idx] < cap) {
+          extra_budget[k][idx] =
+              std::min(per_coflow, cap - coflow_usage[k][idx]);
+          any_spare = true;
+        }
+      }
+    }
+    if (!any_spare) break;
+
+    // Realize each flow's extra as the min of its two per-flow shares.
+    for (std::size_t k = 0; k < num_coflows; ++k) {
+      for (const ActiveFlow& f : input.coflows[k].flows) {
+        const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+        const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+        const double up_share = extra_budget[k][u] / coflow_counts[k][u];
+        const double down_share = extra_budget[k][d] / coflow_counts[k][d];
+        const double w = std::min(up_share, down_share);
+        if (w > 0.0) alloc.add_rate(f.id, w);
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,36 @@
+// HUG baseline (Chowdhury et al., NSDI'16), as described in paper Sec. II-B:
+// a two-stage clairvoyant allocator.
+//
+//   Stage 1 — DRF: raise every coflow's progress to the optimal isolation
+//   guarantee P* (Eq. 2).
+//   Stage 2 — utilization: hand out the spare bandwidth on each link,
+//   "under the constraint that no coflow is allocated more bandwidth in a
+//   link than its progress", i.e. each coflow's total on any link is capped
+//   at P* · C_i. Spare is split evenly among capped coflows per link, and a
+//   flow only realizes the minimum of its uplink/downlink extra shares
+//   (flow conservation).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct HugOptions {
+  // Rounds of the stage-2 spare distribution. One round matches the
+  // description; more rounds push utilization closer to the cap.
+  int spare_rounds = 2;
+};
+
+class HugScheduler : public Scheduler {
+ public:
+  explicit HugScheduler(HugOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "HUG"; }
+  bool clairvoyant() const override { return true; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+ private:
+  HugOptions options_;
+};
+
+}  // namespace ncdrf

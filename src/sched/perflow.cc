@@ -1,0 +1,31 @@
+#include "sched/perflow.h"
+
+#include "sched/maxmin.h"
+
+namespace ncdrf {
+
+Allocation PerFlowScheduler::allocate(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> capacities(
+      static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+
+  std::vector<MaxMinFlow> flows;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      flows.push_back({flow.id, flow.src, flow.dst, 1.0});
+    }
+  }
+
+  const std::vector<double> rates =
+      weighted_max_min(fabric, flows, capacities);
+  Allocation alloc;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    alloc.set_rate(flows[k].id, rates[k]);
+  }
+  return alloc;
+}
+
+}  // namespace ncdrf

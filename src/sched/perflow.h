@@ -1,0 +1,20 @@
+// Per-flow fairness ("TCP") baseline: network-wide max-min fair sharing
+// over individual flows, agnostic to the coflow abstraction (paper
+// Sec. II-B / III-B). This is the fluid-model steady state of many TCP
+// flows sharing the fabric edge links: highest utilization of all policies
+// (Fig. 5b) but no application-level isolation — a coflow with more flows
+// grabs proportionally more bandwidth.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+class PerFlowScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "TCP"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+};
+
+}  // namespace ncdrf

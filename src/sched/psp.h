@@ -1,0 +1,43 @@
+// PS-P baseline: FairCloud's "Proportional Sharing on Proximate Links"
+// (Popa et al., SIGCOMM'12), the per-link-fairness alternative the paper
+// argues against (Sec. III-B, Figs. 3-4).
+//
+// Inter-coflow: every link's capacity is divided *equally* among the
+// coflows present on it. Intra-coflow: a coflow's share of a link is
+// divided evenly among its flows on that link (it cannot do better — it
+// does not know flow sizes). A flow can only run at the minimum of its
+// uplink and downlink shares; the difference is the "wasted" bandwidth the
+// paper attributes to PS-P's unawareness of coflow demand correlation.
+// PS-P is work-conserving in FairCloud, so the same even backfilling used
+// by NC-DRF is applied afterwards — any waste left is structural.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct PspOptions {
+  bool work_conserving = true;
+  int backfill_rounds = 1;
+  // Mirror of NcDrfOptions::count_finished_flows, kept symmetric with
+  // NC-DRF so the comparison isolates the *inter-coflow* policy. Default
+  // (true, "stale"): finished flows keep defining a coflow's per-link
+  // presence and intra-coflow split until the coflow departs, and their
+  // share idles apart from redistribution. The adaptive variant is
+  // "psp-live" in the registry.
+  bool count_finished_flows = true;
+};
+
+class PspScheduler : public Scheduler {
+ public:
+  explicit PspScheduler(PspOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "PS-P"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+ private:
+  PspOptions options_;
+};
+
+}  // namespace ncdrf

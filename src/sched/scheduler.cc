@@ -1,0 +1,25 @@
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+int count_active_flows(const ScheduleInput& input) {
+  int count = 0;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    count += static_cast<int>(coflow.flows.size());
+  }
+  return count;
+}
+
+std::vector<int> link_flow_counts(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<int> counts(static_cast<std::size_t>(fabric.num_links()), 0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      counts[static_cast<std::size_t>(fabric.uplink(flow.src))] += 1;
+      counts[static_cast<std::size_t>(fabric.downlink(flow.dst))] += 1;
+    }
+  }
+  return counts;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,111 @@
+// Scheduler interface: the contract between the simulator / cluster master
+// and every bandwidth-allocation policy.
+//
+// Clairvoyance is typed into the interface (DESIGN.md §4): the per-flow
+// *remaining bytes* live behind ScheduleInput::clairvoyant, which the
+// driver populates only for schedulers that declare clairvoyant() == true.
+// Non-clairvoyant policies (NC-DRF, PS-P, per-flow fairness, Aalo) see only
+// endpoints, flow counts, arrival times and *attained* service — exactly
+// the information the paper allows them (Sec. III).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coflow/flow.h"
+#include "fabric/fabric.h"
+#include "sched/allocation.h"
+
+namespace ncdrf {
+
+// One unfinished flow as the scheduler sees it: endpoints only.
+struct ActiveFlow {
+  FlowId id = -1;
+  CoflowId coflow = -1;
+  MachineId src = -1;
+  MachineId dst = -1;
+};
+
+// One active coflow as the scheduler sees it.
+struct ActiveCoflow {
+  CoflowId id = -1;
+  double arrival_time = 0.0;
+  // Relative share weight (tenant priority). Fair policies (NC-DRF, DRF)
+  // scale a coflow's guaranteed progress by this; 1.0 = equal share.
+  double weight = 1.0;
+  // Total bits this coflow has transferred so far across all flows,
+  // including already-finished ones. Observable without prior knowledge
+  // (it is *attained* service, the signal Aalo's D-CLAS uses).
+  double attained_bits = 0.0;
+  std::vector<ActiveFlow> flows;  // unfinished flows only; non-empty
+  // Endpoints of this coflow's flows that already finished. Observable
+  // without size knowledge; lets schedulers choose between counting live
+  // flows only (fully adaptive) or the coflow's original flow counts
+  // (Algorithm 1 read literally — see NcDrfOptions::count_finished_flows).
+  std::vector<ActiveFlow> finished_flows;
+};
+
+// Remaining per-flow demand, available to clairvoyant schedulers only.
+class ClairvoyantInfo {
+ public:
+  // `remaining_bits` is indexed by dense FlowId.
+  explicit ClairvoyantInfo(const std::vector<double>* remaining_bits)
+      : remaining_bits_(remaining_bits) {
+    NCDRF_CHECK(remaining_bits != nullptr, "remaining-bits vector required");
+  }
+
+  double remaining_bits(FlowId flow) const {
+    NCDRF_CHECK(flow >= 0 && static_cast<std::size_t>(flow) <
+                                 remaining_bits_->size(),
+                "flow id out of range");
+    return (*remaining_bits_)[static_cast<std::size_t>(flow)];
+  }
+
+ private:
+  const std::vector<double>* remaining_bits_;
+};
+
+// Snapshot handed to Scheduler::allocate at every scheduling event.
+struct ScheduleInput {
+  const Fabric* fabric = nullptr;
+  double now = 0.0;
+  std::vector<ActiveCoflow> coflows;
+  // Non-null iff the driver is serving a clairvoyant scheduler.
+  const ClairvoyantInfo* clairvoyant = nullptr;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Whether this policy requires remaining-size knowledge. Drivers populate
+  // ScheduleInput::clairvoyant only when this returns true.
+  virtual bool clairvoyant() const = 0;
+
+  // Computes per-flow rates for the given snapshot. Must respect link
+  // capacities; every returned rate must be non-negative; flows not
+  // mentioned get rate 0.
+  virtual Allocation allocate(const ScheduleInput& input) = 0;
+
+  // Time until this policy's *internal* state would change the allocation
+  // even with no arrival or completion (e.g. Aalo's coflows crossing
+  // priority-queue thresholds). nullopt = no internal events.
+  virtual std::optional<double> next_internal_event(
+      const ScheduleInput& input, const Allocation& current) const {
+    (void)input;
+    (void)current;
+    return std::nullopt;
+  }
+};
+
+// Total number of active flows in the snapshot.
+int count_active_flows(const ScheduleInput& input);
+
+// Per-link active-flow counts over all coflows, indexed by LinkId.
+std::vector<int> link_flow_counts(const ScheduleInput& input);
+
+}  // namespace ncdrf

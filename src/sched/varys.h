@@ -1,0 +1,34 @@
+// Varys baseline (Chowdhury et al., SIGCOMM'14): clairvoyant,
+// performance-optimal coflow scheduling. Included as the fourth quadrant
+// of the paper's design space (Fig. 1) and used by the ablation benches.
+//
+// Smallest-Effective-Bottleneck-First (SEBF): coflows are served in
+// ascending order of their remaining bottleneck completion time
+// Γ_k = max_i d_k^i / C_i. Each admitted coflow gets the Minimum
+// Allocation for Desired Duration (MADD): every flow runs at
+// remaining_f / Γ, just fast enough for all flows to finish with the
+// bottleneck — any faster would waste bandwidth the next coflow can use.
+// Residual capacity is water-filled max-min across all flows.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct VarysOptions {
+  bool work_conserving = true;
+};
+
+class VarysScheduler : public Scheduler {
+ public:
+  explicit VarysScheduler(VarysOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Varys"; }
+  bool clairvoyant() const override { return true; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+ private:
+  VarysOptions options_;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,309 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "coflow/coflow.h"
+#include "common/check.h"
+
+namespace ncdrf {
+namespace {
+
+constexpr double kTimeTolerance = 1e-9;
+
+}  // namespace
+
+struct DynamicSimulator::Impl {
+  // One active coflow's state. Owns its Coflow copy; `unfinished` /
+  // `finished` point into it, so entries are heap-allocated and never
+  // moved after creation.
+  struct ActiveEntry {
+    explicit ActiveEntry(Coflow c) : coflow(std::move(c)) {}
+    Coflow coflow;
+    std::vector<const Flow*> unfinished;
+    std::vector<const Flow*> finished;
+    std::vector<double> correlation;  // c_k from original demand (Eq. 1)
+    double attained_bits = 0.0;
+  };
+
+  struct PendingLater {
+    bool operator()(const std::unique_ptr<ActiveEntry>& a,
+                    const std::unique_ptr<ActiveEntry>& b) const {
+      if (a->coflow.arrival_time() != b->coflow.arrival_time()) {
+        return a->coflow.arrival_time() > b->coflow.arrival_time();
+      }
+      return a->coflow.id() > b->coflow.id();
+    }
+  };
+
+  Impl(const Fabric& fabric_in, Scheduler& scheduler_in, SimOptions opts)
+      : fabric(fabric_in), scheduler(scheduler_in), options(opts) {
+    NCDRF_CHECK(options.completion_epsilon_bits > 0.0,
+                "completion epsilon must be positive");
+  }
+
+  const Fabric& fabric;
+  Scheduler& scheduler;
+  SimOptions options;
+  CompletionCallback on_complete;
+
+  double now = 0.0;
+  RunResult result;
+  std::vector<double> remaining;  // indexed by FlowId, grown on submit
+  std::vector<std::unique_ptr<ActiveEntry>> active;
+  std::priority_queue<std::unique_ptr<ActiveEntry>,
+                      std::vector<std::unique_ptr<ActiveEntry>>, PendingLater>
+      pending;
+  std::unordered_set<CoflowId> seen_coflows;
+
+  double& remaining_of(const Flow& f) {
+    return remaining[static_cast<std::size_t>(f.id)];
+  }
+
+  void submit(Coflow coflow) {
+    NCDRF_CHECK(coflow.arrival_time() >= now - kTimeTolerance,
+                "cannot submit a coflow arriving in the past");
+    NCDRF_CHECK(seen_coflows.insert(coflow.id()).second,
+                "duplicate coflow id submitted");
+    // Static record fields and the minimum-CCT denominator.
+    CoflowRecord rec;
+    rec.id = coflow.id();
+    rec.arrival = coflow.arrival_time();
+    rec.width = coflow.width();
+    rec.max_flow_bits = coflow.max_flow_bits();
+    rec.total_bits = coflow.total_bits();
+    const DemandVectors d = coflow.demand(fabric);
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      rec.min_cct = std::max(rec.min_cct,
+                             d.demand[idx] / fabric.capacity(i));
+    }
+    result.coflows.push_back(rec);
+
+    auto entry = std::make_unique<ActiveEntry>(std::move(coflow));
+    entry->correlation = d.correlation();
+    for (const Flow& f : entry->coflow.flows()) {
+      NCDRF_CHECK(f.id >= 0, "flow ids must be non-negative");
+      if (static_cast<std::size_t>(f.id) >= remaining.size()) {
+        remaining.resize(static_cast<std::size_t>(f.id) + 1, 0.0);
+      }
+    }
+    pending.push(std::move(entry));
+  }
+
+  void admit_due() {
+    while (!pending.empty() &&
+           pending.top()->coflow.arrival_time() <= now + kTimeTolerance) {
+      auto entry = std::move(
+          const_cast<std::unique_ptr<ActiveEntry>&>(pending.top()));
+      pending.pop();
+      entry->unfinished.reserve(entry->coflow.flows().size());
+      for (const Flow& f : entry->coflow.flows()) {
+        remaining_of(f) = f.size_bits;
+        entry->unfinished.push_back(&f);
+      }
+      active.push_back(std::move(entry));
+    }
+  }
+
+  // Progress of one active coflow (Eq. 1) against its original
+  // correlation, over links it still has data on.
+  double progress_of(const ActiveEntry& entry, const Allocation& alloc) {
+    std::vector<double> link_alloc(
+        static_cast<std::size_t>(fabric.num_links()), 0.0);
+    std::vector<char> live(static_cast<std::size_t>(fabric.num_links()), 0);
+    for (const Flow* f : entry.unfinished) {
+      const auto up = static_cast<std::size_t>(fabric.uplink(f->src));
+      const auto down = static_cast<std::size_t>(fabric.downlink(f->dst));
+      const double r = alloc.rate(f->id);
+      link_alloc[up] += r;
+      link_alloc[down] += r;
+      live[up] = 1;
+      live[down] = 1;
+    }
+    double progress = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < link_alloc.size(); ++i) {
+      if (live[i] && entry.correlation[i] > 0.0) {
+        progress = std::min(progress, link_alloc[i] / entry.correlation[i]);
+      }
+    }
+    return std::isfinite(progress) ? progress : 0.0;
+  }
+
+  void run() {
+    const ClairvoyantInfo clairvoyant_info(&remaining);
+    const bool clairvoyant = scheduler.clairvoyant();
+
+    admit_due();
+    while (!active.empty() || !pending.empty()) {
+      NCDRF_CHECK(result.num_events < options.max_events,
+                  "event limit exceeded — scheduler appears to livelock");
+      if (active.empty()) {
+        now = pending.top()->coflow.arrival_time();
+        admit_due();
+        continue;
+      }
+
+      // Snapshot for the scheduler.
+      ScheduleInput input;
+      input.fabric = &fabric;
+      input.now = now;
+      input.clairvoyant = clairvoyant ? &clairvoyant_info : nullptr;
+      input.coflows.reserve(active.size());
+      for (const auto& entry : active) {
+        ActiveCoflow view;
+        view.id = entry->coflow.id();
+        view.arrival_time = entry->coflow.arrival_time();
+        view.weight = entry->coflow.weight();
+        view.attained_bits = entry->attained_bits;
+        view.flows.reserve(entry->unfinished.size());
+        for (const Flow* f : entry->unfinished) {
+          view.flows.push_back(ActiveFlow{f->id, f->coflow, f->src, f->dst});
+        }
+        view.finished_flows.reserve(entry->finished.size());
+        for (const Flow* f : entry->finished) {
+          view.finished_flows.push_back(
+              ActiveFlow{f->id, f->coflow, f->src, f->dst});
+        }
+        input.coflows.push_back(std::move(view));
+      }
+
+      Allocation alloc = scheduler.allocate(input);
+      clamp_to_capacity(input, alloc);
+      if (options.validate_allocations) check_capacity(input, alloc);
+      ++result.num_allocations;
+
+      // Next event time.
+      double dt = std::numeric_limits<double>::infinity();
+      for (const auto& entry : active) {
+        for (const Flow* f : entry->unfinished) {
+          const double r = alloc.rate(f->id);
+          if (r > 0.0) dt = std::min(dt, remaining_of(*f) / r);
+        }
+      }
+      if (!pending.empty()) {
+        dt = std::min(dt, pending.top()->coflow.arrival_time() - now);
+      }
+      if (const auto internal =
+              scheduler.next_internal_event(input, alloc)) {
+        dt = std::min(dt, *internal);
+      }
+      NCDRF_CHECK(std::isfinite(dt),
+                  "starvation: no completion, arrival or internal event "
+                  "ahead under scheduler " + scheduler.name());
+      dt = std::max(dt, 0.0);
+      NCDRF_CHECK(now + dt <= options.max_time_s,
+                  "simulated time limit exceeded");
+
+      // Time-weighted metrics over [now, now + dt).
+      if (dt > 0.0 &&
+          (options.record_intervals || options.record_progress_timeseries)) {
+        double min_p = std::numeric_limits<double>::infinity();
+        double max_p = 0.0;
+        for (const auto& entry : active) {
+          const double p = progress_of(*entry, alloc);
+          min_p = std::min(min_p, p);
+          max_p = std::max(max_p, p);
+          if (options.record_progress_timeseries) {
+            result.progress.push_back(ProgressSample{
+                now, now + dt, entry->coflow.id(), p});
+          }
+        }
+        if (options.record_intervals) {
+          IntervalRecord rec;
+          rec.t0 = now;
+          rec.t1 = now + dt;
+          rec.active_coflows = static_cast<int>(active.size());
+          rec.link_usage_bps = 2.0 * alloc.total_rate();
+          rec.min_progress = std::isfinite(min_p) ? min_p : 0.0;
+          rec.max_progress = max_p;
+          result.intervals.push_back(rec);
+        }
+      }
+
+      // Advance the fluid state.
+      for (const auto& entry : active) {
+        for (const Flow* f : entry->unfinished) {
+          const double r = alloc.rate(f->id);
+          if (r <= 0.0) continue;
+          const double delivered = std::min(r * dt, remaining_of(*f));
+          remaining_of(*f) -= delivered;
+          entry->attained_bits += delivered;
+          result.total_bits_delivered += delivered;
+        }
+      }
+      now += dt;
+      ++result.num_events;
+
+      // Retire finished flows and coflows; completions may submit more
+      // coflows through the callback.
+      for (std::size_t a = 0; a < active.size();) {
+        ActiveEntry& entry = *active[a];
+        for (const Flow* f : entry.unfinished) {
+          if (remaining_of(*f) <= options.completion_epsilon_bits) {
+            entry.finished.push_back(f);
+          }
+        }
+        std::erase_if(entry.unfinished, [&](const Flow* f) {
+          return remaining_of(*f) <= options.completion_epsilon_bits;
+        });
+        if (entry.unfinished.empty()) {
+          const CoflowId id = entry.coflow.id();
+          CoflowRecord* rec = nullptr;
+          for (CoflowRecord& r : result.coflows) {
+            if (r.id == id) rec = &r;
+          }
+          NCDRF_CHECK(rec != nullptr, "missing record for coflow");
+          rec->completion = now;
+          rec->cct = now - rec->arrival;
+          const CoflowRecord completed = *rec;
+          active[a] = std::move(active.back());
+          active.pop_back();
+          if (on_complete) on_complete(completed);
+        } else {
+          ++a;
+        }
+      }
+
+      admit_due();
+    }
+    result.makespan = std::max(result.makespan, now);
+  }
+};
+
+DynamicSimulator::DynamicSimulator(const Fabric& fabric, Scheduler& scheduler,
+                                   SimOptions options)
+    : impl_(std::make_unique<Impl>(fabric, scheduler, options)) {}
+
+DynamicSimulator::~DynamicSimulator() = default;
+
+void DynamicSimulator::submit(Coflow coflow) {
+  impl_->submit(std::move(coflow));
+}
+
+void DynamicSimulator::set_completion_callback(CompletionCallback callback) {
+  impl_->on_complete = std::move(callback);
+}
+
+void DynamicSimulator::run() { impl_->run(); }
+
+double DynamicSimulator::now() const { return impl_->now; }
+
+int DynamicSimulator::active_coflows() const {
+  return static_cast<int>(impl_->active.size());
+}
+
+RunResult DynamicSimulator::take_result() {
+  NCDRF_CHECK(impl_->active.empty() && impl_->pending.empty(),
+              "take_result on an undrained simulator");
+  std::sort(impl_->result.coflows.begin(), impl_->result.coflows.end(),
+            [](const CoflowRecord& a, const CoflowRecord& b) {
+              return a.id < b.id;
+            });
+  return std::move(impl_->result);
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,20 @@
+#include "sim/sim.h"
+
+#include "common/check.h"
+#include "sim/engine.h"
+
+namespace ncdrf {
+
+RunResult simulate(const Fabric& fabric, const Trace& trace,
+                   Scheduler& scheduler, const SimOptions& options) {
+  NCDRF_CHECK(trace.num_machines == fabric.num_machines(),
+              "trace and fabric machine counts differ");
+  DynamicSimulator sim(fabric, scheduler, options);
+  for (const Coflow& coflow : trace.coflows) {
+    sim.submit(coflow);
+  }
+  sim.run();
+  return sim.take_result();
+}
+
+}  // namespace ncdrf

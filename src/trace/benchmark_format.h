@@ -1,0 +1,36 @@
+// Reader/writer for the Coflow-Benchmark text format (Chowdhury,
+// https://github.com/coflow/coflow-benchmark), the rack-level Facebook
+// trace format CoflowSim consumes and the paper replays (Sec. V-A):
+//
+//   <numRacks> <numCoflows>
+//   <id> <arrivalMillis> <M> <mapperRack_1 ... mapperRack_M>
+//                        <R> <reducerRack_1:totalMB ... reducerRack_R:totalMB>
+//
+// Each reducer's total shuffle volume is split evenly across the M
+// mappers, yielding M×R flows per coflow. Rack numbering in published
+// traces is 1-based; this reader accepts 1-based input (detected when a
+// rack id equals numRacks) and 0-based input alike.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+// Parses a Coflow-Benchmark trace from a stream. Throws CheckError on
+// malformed input (wrong counts, out-of-range racks, non-positive sizes).
+Trace parse_benchmark_trace(std::istream& in);
+
+// Convenience overloads.
+Trace parse_benchmark_trace_string(const std::string& text);
+Trace load_benchmark_trace(const std::string& path);
+
+// Serializes a trace in the same format (0-based racks are written
+// 1-based, matching the published files). Flow sizes are re-aggregated to
+// per-reducer totals, so parse(serialize(t)) reproduces t only for traces
+// whose coflows are mapper-uniform (as benchmark traces are).
+std::string serialize_benchmark_trace(const Trace& trace);
+
+}  // namespace ncdrf

@@ -1,0 +1,36 @@
+// The paper's EC2 micro-benchmark workload (Sec. V-B, Table III):
+// three coflows with distinct communication patterns on a 60-machine
+// cluster with 200 Mbps port links.
+//
+//   coflow-A  all-to-all          360 flows  arrives at  0 s
+//             (10 groups of 6 machines, 6×6 shuffle inside each group)
+//   coflow-B  pairwise one-to-one  60 flows  arrives at 10 s
+//             (machines i ↔ i+30 for the first 30 machines, both ways)
+//   coflow-C  pairwise one-to-one  60 flows  arrives at 20 s
+//             (machines j ↔ j+15 inside each half of the cluster)
+//
+// Flow sizes are drawn uniformly from [30, 100] MB, as in the paper
+// ("each randomly configured its transferred data size between 30 MB and
+// 100 MB"), from the given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+struct MicrobenchOptions {
+  std::uint64_t seed = 7;
+  int num_machines = 60;
+  double min_flow_bits = 8.0 * 30e6;   // 30 MB
+  double max_flow_bits = 8.0 * 100e6;  // 100 MB
+  double arrival_a_s = 0.0;
+  double arrival_b_s = 10.0;
+  double arrival_c_s = 20.0;
+};
+
+// Builds the Table III trace. Coflow ids 0/1/2 are A/B/C.
+Trace build_testbed_trace(const MicrobenchOptions& options = {});
+
+}  // namespace ncdrf

@@ -1,0 +1,65 @@
+#include "trace/patterns.h"
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+void add_shuffle(TraceBuilder& builder, const std::vector<MachineId>& sources,
+                 const std::vector<MachineId>& destinations,
+                 const SizeFn& size) {
+  NCDRF_CHECK(!sources.empty() && !destinations.empty(),
+              "shuffle needs sources and destinations");
+  for (const MachineId src : sources) {
+    for (const MachineId dst : destinations) {
+      builder.add_flow(src, dst, size());
+    }
+  }
+}
+
+void add_all_to_all(TraceBuilder& builder,
+                    const std::vector<MachineId>& group, const SizeFn& size) {
+  add_shuffle(builder, group, group, size);
+}
+
+void add_pairwise(TraceBuilder& builder,
+                  const std::vector<MachineId>& sources,
+                  const std::vector<MachineId>& destinations,
+                  const SizeFn& size, bool bidirectional) {
+  NCDRF_CHECK(sources.size() == destinations.size(),
+              "pairwise pattern needs equal-length endpoint lists");
+  NCDRF_CHECK(!sources.empty(), "pairwise pattern needs at least one pair");
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    builder.add_flow(sources[i], destinations[i], size());
+    if (bidirectional) {
+      builder.add_flow(destinations[i], sources[i], size());
+    }
+  }
+}
+
+void add_incast(TraceBuilder& builder, const std::vector<MachineId>& sources,
+                MachineId aggregator, const SizeFn& size) {
+  NCDRF_CHECK(!sources.empty(), "incast needs at least one source");
+  for (const MachineId src : sources) {
+    builder.add_flow(src, aggregator, size());
+  }
+}
+
+void add_broadcast(TraceBuilder& builder, MachineId root,
+                   const std::vector<MachineId>& destinations,
+                   const SizeFn& size) {
+  NCDRF_CHECK(!destinations.empty(),
+              "broadcast needs at least one destination");
+  for (const MachineId dst : destinations) {
+    builder.add_flow(root, dst, size());
+  }
+}
+
+std::vector<MachineId> machine_range(MachineId first, int count) {
+  NCDRF_CHECK(first >= 0 && count >= 1, "invalid machine range");
+  std::vector<MachineId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(first + i);
+  return out;
+}
+
+}  // namespace ncdrf

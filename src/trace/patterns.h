@@ -1,0 +1,54 @@
+// Reusable communication patterns for building coflows: the shapes that
+// recur throughout the coflow literature and this paper's evaluation
+// (all-to-all shuffles, pairwise one-to-one stages, many-to-one incast,
+// one-to-many broadcast). Each helper appends one coflow's worth of flows
+// to an open TraceBuilder coflow; sizes come from a caller-supplied
+// generator so patterns compose with any size distribution.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+// Produces the size (bits) of the next flow; invoked once per flow in a
+// deterministic order, so seeding the underlying RNG fixes the workload.
+using SizeFn = std::function<double()>;
+
+// MapReduce-style shuffle: every machine in `sources` sends one flow to
+// every machine in `destinations` (|S|×|D| flows). Sources and
+// destinations may overlap (self-rack flows use both port links of the
+// machine).
+void add_shuffle(TraceBuilder& builder, const std::vector<MachineId>& sources,
+                 const std::vector<MachineId>& destinations,
+                 const SizeFn& size);
+
+// All-to-all within a group: shorthand for add_shuffle(group, group, ...)
+// — the paper's coflow-A pattern (Table III).
+void add_all_to_all(TraceBuilder& builder,
+                    const std::vector<MachineId>& group, const SizeFn& size);
+
+// Pairwise one-to-one: flow i goes sources[i] → destinations[i]; when
+// `bidirectional`, the reverse flow is added too — the paper's coflow-B/C
+// pattern. Requires equal-length vectors.
+void add_pairwise(TraceBuilder& builder,
+                  const std::vector<MachineId>& sources,
+                  const std::vector<MachineId>& destinations,
+                  const SizeFn& size, bool bidirectional = false);
+
+// Incast: every source sends one flow to the single aggregator — the
+// hotspot pattern that stresses a single downlink.
+void add_incast(TraceBuilder& builder, const std::vector<MachineId>& sources,
+                MachineId aggregator, const SizeFn& size);
+
+// Broadcast: the root sends one flow to every destination.
+void add_broadcast(TraceBuilder& builder, MachineId root,
+                   const std::vector<MachineId>& destinations,
+                   const SizeFn& size);
+
+// [first, first + count) as a machine list, for group construction.
+std::vector<MachineId> machine_range(MachineId first, int count);
+
+}  // namespace ncdrf

@@ -1,0 +1,207 @@
+#include "trace/synthetic_fb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ncdrf {
+namespace {
+
+constexpr double kLengthThresholdBits = 8.0 * 5e6;  // 5 MB
+constexpr int kWidthThreshold = 50;                 // flows
+
+struct Shape {
+  int mappers = 0;
+  int reducers = 0;
+};
+
+// Mapper/reducer counts for a narrow coflow (< 50 flows). Small
+// MapReduce-style fan-outs dominate the FB trace.
+Shape narrow_shape(Rng& rng) {
+  for (;;) {
+    Shape s;
+    s.mappers = static_cast<int>(rng.uniform_int(1, 7));
+    s.reducers = static_cast<int>(rng.uniform_int(1, 7));
+    if (s.mappers * s.reducers < kWidthThreshold) return s;
+  }
+}
+
+// Counts for a wide coflow (>= 50 flows), capped to bound sim cost.
+// Mapper counts are drawn log-uniformly up to the full rack count: the
+// production trace contains shuffles touching nearly every rack, which
+// put O(100) flows of one coflow on a single reducer downlink — the
+// pattern that starves narrow coflows under per-flow fairness.
+Shape wide_shape(Rng& rng, int num_racks, int max_flows) {
+  Shape s;
+  const double log_lo = std::log(8.0);
+  const double log_hi = std::log(static_cast<double>(num_racks));
+  s.mappers = std::min(
+      static_cast<int>(std::exp(rng.uniform(log_lo, log_hi))), num_racks);
+  const int min_reducers =
+      std::max(1, (kWidthThreshold + s.mappers - 1) / s.mappers);
+  const int max_reducers =
+      std::max(min_reducers, std::min(max_flows / s.mappers, num_racks));
+  s.reducers = static_cast<int>(
+      rng.uniform_int(min_reducers, max_reducers));
+  return s;
+}
+
+// Mapper-side spread: flows into the same reducer are near-identical
+// (the load-balancing principle), differing only by a small factor.
+double spread(Rng& rng, double mean_bits) {
+  return mean_bits * rng.uniform(0.7, 1.4);
+}
+
+// Draws `count` distinct racks with Zipf(skew) popularity over a
+// seed-specific rack permutation.
+class SkewedRackSampler {
+ public:
+  SkewedRackSampler(Rng& rng, int num_racks, double skew)
+      : permutation_(static_cast<std::size_t>(num_racks)) {
+    for (int r = 0; r < num_racks; ++r) {
+      permutation_[static_cast<std::size_t>(r)] = r;
+    }
+    rng.shuffle(permutation_);
+    weights_.reserve(static_cast<std::size_t>(num_racks));
+    for (int r = 0; r < num_racks; ++r) {
+      weights_.push_back(1.0 / std::pow(r + 1.0, skew));
+    }
+  }
+
+  std::vector<int> sample(Rng& rng, int count) const {
+    std::vector<double> weights = weights_;
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const std::size_t pick = rng.weighted_index(weights);
+      out.push_back(permutation_[pick]);
+      weights[pick] = 0.0;  // without replacement
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> permutation_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+Trace generate_synthetic_fb(const SyntheticFbOptions& options) {
+  NCDRF_CHECK(options.num_coflows >= 1, "need at least one coflow");
+  NCDRF_CHECK(options.num_racks >= 2, "need at least two racks");
+  NCDRF_CHECK(options.duration_s > 0.0, "duration must be positive");
+  NCDRF_CHECK(options.max_flows_per_coflow >= kWidthThreshold,
+              "flow cap must allow wide coflows");
+  NCDRF_CHECK(options.rack_skew >= 0.0, "rack skew must be non-negative");
+  NCDRF_CHECK(options.burst_fraction >= 0.0 && options.burst_fraction <= 1.0,
+              "burst fraction must be in [0, 1]");
+  NCDRF_CHECK(options.num_bursts >= 1, "need at least one burst center");
+  const double frac_sum =
+      options.frac_short_narrow + options.frac_long_narrow +
+      options.frac_short_wide + options.frac_long_wide;
+  NCDRF_CHECK(std::abs(frac_sum - 1.0) < 1e-9,
+              "bin fractions must sum to 1");
+
+  Rng rng(options.seed);
+  TraceBuilder builder(options.num_racks);
+  const SkewedRackSampler racks(rng, options.num_racks, options.rack_skew);
+
+  // Wave centers for bursty arrivals.
+  std::vector<double> bursts;
+  bursts.reserve(static_cast<std::size_t>(options.num_bursts));
+  for (int b = 0; b < options.num_bursts; ++b) {
+    bursts.push_back(rng.uniform(0.0, options.duration_s));
+  }
+
+  // Deterministic bin assignment hitting the Table I mix as exactly as
+  // rounding allows, then shuffled so bins are interleaved in time.
+  const int n = options.num_coflows;
+  const int n_sn = static_cast<int>(std::round(n * options.frac_short_narrow));
+  const int n_ln = static_cast<int>(std::round(n * options.frac_long_narrow));
+  const int n_sw = static_cast<int>(std::round(n * options.frac_short_wide));
+  const int n_lw = std::max(n - n_sn - n_ln - n_sw, 0);
+  std::vector<int> bins;  // 0=SN 1=LN 2=SW 3=LW
+  bins.insert(bins.end(), static_cast<std::size_t>(n_sn), 0);
+  bins.insert(bins.end(), static_cast<std::size_t>(n_ln), 1);
+  bins.insert(bins.end(), static_cast<std::size_t>(n_sw), 2);
+  bins.insert(bins.end(), static_cast<std::size_t>(n_lw), 3);
+  bins.resize(static_cast<std::size_t>(n), 0);
+  rng.shuffle(bins);
+
+  for (int c = 0; c < n; ++c) {
+    const int bin = bins[static_cast<std::size_t>(c)];
+    const bool is_long = bin == 1 || bin == 3;
+    const bool wide = bin == 2 || bin == 3;
+
+    const Shape shape =
+        wide ? wide_shape(rng, options.num_racks, options.max_flows_per_coflow)
+             : narrow_shape(rng);
+
+    // Mean flow size. Short: all flows stay under 5 MB (mean ≤ 2.4 MB and
+    // spread ≤ ×2 keeps the max below the threshold). Long: heavy-tailed
+    // Pareto mean, forced above the threshold afterwards if the draw was
+    // small.
+    const double mean_bits =
+        is_long ? std::min(megabytes(rng.pareto(4.0, options.long_size_alpha)),
+                           megabytes(options.long_mean_cap_mb))
+                : megabytes(rng.uniform(0.05, 2.4));
+
+    // Wave-based or uniform arrival.
+    double arrival;
+    if (rng.bernoulli(options.burst_fraction)) {
+      const auto b = static_cast<std::size_t>(
+          rng.uniform_int(0, options.num_bursts - 1));
+      arrival = std::min(bursts[b] + rng.exponential(1.0 /
+                                                     options.burst_jitter_s),
+                         options.duration_s * (1.0 - 1e-9));
+    } else {
+      arrival = rng.uniform(0.0, options.duration_s);
+    }
+
+    builder.begin_coflow(arrival);
+    const std::vector<int> mappers = racks.sample(rng, shape.mappers);
+    const std::vector<int> reducers = racks.sample(rng, shape.reducers);
+
+    // Per-reducer volume multipliers (partition skew across reducers).
+    std::vector<double> reducer_mult(
+        static_cast<std::size_t>(shape.reducers));
+    for (double& mult : reducer_mult) {
+      mult = std::clamp(rng.lognormal(0.0, options.reducer_skew_sigma), 0.05,
+                        20.0);
+    }
+
+    std::vector<double> sizes;
+    sizes.reserve(static_cast<std::size_t>(shape.mappers) *
+                  static_cast<std::size_t>(shape.reducers));
+    double max_size = 0.0;
+    for (int m = 0; m < shape.mappers; ++m) {
+      for (int r = 0; r < shape.reducers; ++r) {
+        const double s =
+            spread(rng, mean_bits) * reducer_mult[static_cast<std::size_t>(r)];
+        sizes.push_back(s);
+        max_size = std::max(max_size, s);
+      }
+    }
+    // Enforce the bin's length class exactly.
+    double scale = 1.0;
+    if (is_long && max_size < kLengthThresholdBits) {
+      scale = kLengthThresholdBits * 1.05 / max_size;
+    } else if (!is_long && max_size >= kLengthThresholdBits) {
+      scale = kLengthThresholdBits * 0.95 / max_size;
+    }
+
+    std::size_t idx = 0;
+    for (const int m : mappers) {
+      for (const int r : reducers) {
+        builder.add_flow(m, r, sizes[idx++] * scale);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace ncdrf

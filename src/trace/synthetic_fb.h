@@ -1,0 +1,74 @@
+// Synthetic stand-in for the Facebook Coflow-Benchmark trace.
+//
+// The paper replays `FB2010-1Hr-150-0`: 526 coflows reduced to rack level
+// from a one-hour Hive/MapReduce trace of a 3000-machine, 150-rack
+// Facebook cluster. That file is not redistributable here, so this
+// generator produces a *statistical twin* (DESIGN.md, substitutions):
+//
+//   - 526 coflows over 150 racks arriving across one hour;
+//   - Table I bin mix by construction: 60% short-narrow, 16% long-narrow,
+//     12% short-wide, 12% long-wide (length threshold 5 MB on the largest
+//     flow, width threshold 50 flows);
+//   - heavy-tailed (Pareto) coflow sizes for long coflows;
+//   - bounded intra-coflow flow-size disparity (uniform ×[0.5, 2] around a
+//     per-coflow mean), reflecting the load-balancing principle the
+//     paper's analysis leans on (Sec. IV-A);
+//   - Zipf-skewed rack popularity and bursty (wave-based) arrivals — the
+//     two properties of the production trace that create the link
+//     hotspots and coflow contention the paper's slowdown numbers imply.
+//
+// Everything is driven by one seed; the same seed always yields the same
+// trace. If the real benchmark file is available, load it with
+// load_benchmark_trace() instead — both produce the same Trace type.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+struct SyntheticFbOptions {
+  std::uint64_t seed = 20180701;  // ICDCS'18-flavored default
+  int num_coflows = 526;
+  int num_racks = 150;
+  double duration_s = 3600.0;
+
+  // Table I target bin fractions (SN + LN + SW + LW must sum to 1).
+  double frac_short_narrow = 0.60;
+  double frac_long_narrow = 0.16;
+  double frac_short_wide = 0.12;
+  double frac_long_wide = 0.12;
+
+  // Cap on flows per coflow, to bound simulation cost. The real trace has
+  // wider coflows; widening this does not change any policy ordering.
+  int max_flows_per_coflow = 1000;
+
+  // Per-reducer shuffle skew: each reducer's total volume is scaled by a
+  // lognormal(0, sigma) multiplier (clipped to [0.1, 10]). Flows *into* one
+  // reducer stay near-identical (the load-balanced mapper side, matching
+  // Theorem 1's assumption), but demand across a coflow's links varies —
+  // exactly the disparity e_k that separates NC-DRF from clairvoyant DRF.
+  double reducer_skew_sigma = 1.6;
+
+  // Endpoint popularity: rack r (in a seed-specific permutation) is chosen
+  // with weight 1/(r+1)^rack_skew. 0 = uniform; production traces are
+  // heavily skewed, which creates the hotspot links coflows contend on.
+  double rack_skew = 1.3;
+
+  // Wave-based arrivals: this fraction of coflows arrives clustered around
+  // `num_bursts` burst centers (exponential jitter, mean `burst_jitter_s`);
+  // the rest arrive uniformly over the hour.
+  double burst_fraction = 0.75;
+  int num_bursts = 12;
+  double burst_jitter_s = 10.0;
+
+  // Long-coflow per-flow mean: Pareto(xm = 4 MB, alpha) capped at
+  // `long_mean_cap_mb`. Lower alpha = heavier tail = more contention.
+  double long_size_alpha = 1.0;
+  double long_mean_cap_mb = 300.0;
+};
+
+Trace generate_synthetic_fb(const SyntheticFbOptions& options = {});
+
+}  // namespace ncdrf

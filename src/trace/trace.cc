@@ -1,0 +1,64 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+double Trace::total_bits() const {
+  double total = 0.0;
+  for (const Coflow& c : coflows) total += c.total_bits();
+  return total;
+}
+
+TraceBuilder::TraceBuilder(int num_machines) : num_machines_(num_machines) {
+  NCDRF_CHECK(num_machines >= 1, "trace needs at least one machine");
+}
+
+CoflowId TraceBuilder::begin_coflow(double arrival_time_s, double weight) {
+  NCDRF_CHECK(arrival_time_s >= 0.0, "arrival time must be non-negative");
+  NCDRF_CHECK(weight > 0.0, "coflow weight must be positive");
+  const auto id = static_cast<CoflowId>(pending_.size());
+  pending_.push_back({id, arrival_time_s, weight, {}});
+  return id;
+}
+
+void TraceBuilder::add_flow(MachineId src, MachineId dst, double size_bits) {
+  NCDRF_CHECK(!pending_.empty(), "begin_coflow before add_flow");
+  NCDRF_CHECK(src >= 0 && src < num_machines_, "flow src out of range");
+  NCDRF_CHECK(dst >= 0 && dst < num_machines_, "flow dst out of range");
+  NCDRF_CHECK(size_bits > 0.0, "flow size must be positive");
+  PendingCoflow& coflow = pending_.back();
+  coflow.flows.push_back(
+      Flow{next_flow_id_++, coflow.id, src, dst, size_bits});
+}
+
+Trace TraceBuilder::build() {
+  for (const PendingCoflow& p : pending_) {
+    NCDRF_CHECK(!p.flows.empty(), "coflow without flows in trace");
+  }
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingCoflow& a, const PendingCoflow& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
+            });
+
+  Trace trace;
+  trace.num_machines = num_machines_;
+  trace.total_flows = next_flow_id_;
+  trace.coflows.reserve(pending_.size());
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    // Reassign dense ids in arrival order so coflows[k].id() == k.
+    std::vector<Flow> flows = std::move(pending_[k].flows);
+    for (Flow& f : flows) f.coflow = static_cast<CoflowId>(k);
+    trace.coflows.emplace_back(static_cast<CoflowId>(k),
+                               pending_[k].arrival, std::move(flows),
+                               pending_[k].weight);
+  }
+  pending_.clear();
+  next_flow_id_ = 0;
+  return trace;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,55 @@
+// Trace: an ordered workload of coflows against a fabric of a given size,
+// with a dense global FlowId space so the simulator can keep per-flow state
+// in flat arrays.
+#pragma once
+
+#include <vector>
+
+#include "coflow/coflow.h"
+
+namespace ncdrf {
+
+struct Trace {
+  int num_machines = 0;
+  // Sorted by (arrival_time, id); coflow ids are dense [0, coflows.size()).
+  std::vector<Coflow> coflows;
+  // Dense FlowId space: every flow id is unique in [0, total_flows).
+  int total_flows = 0;
+
+  double total_bits() const;
+};
+
+// Incrementally builds a valid Trace: assigns dense coflow and flow ids,
+// validates endpoints against the machine count, and sorts by arrival.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(int num_machines);
+
+  // Opens a new coflow; flows are added to the most recently opened one.
+  // Returns the coflow's id. `weight` is the coflow's relative share
+  // weight (must be positive; 1.0 = equal share).
+  CoflowId begin_coflow(double arrival_time_s, double weight = 1.0);
+
+  // Adds a flow src→dst of `size_bits` to the open coflow. Endpoints must
+  // be machines in [0, num_machines); size must be positive.
+  void add_flow(MachineId src, MachineId dst, double size_bits);
+
+  // Finalizes: every coflow must have at least one flow. Coflow ids are
+  // reassigned densely in (arrival, original id) order, so
+  // trace.coflows[k].id() == k.
+  Trace build();
+
+ private:
+  struct PendingCoflow {
+    CoflowId id;
+    double arrival;
+    double weight;
+    std::vector<Flow> flows;
+  };
+
+  int num_machines_;
+  std::vector<PendingCoflow> pending_;
+  int next_flow_id_ = 0;
+};
+
+}  // namespace ncdrf

@@ -1,0 +1,90 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ncdrf {
+
+TraceStats compute_trace_stats(const Trace& trace, const Fabric& fabric) {
+  NCDRF_CHECK(trace.num_machines == fabric.num_machines(),
+              "trace and fabric machine counts differ");
+  NCDRF_CHECK(!trace.coflows.empty(), "empty trace");
+
+  TraceStats stats;
+  stats.num_coflows = static_cast<int>(trace.coflows.size());
+  stats.num_flows = trace.total_flows;
+
+  std::vector<double> widths;
+  std::vector<double> lengths;
+  std::vector<double> totals;
+  std::vector<double> disparities;
+  std::vector<double> link_bits(
+      static_cast<std::size_t>(fabric.num_links()), 0.0);
+
+  double first_arrival = trace.coflows.front().arrival_time();
+  double last_arrival = first_arrival;
+  for (const Coflow& coflow : trace.coflows) {
+    widths.push_back(coflow.width());
+    lengths.push_back(to_megabytes(coflow.max_flow_bits()));
+    totals.push_back(to_megabytes(coflow.total_bits()));
+    stats.total_bytes += coflow.total_bits() / 8.0;
+    stats.bins[classify_bin(coflow)] += 1;
+    first_arrival = std::min(first_arrival, coflow.arrival_time());
+    last_arrival = std::max(last_arrival, coflow.arrival_time());
+
+    const DemandVectors d = coflow.demand(fabric);
+    disparities.push_back(d.disparity());
+    for (std::size_t i = 0; i < d.demand.size(); ++i) {
+      link_bits[i] += d.demand[i];
+    }
+  }
+  stats.arrival_span_s = last_arrival - first_arrival;
+  stats.width = summarize(std::move(widths));
+  stats.max_flow_mb = summarize(std::move(lengths));
+  stats.coflow_total_mb = summarize(std::move(totals));
+  stats.disparity = summarize(std::move(disparities));
+
+  const double span = std::max(stats.arrival_span_s, 1.0);
+  std::vector<double> loads;
+  loads.reserve(link_bits.size());
+  for (const double bits_total : link_bits) {
+    loads.push_back(to_gbps(bits_total / span));
+  }
+  const Summary load = summarize(loads);
+  stats.mean_link_load_gbps = load.mean;
+  stats.max_link_load_gbps = load.max;
+  stats.link_load_p95_gbps = load.p95;
+  return stats;
+}
+
+std::string format_trace_stats(const TraceStats& stats) {
+  std::ostringstream os;
+  os << stats.num_coflows << " coflows, " << stats.num_flows << " flows, "
+     << stats.total_bytes / 1e9 << " GB over " << stats.arrival_span_s
+     << " s\n";
+  os << "width (flows/coflow):  mean " << stats.width.mean << ", p50 "
+     << stats.width.p50 << ", p95 " << stats.width.p95 << ", max "
+     << stats.width.max << "\n";
+  os << "length (max flow MB):  mean " << stats.max_flow_mb.mean
+     << ", p50 " << stats.max_flow_mb.p50 << ", p95 "
+     << stats.max_flow_mb.p95 << ", max " << stats.max_flow_mb.max << "\n";
+  os << "coflow size (MB):      mean " << stats.coflow_total_mb.mean
+     << ", p95 " << stats.coflow_total_mb.p95 << ", max "
+     << stats.coflow_total_mb.max << "\n";
+  os << "disparity e_k (Eq.4):  mean " << stats.disparity.mean << ", p95 "
+     << stats.disparity.p95 << ", max " << stats.disparity.max << "\n";
+  os << "bins:";
+  for (const auto& [bin, count] : stats.bins) {
+    os << ' ' << bin_name(bin) << '=' << count;
+  }
+  os << "\n";
+  os << "offered link load:     mean " << stats.mean_link_load_gbps
+     << " Gbps, p95 " << stats.link_load_p95_gbps << ", hotspot "
+     << stats.max_link_load_gbps << " Gbps\n";
+  return os.str();
+}
+
+}  // namespace ncdrf

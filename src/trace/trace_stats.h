@@ -1,0 +1,42 @@
+// Statistical profile of a workload trace: the quantities that determine
+// how a trace exercises coflow schedulers (width/length/size
+// distributions, Table I bin mix, intra-coflow disparity e_k, per-link
+// load and hotspot skew, arrival pattern). Used to validate the synthetic
+// generator against the published characteristics of the Facebook trace
+// and to document any workload a user brings.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "coflow/coflow.h"
+#include "common/stats.h"
+#include "fabric/fabric.h"
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+struct TraceStats {
+  int num_coflows = 0;
+  int num_flows = 0;
+  double total_bytes = 0.0;
+  double arrival_span_s = 0.0;
+
+  Summary width;           // flows per coflow
+  Summary max_flow_mb;     // "length" per coflow
+  Summary coflow_total_mb;
+  Summary disparity;       // e_k per coflow (Eq. 4)
+  std::map<CoflowBin, int> bins;
+
+  // Static per-link load (total bytes crossing each link / span).
+  double mean_link_load_gbps = 0.0;
+  double max_link_load_gbps = 0.0;   // the hotspot
+  double link_load_p95_gbps = 0.0;
+};
+
+TraceStats compute_trace_stats(const Trace& trace, const Fabric& fabric);
+
+// Multi-line human-readable report.
+std::string format_trace_stats(const TraceStats& stats);
+
+}  // namespace ncdrf

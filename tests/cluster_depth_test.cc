@@ -1,0 +1,150 @@
+// Deeper cluster-emulation tests: loss-rate sweeps, refresh-period
+// effects, heartbeat-driven clairvoyant state, and deployment/fluid
+// consistency on the Table III micro-benchmark.
+#include <gtest/gtest.h>
+
+#include "cluster/deployment.h"
+#include "cluster/master.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "sched/drf.h"
+#include "sim/sim.h"
+#include "trace/microbench.h"
+#include "trace/trace.h"
+
+namespace ncdrf {
+namespace {
+
+Trace two_coflow_trace() {
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 2, megabits(80.0));
+  builder.add_flow(1, 2, megabits(80.0));
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 3, megabits(80.0));
+  return builder.build();
+}
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, DeploymentAlwaysCompletes) {
+  const double loss = GetParam();
+  const Fabric fabric(4, gbps(1.0));
+  const Trace trace = two_coflow_trace();
+  DeploymentOptions options;
+  options.tick_s = 0.002;
+  options.control_latency_s = 0.001;
+  options.control_loss_probability = loss;
+  options.reallocation_refresh_period_s = 0.05;
+  const auto sched = make_scheduler("ncdrf");
+  const DeploymentResult result =
+      run_deployment(fabric, trace, *sched, options);
+  for (const CoflowRecord& rec : result.coflows) {
+    EXPECT_GT(rec.cct, 0.0) << "loss " << loss;
+    EXPECT_GE(rec.cct, rec.min_cct - 1e-9) << "loss " << loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8));
+
+TEST(ClusterDepth, RefreshPeriodBoundsLossDamage) {
+  // Under heavy loss, a faster refresh recovers lost rate updates sooner.
+  // Loss realizations differ per seed (more sends reshuffle the drop
+  // sequence), so compare mean makespans over several seeds.
+  const Fabric fabric(4, gbps(1.0));
+  const Trace trace = two_coflow_trace();
+  auto mean_makespan = [&](double period) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      DeploymentOptions options;
+      options.tick_s = 0.002;
+      options.control_latency_s = 0.001;
+      options.control_loss_probability = 0.5;
+      options.loss_seed = seed;
+      options.reallocation_refresh_period_s = period;
+      const auto sched = make_scheduler("ncdrf");
+      total += run_deployment(fabric, trace, *sched, options).makespan;
+    }
+    return total / 10.0;
+  };
+  EXPECT_LE(mean_makespan(0.05), mean_makespan(1.0) * 1.02);
+}
+
+TEST(ClusterDepth, HeartbeatsFeedClairvoyantRemainingEstimates) {
+  // A DRF master's remaining-size estimates come from heartbeats: after a
+  // heartbeat reporting attained bytes, the next allocation reflects the
+  // smaller remaining demand (rates stay proportional to remaining).
+  const Fabric fabric(2, gbps(1.0));
+  DrfScheduler drf;
+  Master master(fabric, drf);
+  RegisterCoflowMsg reg;
+  reg.coflow = 0;
+  reg.arrival_time = 0.0;
+  reg.sizes_known = true;
+  reg.flows.push_back(Flow{0, 0, 0, 1, megabits(100.0)});
+  reg.flows.push_back(Flow{1, 0, 1, 0, megabits(100.0)});
+  master.on_register(reg);
+
+  SimBus bus(0.0);
+  master.reallocate(0.0, bus);
+  double rate_before = 0.0;
+  for (const auto& d : bus.deliver_due(0.0)) {
+    for (const auto& [flow, rate] :
+         std::get<RateUpdateMsg>(d.payload).rates_bps) {
+      if (flow == 0) rate_before = rate;
+    }
+  }
+  EXPECT_NEAR(rate_before, gbps(1.0), 1e3);  // full links, both flows
+
+  // Report flow 0 nearly done; DRF now gives it proportionally less.
+  HeartbeatMsg hb;
+  hb.machine = 0;
+  hb.attained_bits.emplace_back(0, megabits(90.0));
+  master.on_heartbeat(hb);
+  master.reallocate(0.1, bus);
+  double rate_after_0 = 0.0;
+  double rate_after_1 = 0.0;
+  for (const auto& d : bus.deliver_due(0.1)) {
+    for (const auto& [flow, rate] :
+         std::get<RateUpdateMsg>(d.payload).rates_bps) {
+      if (flow == 0) rate_after_0 = rate;
+      if (flow == 1) rate_after_1 = rate;
+    }
+  }
+  // Remaining 10 Mb vs 100 Mb on disjoint paths: flow 0's rate is a tenth
+  // of flow 1's under remaining-proportional DRF.
+  EXPECT_NEAR(rate_after_0 / rate_after_1, 0.1, 1e-6);
+}
+
+TEST(ClusterDepth, TestbedDeploymentTracksFluidSim) {
+  // Table III workload: the deployment's CCTs must track the fluid
+  // simulator within the enforcement/control overheads.
+  const Fabric fabric(60, mbps(200.0));
+  const Trace trace = build_testbed_trace({});
+  const auto sched_fluid = make_scheduler("ncdrf-live");
+  const auto sched_dep = make_scheduler("ncdrf-live");
+  const RunResult fluid = simulate(fabric, trace, *sched_fluid);
+  const DeploymentResult dep = run_deployment(fabric, trace, *sched_dep);
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_NEAR(dep.coflows[k].cct, fluid.coflows[k].cct,
+                0.15 * fluid.coflows[k].cct + 0.2)
+        << "coflow " << k;
+  }
+}
+
+TEST(ClusterDepth, MoreMessagesUnderShorterHeartbeatPeriod) {
+  const Fabric fabric(4, gbps(1.0));
+  const Trace trace = two_coflow_trace();
+  auto run_with_heartbeat = [&](double period) {
+    DeploymentOptions options;
+    options.tick_s = 0.002;
+    options.heartbeat_period_s = period;
+    const auto sched = make_scheduler("ncdrf");
+    return run_deployment(fabric, trace, *sched, options).messages_sent;
+  };
+  EXPECT_GT(run_with_heartbeat(0.01), run_with_heartbeat(0.5));
+}
+
+}  // namespace
+}  // namespace ncdrf

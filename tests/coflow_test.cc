@@ -1,0 +1,187 @@
+// Unit tests for the coflow abstraction: demand/correlation vectors,
+// bottleneck identification, disparity (Eq. 4), progress (Eq. 1) and the
+// Table I bins. The central fixture is the paper's own Fig. 3 example.
+#include <gtest/gtest.h>
+
+#include "coflow/coflow.h"
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ncdrf {
+namespace {
+
+// Fig. 3: m = 2 machines (links 0,1 = uplinks; 2,3 = downlinks in our
+// 0-based layout, matching the paper's link-1..4). Coflow-A transfers
+// 100 Mb from each of machine 0 and machine 1 to machine 1:
+// d_A = <100, 100, 0, 200> Mb.
+Coflow make_coflow_a() {
+  std::vector<Flow> flows{
+      {0, 0, /*src=*/0, /*dst=*/1, megabits(100.0)},
+      {1, 0, /*src=*/1, /*dst=*/1, megabits(100.0)},
+  };
+  return Coflow(0, 0.0, std::move(flows));
+}
+
+// Coflow-B: two flows from machine 1 to machines 0 and 1:
+// d_B = <0, 200, 100, 100> Mb.
+Coflow make_coflow_b() {
+  std::vector<Flow> flows{
+      {2, 1, /*src=*/1, /*dst=*/0, megabits(100.0)},
+      {3, 1, /*src=*/1, /*dst=*/1, megabits(100.0)},
+  };
+  return Coflow(1, 0.0, std::move(flows));
+}
+
+TEST(Coflow, Fig3DemandVectors) {
+  const Fabric fabric(2, gbps(1.0));
+  const DemandVectors da = make_coflow_a().demand(fabric);
+  EXPECT_DOUBLE_EQ(da.demand[0], megabits(100.0));
+  EXPECT_DOUBLE_EQ(da.demand[1], megabits(100.0));
+  EXPECT_DOUBLE_EQ(da.demand[2], 0.0);
+  EXPECT_DOUBLE_EQ(da.demand[3], megabits(200.0));
+  EXPECT_DOUBLE_EQ(da.bottleneck_demand, megabits(200.0));
+  EXPECT_EQ(da.bottleneck_link, 3);
+
+  const DemandVectors db = make_coflow_b().demand(fabric);
+  EXPECT_DOUBLE_EQ(db.demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(db.demand[1], megabits(200.0));
+  EXPECT_DOUBLE_EQ(db.demand[2], megabits(100.0));
+  EXPECT_DOUBLE_EQ(db.demand[3], megabits(100.0));
+  EXPECT_EQ(db.bottleneck_link, 1);
+}
+
+TEST(Coflow, Fig3CorrelationVectors) {
+  const Fabric fabric(2, gbps(1.0));
+  const std::vector<double> ca = make_coflow_a().demand(fabric).correlation();
+  EXPECT_DOUBLE_EQ(ca[0], 0.5);
+  EXPECT_DOUBLE_EQ(ca[1], 0.5);
+  EXPECT_DOUBLE_EQ(ca[2], 0.0);
+  EXPECT_DOUBLE_EQ(ca[3], 1.0);
+
+  const std::vector<double> cb = make_coflow_b().demand(fabric).correlation();
+  EXPECT_DOUBLE_EQ(cb[0], 0.0);
+  EXPECT_DOUBLE_EQ(cb[1], 1.0);
+  EXPECT_DOUBLE_EQ(cb[2], 0.5);
+  EXPECT_DOUBLE_EQ(cb[3], 0.5);
+}
+
+TEST(Coflow, Fig3FlowCountCorrelationEqualsDemandCorrelation) {
+  // With identical flow sizes, NC-DRF's flow-count correlation ĉ equals
+  // the true correlation c — the paper's "extreme condition" (Sec. IV-A).
+  const Fabric fabric(2, gbps(1.0));
+  for (const Coflow& coflow : {make_coflow_a(), make_coflow_b()}) {
+    const DemandVectors d = coflow.demand(fabric);
+    EXPECT_EQ(d.correlation(), d.flow_count_correlation());
+  }
+}
+
+TEST(Coflow, FlowCounts) {
+  const Fabric fabric(2, gbps(1.0));
+  const DemandVectors da = make_coflow_a().demand(fabric);
+  EXPECT_EQ(da.flow_count[0], 1);
+  EXPECT_EQ(da.flow_count[1], 1);
+  EXPECT_EQ(da.flow_count[2], 0);
+  EXPECT_EQ(da.flow_count[3], 2);
+  EXPECT_EQ(da.bottleneck_flow_count, 2);
+  EXPECT_EQ(da.flow_count_bottleneck_link, 3);
+}
+
+TEST(Coflow, DisparityEq4) {
+  const Fabric fabric(2, gbps(1.0));
+  // Coflow-A: d̄ = 200, min positive demand = 100 → e = 2.
+  EXPECT_DOUBLE_EQ(make_coflow_a().demand(fabric).disparity(), 2.0);
+
+  // Perfectly balanced coflow → e = 1.
+  std::vector<Flow> balanced{
+      {0, 0, 0, 1, megabits(50.0)},
+      {1, 0, 1, 0, megabits(50.0)},
+  };
+  const Coflow c(0, 0.0, std::move(balanced));
+  EXPECT_DOUBLE_EQ(c.demand(fabric).disparity(), 1.0);
+}
+
+TEST(Coflow, ProgressEq1) {
+  const Fabric fabric(2, gbps(1.0));
+  const DemandVectors da = make_coflow_a().demand(fabric);
+  // DRF allocation from Fig. 4b: both of A's flows at 1/3 Gbps →
+  // link alloc <1/3, 1/3, 0, 2/3>; correlation <0.5, 0.5, 0, 1> →
+  // progress = min(2/3, 2/3, 2/3) = 2/3 Gbps.
+  const std::vector<double> alloc{gbps(1.0 / 3), gbps(1.0 / 3), 0.0,
+                                  gbps(2.0 / 3)};
+  EXPECT_NEAR(coflow_progress(da, alloc), gbps(2.0 / 3), 1.0);
+}
+
+TEST(Coflow, ProgressIsBottleneckedBySlowestLink) {
+  const Fabric fabric(2, gbps(1.0));
+  const DemandVectors da = make_coflow_a().demand(fabric);
+  // Starve link 0: progress collapses to alloc[0] / 0.5.
+  const std::vector<double> alloc{gbps(0.01), gbps(1.0 / 3), 0.0,
+                                  gbps(2.0 / 3)};
+  EXPECT_NEAR(coflow_progress(da, alloc), gbps(0.02), 1.0);
+}
+
+TEST(Coflow, ProgressOfZeroDemandIsZero) {
+  DemandVectors d;
+  d.demand = {0.0, 0.0};
+  d.flow_count = {0, 0};
+  EXPECT_DOUBLE_EQ(coflow_progress(d, {1.0, 1.0}), 0.0);
+}
+
+TEST(Coflow, AggregatesWidthLengthTotals) {
+  const Coflow a = make_coflow_a();
+  EXPECT_EQ(a.width(), 2);
+  EXPECT_DOUBLE_EQ(a.max_flow_bits(), megabits(100.0));
+  EXPECT_DOUBLE_EQ(a.total_bits(), megabits(200.0));
+}
+
+TEST(Coflow, SelfLoopFlowUsesBothLinksOfOneMachine) {
+  const Fabric fabric(2, gbps(1.0));
+  std::vector<Flow> flows{{0, 0, 1, 1, megabits(10.0)}};
+  const Coflow c(0, 0.0, std::move(flows));
+  const DemandVectors d = c.demand(fabric);
+  EXPECT_DOUBLE_EQ(d.demand[1], megabits(10.0));  // uplink of machine 1
+  EXPECT_DOUBLE_EQ(d.demand[3], megabits(10.0));  // downlink of machine 1
+}
+
+TEST(Coflow, ConstructorValidates) {
+  EXPECT_THROW(Coflow(0, 0.0, {}), CheckError);  // no flows
+  std::vector<Flow> wrong_tag{{0, 5, 0, 1, 1.0}};
+  EXPECT_THROW(Coflow(0, 0.0, std::move(wrong_tag)), CheckError);
+  std::vector<Flow> negative{{0, 0, 0, 1, -1.0}};
+  EXPECT_THROW(Coflow(0, 0.0, std::move(negative)), CheckError);
+  std::vector<Flow> ok{{0, 0, 0, 1, 1.0}};
+  EXPECT_THROW(Coflow(0, -1.0, std::move(ok)), CheckError);  // arrival < 0
+}
+
+TEST(CoflowBins, ThresholdsMatchSecVA) {
+  auto make = [](int width, double flow_bits) {
+    std::vector<Flow> flows;
+    for (int i = 0; i < width; ++i) {
+      flows.push_back({i, 0, 0, 1, flow_bits});
+    }
+    return Coflow(0, 0.0, std::move(flows));
+  };
+  EXPECT_EQ(classify_bin(make(10, megabytes(1.0))), CoflowBin::kShortNarrow);
+  EXPECT_EQ(classify_bin(make(10, megabytes(6.0))), CoflowBin::kLongNarrow);
+  EXPECT_EQ(classify_bin(make(60, megabytes(1.0))), CoflowBin::kShortWide);
+  EXPECT_EQ(classify_bin(make(60, megabytes(6.0))), CoflowBin::kLongWide);
+  // Boundary cases: exactly 5 MB is "long", exactly 50 flows is "wide".
+  EXPECT_EQ(classify_bin(make(49, megabytes(5.0))), CoflowBin::kLongNarrow);
+  EXPECT_EQ(classify_bin(make(50, megabytes(4.99))), CoflowBin::kShortWide);
+}
+
+TEST(CoflowBins, Names) {
+  EXPECT_EQ(bin_name(CoflowBin::kShortNarrow), "SN");
+  EXPECT_EQ(bin_name(CoflowBin::kLongNarrow), "LN");
+  EXPECT_EQ(bin_name(CoflowBin::kShortWide), "SW");
+  EXPECT_EQ(bin_name(CoflowBin::kLongWide), "LW");
+}
+
+TEST(ComputeDemand, MismatchedSizesThrow) {
+  const Fabric fabric(2, gbps(1.0));
+  std::vector<Flow> flows{{0, 0, 0, 1, 1.0}};
+  EXPECT_THROW(compute_demand(fabric, flows, {1.0, 2.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace ncdrf

@@ -1,0 +1,141 @@
+// Edge cases across modules: simulator guards, serialization of
+// non-uniform traces, zero-work options, and summary-statistics corners.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "sim/engine.h"
+#include "sim/sim.h"
+#include "test_util.h"
+#include "trace/benchmark_format.h"
+#include "trace/synthetic_fb.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::fig3_trace;
+
+TEST(Edge, SimTimeLimitGuards) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(100.0));  // needs 100 s
+  const Trace trace = builder.build();
+  SimOptions options;
+  options.max_time_s = 10.0;
+  const auto sched = make_scheduler("ncdrf");
+  EXPECT_THROW(simulate(fabric, trace, *sched, options), CheckError);
+}
+
+TEST(Edge, RecordingFlagsControlOutputs) {
+  const Fabric fabric(2, gbps(1.0));
+  SimOptions options;
+  options.record_intervals = false;
+  options.record_progress_timeseries = false;
+  const auto sched = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *sched, options);
+  EXPECT_TRUE(run.intervals.empty());
+  EXPECT_TRUE(run.progress.empty());
+  EXPECT_GT(run.coflows[0].cct, 0.0);  // results still complete
+}
+
+TEST(Edge, TakeResultRefusesUndrainedEngine) {
+  const Fabric fabric(2, gbps(1.0));
+  const auto sched = make_scheduler("ncdrf");
+  DynamicSimulator engine(fabric, *sched);
+  std::vector<Flow> flows{{0, 0, 0, 1, 1e6}};
+  engine.submit(Coflow(0, 0.0, std::move(flows)));
+  EXPECT_THROW(engine.take_result(), CheckError);  // not run yet
+  engine.run();
+  EXPECT_NO_THROW(engine.take_result());
+}
+
+TEST(Edge, InvalidSimOptionsThrow) {
+  const Fabric fabric(2, gbps(1.0));
+  SimOptions options;
+  options.completion_epsilon_bits = 0.0;
+  const auto sched = make_scheduler("ncdrf");
+  EXPECT_THROW(simulate(fabric, fig3_trace(), *sched, options), CheckError);
+}
+
+TEST(Edge, SerializePreservesCoflowTotalsForSkewedTraces) {
+  // serialize() aggregates per-reducer totals; parsing splits them evenly
+  // across mappers. Per-flow sizes may change for skewed coflows, but
+  // per-coflow totals, shapes and arrivals survive.
+  SyntheticFbOptions options;
+  options.num_coflows = 30;
+  options.num_racks = 12;
+  options.duration_s = 60.0;
+  options.max_flows_per_coflow = 60;
+  const Trace original = generate_synthetic_fb(options);
+  const Trace reparsed =
+      parse_benchmark_trace_string(serialize_benchmark_trace(original));
+  ASSERT_EQ(reparsed.coflows.size(), original.coflows.size());
+  for (std::size_t k = 0; k < original.coflows.size(); ++k) {
+    EXPECT_EQ(reparsed.coflows[k].width(), original.coflows[k].width());
+    EXPECT_NEAR(reparsed.coflows[k].total_bits(),
+                original.coflows[k].total_bits(),
+                original.coflows[k].total_bits() * 1e-6);
+    EXPECT_NEAR(reparsed.coflows[k].arrival_time(),
+                original.coflows[k].arrival_time(), 1e-3);
+  }
+}
+
+TEST(Edge, ZeroArrivalGapCoflowsAdmitTogether) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  for (int c = 0; c < 4; ++c) {
+    builder.begin_coflow(1.0);  // all at exactly t = 1
+    builder.add_flow(0, 1, megabits(100.0));
+  }
+  const Trace trace = builder.build();
+  const auto sched = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, trace, *sched);
+  // Equal shares from t = 1: all four finish together at 1.4 s.
+  for (const CoflowRecord& rec : run.coflows) {
+    EXPECT_NEAR(rec.completion, 1.4, 1e-6);
+  }
+}
+
+TEST(Edge, SingleMachineFabricSelfLoops) {
+  // All flows loop through one machine's up+downlink: capacity still
+  // constrains, coflows still complete.
+  const Fabric fabric(1, gbps(1.0));
+  TraceBuilder builder(1);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 0, megabits(500.0));
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 0, megabits(500.0));
+  const Trace trace = builder.build();
+  for (const std::string name : {"ncdrf", "tcp", "drf", "psp"}) {
+    const auto sched = make_scheduler(name);
+    const RunResult run = simulate(fabric, trace, *sched);
+    // 1 Gb of total work through a 1 Gbps uplink → last completion at 1 s.
+    EXPECT_NEAR(run.makespan, 1.0, 1e-6) << name;
+  }
+}
+
+TEST(Edge, SummaryPercentileCorners) {
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 100.0), 5.0);
+  EXPECT_THROW(percentile({}, 50.0), CheckError);
+  EXPECT_THROW(percentile({1.0}, 101.0), CheckError);
+  const Summary s = summarize({1.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.p99, 1.0 + 0.99 * 99.0);
+}
+
+TEST(Edge, TraceWithLateArrivalsOnlyIdlesCorrectly) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(1000.0);
+  builder.add_flow(0, 1, megabits(100.0));
+  const Trace trace = builder.build();
+  const auto sched = make_scheduler("aalo");
+  const RunResult run = simulate(fabric, trace, *sched);
+  EXPECT_NEAR(run.coflows[0].completion, 1000.1, 1e-6);
+  EXPECT_NEAR(run.coflows[0].cct, 0.1, 1e-6);
+}
+
+}  // namespace
+}  // namespace ncdrf

@@ -1,0 +1,151 @@
+// Tests for the CSV exporters, the trace statistics profiler, and the
+// communication-pattern builders.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+#include "core/registry.h"
+#include "metrics/export.h"
+#include "sim/sim.h"
+#include "test_util.h"
+#include "trace/patterns.h"
+#include "trace/synthetic_fb.h"
+#include "trace/trace_stats.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::fig3_trace;
+
+int count_lines(const std::string& text) {
+  int lines = 0;
+  for (const char c : text) lines += c == '\n';
+  return lines;
+}
+
+TEST(Export, CoflowCsvHasHeaderAndOneRowPerCoflow) {
+  const Fabric fabric(2, gbps(1.0));
+  const auto sched = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *sched);
+  std::ostringstream out;
+  write_coflow_csv(out, run);
+  const std::string csv = out.str();
+  EXPECT_EQ(count_lines(csv), 3);  // header + 2 coflows
+  EXPECT_NE(csv.find("coflow,arrival_s"), std::string::npos);
+  EXPECT_NE(csv.find(",LN"), std::string::npos);  // 12.5 MB flows: long narrow
+}
+
+TEST(Export, IntervalsCsvMatchesIntervalCount) {
+  const Fabric fabric(2, gbps(1.0));
+  const auto sched = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *sched);
+  std::ostringstream out;
+  write_intervals_csv(out, run);
+  EXPECT_EQ(count_lines(out.str()),
+            static_cast<int>(run.intervals.size()) + 1);
+}
+
+TEST(Export, CdfCsvIsMonotone) {
+  WeightedCdf cdf;
+  cdf.add(3.0, 1.0);
+  cdf.add(1.0, 2.0);
+  cdf.add(2.0, 1.0);
+  std::ostringstream out;
+  write_cdf_csv(out, cdf, "disparity");
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("disparity,cumulative_fraction"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("3,1"), std::string::npos);
+}
+
+TEST(Export, NormalizedCctCsvAlignsPolicies) {
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = fig3_trace();
+  const auto drf = make_scheduler("drf");
+  const RunResult base = simulate(fabric, trace, *drf);
+  std::map<std::string, RunResult> runs;
+  const auto ncdrf_sched = make_scheduler("ncdrf");
+  const auto psp = make_scheduler("psp");
+  runs["ncdrf"] = simulate(fabric, trace, *ncdrf_sched);
+  runs["psp"] = simulate(fabric, trace, *psp);
+  std::ostringstream out;
+  write_normalized_cct_csv(out, runs, base);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("coflow,ncdrf,psp"), std::string::npos);
+  EXPECT_EQ(count_lines(csv), 3);
+}
+
+TEST(TraceStatsTest, ProfilesTheSyntheticTwin) {
+  SyntheticFbOptions options;
+  options.num_coflows = 120;
+  options.num_racks = 50;
+  options.duration_s = 600.0;
+  const Trace trace = generate_synthetic_fb(options);
+  const Fabric fabric(50, gbps(1.0));
+  const TraceStats stats = compute_trace_stats(trace, fabric);
+
+  EXPECT_EQ(stats.num_coflows, 120);
+  EXPECT_EQ(stats.num_flows, trace.total_flows);
+  EXPECT_NEAR(stats.total_bytes, trace.total_bits() / 8.0, 1.0);
+  EXPECT_GT(stats.arrival_span_s, 100.0);
+  EXPECT_GE(stats.width.min, 1.0);
+  EXPECT_GE(stats.disparity.min, 1.0);
+  // Rack skew concentrates load: the hotspot link carries far more than
+  // the mean link.
+  EXPECT_GT(stats.max_link_load_gbps, 3.0 * stats.mean_link_load_gbps);
+  int bin_total = 0;
+  for (const auto& [bin, count] : stats.bins) bin_total += count;
+  EXPECT_EQ(bin_total, 120);
+
+  const std::string report = format_trace_stats(stats);
+  EXPECT_NE(report.find("width"), std::string::npos);
+  EXPECT_NE(report.find("hotspot"), std::string::npos);
+}
+
+TEST(Patterns, ShuffleAndAllToAllShapes) {
+  TraceBuilder builder(6);
+  builder.begin_coflow(0.0);
+  add_shuffle(builder, machine_range(0, 2), machine_range(3, 3),
+              [] { return 1e6; });
+  builder.begin_coflow(0.0);
+  add_all_to_all(builder, machine_range(0, 3), [] { return 1e6; });
+  const Trace trace = builder.build();
+  EXPECT_EQ(trace.coflows[0].width(), 6);  // 2×3
+  EXPECT_EQ(trace.coflows[1].width(), 9);  // 3×3
+}
+
+TEST(Patterns, PairwiseIncastBroadcastShapes) {
+  TraceBuilder builder(8);
+  builder.begin_coflow(0.0);
+  add_pairwise(builder, machine_range(0, 3), machine_range(4, 3),
+               [] { return 1e6; }, /*bidirectional=*/true);
+  builder.begin_coflow(0.0);
+  add_incast(builder, machine_range(0, 5), 7, [] { return 1e6; });
+  builder.begin_coflow(0.0);
+  add_broadcast(builder, 7, machine_range(0, 4), [] { return 1e6; });
+  const Trace trace = builder.build();
+  EXPECT_EQ(trace.coflows[0].width(), 6);  // 3 pairs × 2 directions
+  EXPECT_EQ(trace.coflows[1].width(), 5);
+  EXPECT_EQ(trace.coflows[2].width(), 4);
+
+  const Fabric fabric(8, gbps(1.0));
+  // Incast concentrates on the aggregator's downlink.
+  const DemandVectors d = trace.coflows[1].demand(fabric);
+  EXPECT_EQ(d.bottleneck_link, fabric.downlink(7));
+}
+
+TEST(Patterns, Validation) {
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  EXPECT_THROW(add_shuffle(builder, {}, machine_range(0, 2),
+                           [] { return 1e6; }),
+               CheckError);
+  EXPECT_THROW(add_pairwise(builder, machine_range(0, 2),
+                            machine_range(0, 3), [] { return 1e6; }),
+               CheckError);
+  EXPECT_THROW(machine_range(0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace ncdrf

@@ -1,0 +1,70 @@
+// Unit tests for the non-blocking fabric model (paper Fig. 2).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fabric/fabric.h"
+
+namespace ncdrf {
+namespace {
+
+TEST(Fabric, UplinkDownlinkLayoutMatchesPaper) {
+  // link-i = uplink of machine i; link-(i+m) = downlink of machine i.
+  const Fabric fabric(4, 1e9);
+  EXPECT_EQ(fabric.num_machines(), 4);
+  EXPECT_EQ(fabric.num_links(), 8);
+  for (MachineId m = 0; m < 4; ++m) {
+    EXPECT_EQ(fabric.uplink(m), m);
+    EXPECT_EQ(fabric.downlink(m), m + 4);
+    EXPECT_TRUE(fabric.is_uplink(fabric.uplink(m)));
+    EXPECT_FALSE(fabric.is_uplink(fabric.downlink(m)));
+    EXPECT_EQ(fabric.machine_of(fabric.uplink(m)), m);
+    EXPECT_EQ(fabric.machine_of(fabric.downlink(m)), m);
+  }
+}
+
+TEST(Fabric, UniformCapacities) {
+  const Fabric fabric(150, 1e9);
+  EXPECT_TRUE(fabric.uniform_capacity());
+  EXPECT_DOUBLE_EQ(fabric.capacity(0), 1e9);
+  EXPECT_DOUBLE_EQ(fabric.capacity(299), 1e9);
+  // "total bandwidth availability in the fabric is 300 Gbps" (Sec. V-A).
+  EXPECT_DOUBLE_EQ(fabric.total_capacity(), 300e9);
+}
+
+TEST(Fabric, HeterogeneousCapacities) {
+  const Fabric fabric(std::vector<double>{1e9, 2e9, 3e9, 4e9});
+  EXPECT_EQ(fabric.num_machines(), 2);
+  EXPECT_FALSE(fabric.uniform_capacity());
+  EXPECT_DOUBLE_EQ(fabric.capacity(1), 2e9);
+  EXPECT_DOUBLE_EQ(fabric.capacity(3), 4e9);
+  EXPECT_DOUBLE_EQ(fabric.total_capacity(), 10e9);
+}
+
+TEST(Fabric, RejectsInvalidConstruction) {
+  EXPECT_THROW(Fabric(0, 1e9), CheckError);
+  EXPECT_THROW(Fabric(2, 0.0), CheckError);
+  EXPECT_THROW(Fabric(2, -1.0), CheckError);
+  EXPECT_THROW(Fabric(std::vector<double>{}), CheckError);
+  EXPECT_THROW(Fabric(std::vector<double>{1e9}), CheckError);  // odd count
+  EXPECT_THROW(Fabric(std::vector<double>{1e9, 0.0}), CheckError);
+}
+
+TEST(Fabric, RejectsOutOfRangeIds) {
+  const Fabric fabric(3, 1e9);
+  EXPECT_THROW(fabric.uplink(3), CheckError);
+  EXPECT_THROW(fabric.uplink(-1), CheckError);
+  EXPECT_THROW(fabric.downlink(3), CheckError);
+  EXPECT_THROW(fabric.capacity(6), CheckError);
+  EXPECT_THROW(fabric.capacity(-1), CheckError);
+  EXPECT_THROW(fabric.machine_of(6), CheckError);
+}
+
+TEST(Fabric, SingleMachineIsValid) {
+  const Fabric fabric(1, 5e8);
+  EXPECT_EQ(fabric.num_links(), 2);
+  EXPECT_EQ(fabric.uplink(0), 0);
+  EXPECT_EQ(fabric.downlink(0), 1);
+}
+
+}  // namespace
+}  // namespace ncdrf

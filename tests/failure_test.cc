@@ -1,0 +1,150 @@
+// Failure-injection tests: control-plane message loss in the cluster
+// emulation, and misbehaving schedulers against the simulator's guards.
+#include <gtest/gtest.h>
+
+#include "cluster/bus.h"
+#include "cluster/deployment.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "sim/sim.h"
+#include "test_util.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::fig3_trace;
+
+TEST(BusLoss, UnreliableSendsDropAtConfiguredRate) {
+  SimBus bus(0.0, /*loss_probability=*/0.5, /*seed=*/3);
+  int delivered = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (bus.send_unreliable(0.0, master_address(),
+                            FlowFinishedMsg{i, 0, 0.0})) {
+      ++delivered;
+    }
+  }
+  EXPECT_NEAR(delivered / static_cast<double>(n), 0.5, 0.05);
+  EXPECT_EQ(bus.total_dropped(), n - delivered);
+}
+
+TEST(BusLoss, ReliableSendsNeverDrop) {
+  SimBus bus(0.0, /*loss_probability=*/0.9, /*seed=*/3);
+  for (int i = 0; i < 100; ++i) {
+    bus.send(0.0, master_address(), FlowFinishedMsg{i, 0, 0.0});
+  }
+  EXPECT_EQ(bus.deliver_due(0.0).size(), 100u);
+  EXPECT_EQ(bus.total_dropped(), 0);
+}
+
+TEST(BusLoss, RejectsInvalidProbability) {
+  EXPECT_THROW(SimBus(0.0, -0.1), CheckError);
+  EXPECT_THROW(SimBus(0.0, 1.0), CheckError);
+}
+
+TEST(FailureInjection, DeploymentCompletesUnderHeavyControlLoss) {
+  // 30% of rate updates / heartbeats / finish reports vanish; the periodic
+  // reallocation refresh repairs the damage and every coflow still
+  // completes, just a bit slower.
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = fig3_trace();
+
+  DeploymentOptions clean;
+  clean.tick_s = 0.002;
+  clean.control_latency_s = 0.001;
+  clean.reallocation_refresh_period_s = 0.05;
+
+  DeploymentOptions lossy = clean;
+  lossy.control_loss_probability = 0.3;
+
+  const auto sched_a = make_scheduler("ncdrf");
+  const auto sched_b = make_scheduler("ncdrf");
+  const DeploymentResult ok = run_deployment(fabric, trace, *sched_a, clean);
+  const DeploymentResult faulty =
+      run_deployment(fabric, trace, *sched_b, lossy);
+
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_GT(faulty.coflows[k].cct, 0.0);
+    // Loss can only slow things down, and the refresh bounds the damage.
+    EXPECT_GE(faulty.coflows[k].cct, ok.coflows[k].cct - 0.01);
+    EXPECT_LT(faulty.coflows[k].cct, ok.coflows[k].cct + 1.0);
+  }
+}
+
+TEST(FailureInjection, RefreshRepairsLostInitialRateUpdate) {
+  // With a 60% loss rate the very first RateUpdate is often dropped; only
+  // the refresh lets the flow ever start. Without refresh this workload
+  // could stall; with it, completion is guaranteed.
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, megabits(50.0));
+  const Trace trace = builder.build();
+
+  DeploymentOptions options;
+  options.tick_s = 0.002;
+  options.control_loss_probability = 0.6;
+  options.loss_seed = 99;
+  options.reallocation_refresh_period_s = 0.05;
+  const auto sched = make_scheduler("ncdrf");
+  const DeploymentResult result =
+      run_deployment(fabric, trace, *sched, options);
+  EXPECT_GT(result.coflows[0].cct, 0.0);
+}
+
+// A scheduler that oversubscribes every link by 3x: the simulator must
+// clamp it back to feasibility and still conserve bytes.
+class OversubscribingScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Oversubscriber"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override {
+    Allocation alloc;
+    for (const ActiveCoflow& coflow : input.coflows) {
+      for (const ActiveFlow& f : coflow.flows) {
+        alloc.set_rate(f.id, 3.0 * input.fabric->capacity(
+                                      input.fabric->uplink(f.src)));
+      }
+    }
+    return alloc;
+  }
+};
+
+TEST(FailureInjection, SimulatorClampsOversubscribingScheduler) {
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = fig3_trace();
+  OversubscribingScheduler bad;
+  SimOptions options;
+  options.validate_allocations = true;  // validated *after* clamping
+  const RunResult run = simulate(fabric, trace, bad, options);
+  EXPECT_NEAR(run.total_bits_delivered, trace.total_bits(), 10.0);
+  for (const CoflowRecord& rec : run.coflows) {
+    // Clamped rates can never beat the physics bound.
+    EXPECT_GE(rec.cct, rec.min_cct - 1e-9);
+  }
+}
+
+// A scheduler that refuses to allocate anything: the simulator must detect
+// the starvation instead of spinning forever.
+class StarvingScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Starver"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override {
+    Allocation alloc;
+    for (const ActiveCoflow& coflow : input.coflows) {
+      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
+    }
+    return alloc;
+  }
+};
+
+TEST(FailureInjection, SimulatorDetectsStarvation) {
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = fig3_trace();
+  StarvingScheduler bad;
+  EXPECT_THROW(simulate(fabric, trace, bad), CheckError);
+}
+
+}  // namespace
+}  // namespace ncdrf

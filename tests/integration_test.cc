@@ -1,0 +1,212 @@
+// Integration & property tests across the whole stack: trace replays under
+// every policy with allocation validation, cross-policy orderings the
+// paper's evaluation relies on, and the Theorem 1 long-term isolation
+// bound on instances satisfying its assumptions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "core/registry.h"
+#include "metrics/eval.h"
+#include "sched/drf.h"
+#include "sim/sim.h"
+#include "trace/synthetic_fb.h"
+
+namespace ncdrf {
+namespace {
+
+// A small synthetic workload in the style of the FB benchmark.
+Trace small_workload(std::uint64_t seed) {
+  SyntheticFbOptions options;
+  options.seed = seed;
+  options.num_coflows = 40;
+  options.num_racks = 20;
+  options.duration_s = 60.0;
+  options.max_flows_per_coflow = 80;
+  return generate_synthetic_fb(options);
+}
+
+TEST(Integration, EveryPolicyCompletesEveryCoflowFeasibly) {
+  const Fabric fabric(20, gbps(1.0));
+  const Trace trace = small_workload(5);
+  SimOptions options;
+  options.validate_allocations = true;
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    const RunResult run = simulate(fabric, trace, *sched, options);
+    EXPECT_NEAR(run.total_bits_delivered, trace.total_bits(),
+                trace.total_bits() * 1e-6)
+        << name;
+    for (const CoflowRecord& rec : run.coflows) {
+      EXPECT_GT(rec.cct, 0.0) << name;
+      EXPECT_GE(rec.completion, rec.arrival) << name;
+      EXPECT_GE(rec.cct, rec.min_cct - 1e-6) << name;
+    }
+  }
+}
+
+TEST(Integration, DrfDisparityIsOneOnTraceReplay) {
+  const Fabric fabric(20, gbps(1.0));
+  const Trace trace = small_workload(6);
+  const auto drf = make_scheduler("drf");
+  const RunResult run = simulate(fabric, trace, *drf);
+  const WeightedCdf cdf = disparity_cdf(run);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_LT(cdf.quantile(1.0), 1.0 + 1e-6);
+}
+
+TEST(Integration, NcDrfBeatsPspOnDisparity) {
+  // Fig. 5a's headline: NC-DRF keeps the coflow progress disparity
+  // smaller than PS-P. The separation needs the evaluation workload's
+  // contention structure (150 hotspot racks, wide coflows), so this test
+  // replays a same-density slice of it: 150 coflows over 1000 s. Small
+  // low-contention workloads do not discriminate (both policies backfill
+  // to similar rates there).
+  const Fabric fabric(150, gbps(1.0));
+  double mean_nc = 0.0;
+  double mean_psp = 0.0;
+  for (const std::uint64_t seed : {7u, 11u, 13u}) {
+    SyntheticFbOptions options;
+    options.seed = seed;
+    options.num_coflows = 150;
+    options.num_racks = 150;
+    options.duration_s = 1000.0;
+    const Trace trace = generate_synthetic_fb(options);
+    const auto ncdrf = make_scheduler("ncdrf");
+    const auto psp = make_scheduler("psp");
+    const WeightedCdf d_nc = disparity_cdf(simulate(fabric, trace, *ncdrf));
+    const WeightedCdf d_psp = disparity_cdf(simulate(fabric, trace, *psp));
+    ASSERT_FALSE(d_nc.empty());
+    ASSERT_FALSE(d_psp.empty());
+    mean_nc += d_nc.mean();
+    mean_psp += d_psp.mean();
+  }
+  EXPECT_LT(mean_nc, mean_psp);
+}
+
+TEST(Integration, TcpTopsUtilization) {
+  // Fig. 5b: per-flow fairness achieves the highest network utilization.
+  const Fabric fabric(20, gbps(1.0));
+  const Trace trace = small_workload(8);
+  std::map<std::string, double> avg;
+  for (const std::string name : {"tcp", "psp", "ncdrf", "drf"}) {
+    const auto sched = make_scheduler(name);
+    avg[name] = average_link_usage(simulate(fabric, trace, *sched));
+  }
+  EXPECT_GE(avg["tcp"], avg["psp"] - 1.0);
+  EXPECT_GE(avg["tcp"], avg["ncdrf"] - 1.0);
+  EXPECT_GE(avg["tcp"], avg["drf"] - 1.0);
+}
+
+TEST(Integration, NcDrfTracksDrfWithIdenticalFlowSizes) {
+  // Offline instance whose coflows have identical intra-coflow flow sizes:
+  // NC-DRF's CCTs equal DRF's for every coflow (e_max = 1 ⇒ Theorem 1 is
+  // tight).
+  const Fabric fabric(8, gbps(1.0));
+  Rng rng(17);
+  TraceBuilder builder(8);
+  for (int c = 0; c < 12; ++c) {
+    builder.begin_coflow(0.0);
+    const double size = rng.uniform(megabits(40.0), megabits(400.0));
+    const int flows = static_cast<int>(rng.uniform_int(1, 6));
+    for (int f = 0; f < flows; ++f) {
+      builder.add_flow(static_cast<MachineId>(rng.uniform_int(0, 7)),
+                       static_cast<MachineId>(rng.uniform_int(0, 7)), size);
+    }
+  }
+  const Trace trace = builder.build();
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false});
+  DrfScheduler drf;
+  const RunResult run_nc = simulate(fabric, trace, ncdrf);
+  const RunResult run_drf = simulate(fabric, trace, drf);
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_NEAR(run_nc.coflows[k].cct, run_drf.coflows[k].cct,
+                run_drf.coflows[k].cct * 1e-6)
+        << "coflow " << k;
+  }
+}
+
+// ----------------------------------------------------------- Theorem 1
+
+// Builds an offline instance satisfying the theorem's assumptions: every
+// coflow has M_k uplinks and R_k < M_k downlinks, with identical flow
+// sizes from all M_k uplinks into each downlink.
+Trace theorem1_instance(std::uint64_t seed, int machines, int coflows,
+                        double size_spread) {
+  Rng rng(seed);
+  TraceBuilder builder(machines);
+  for (int c = 0; c < coflows; ++c) {
+    builder.begin_coflow(0.0);
+    const int m_k = static_cast<int>(rng.uniform_int(2, machines));
+    const int r_k = static_cast<int>(rng.uniform_int(1, m_k - 1));
+    const std::vector<int> ups = rng.sample_without_replacement(machines, m_k);
+    const std::vector<int> downs =
+        rng.sample_without_replacement(machines, r_k);
+    const double base = rng.uniform(megabits(20.0), megabits(200.0));
+    for (const int down : downs) {
+      // d_k^{1j} = d_k^{2j} = … : same size from every uplink.
+      const double size = base * rng.uniform(1.0, size_spread);
+      for (const int up : ups) {
+        builder.add_flow(up, down, size);
+      }
+    }
+  }
+  return builder.build();
+}
+
+double max_disparity(const Fabric& fabric, const Trace& trace) {
+  double e_max = 1.0;
+  for (const Coflow& coflow : trace.coflows) {
+    e_max = std::max(e_max, coflow.demand(fabric).disparity());
+  }
+  return e_max;
+}
+
+class Theorem1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1Property, NcDrfCctWithinEmaxOfDrf) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Fabric fabric(6, gbps(1.0));
+  const Trace trace = theorem1_instance(seed, 6, 8, /*size_spread=*/3.0);
+  const double e_max = max_disparity(fabric, trace);
+
+  NcDrfScheduler ncdrf;  // Algorithm 1 incl. backfilling
+  DrfScheduler drf;
+  const RunResult run_nc = simulate(fabric, trace, ncdrf);
+  const RunResult run_drf = simulate(fabric, trace, drf);
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_LE(run_nc.coflows[k].cct,
+              e_max * run_drf.coflows[k].cct * (1.0 + 1e-6))
+        << "coflow " << k << " violates F_k <= e_max * F_k^D (e_max = "
+        << e_max << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property, ::testing::Range(0, 30));
+
+TEST(Integration, AaloTailIsWorseThanNcDrfTail) {
+  // Fig. 6a's observation: Aalo (D-CLAS) speeds small coflows but provides
+  // no isolation — its worst-case normalized CCT (vs DRF) is far larger
+  // than NC-DRF's on a trace replay.
+  const Fabric fabric(20, gbps(1.0));
+  const Trace trace = small_workload(9);
+  const auto drf = make_scheduler("drf");
+  const auto aalo = make_scheduler("aalo");
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run_drf = simulate(fabric, trace, *drf);
+  const std::vector<double> norm_aalo =
+      normalized_ccts(simulate(fabric, trace, *aalo), run_drf);
+  const std::vector<double> norm_nc =
+      normalized_ccts(simulate(fabric, trace, *ncdrf), run_drf);
+  const double max_aalo =
+      *std::max_element(norm_aalo.begin(), norm_aalo.end());
+  const double max_nc = *std::max_element(norm_nc.begin(), norm_nc.end());
+  EXPECT_GT(max_aalo, max_nc);
+}
+
+}  // namespace
+}  // namespace ncdrf

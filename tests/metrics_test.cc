@@ -1,0 +1,141 @@
+// Tests for the evaluation metrics: normalized CCT, slowdown, disparity
+// and utilization distributions, and bin aggregation.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "metrics/eval.h"
+#include "sched/drf.h"
+#include "sched/psp.h"
+#include "sim/sim.h"
+#include "test_util.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::fig3_trace;
+
+TEST(Metrics, NormalizedCctOfFig3PspVsDrf) {
+  const Fabric fabric(2, gbps(1.0));
+  DrfScheduler drf;
+  PspScheduler psp(PspOptions{.work_conserving = false});
+  const RunResult base = simulate(fabric, fig3_trace(), drf);
+  const RunResult cmp = simulate(fabric, fig3_trace(), psp);
+  const std::vector<double> norm = normalized_ccts(cmp, base);
+  ASSERT_EQ(norm.size(), 2u);
+  // 0.4 s vs 0.3 s → 4/3 for both coflows.
+  EXPECT_NEAR(norm[0], 4.0 / 3.0, 1e-6);
+  EXPECT_NEAR(norm[1], 4.0 / 3.0, 1e-6);
+}
+
+TEST(Metrics, NormalizedCctRejectsMismatchedRuns) {
+  const Fabric fabric(2, gbps(1.0));
+  DrfScheduler drf;
+  const RunResult base = simulate(fabric, fig3_trace(), drf);
+  RunResult wrong = base;
+  wrong.coflows.pop_back();
+  EXPECT_THROW(normalized_ccts(wrong, base), CheckError);
+}
+
+TEST(Metrics, SlowdownOfIsolatedCoflowIsOne) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(1.0));
+  const Trace trace = builder.build();
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, trace, *ncdrf);
+  const std::vector<double> s = slowdowns(run);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s[0], 1.0, 1e-6);
+}
+
+TEST(Metrics, SlowdownIsAtLeastOneUnderContention) {
+  const Fabric fabric(2, gbps(1.0));
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    const RunResult run = simulate(fabric, fig3_trace(), *sched);
+    for (const double s : slowdowns(run)) {
+      EXPECT_GE(s, 1.0 - 1e-9) << name;
+    }
+  }
+}
+
+TEST(Metrics, DisparityOfDrfIsOne) {
+  const Fabric fabric(2, gbps(1.0));
+  DrfScheduler drf;
+  const RunResult run = simulate(fabric, fig3_trace(), drf);
+  const WeightedCdf cdf = disparity_cdf(run);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_NEAR(cdf.max(), 1.0, 1e-6);
+}
+
+TEST(Metrics, DisparityIgnoresSingleCoflowIntervals) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(1.0));
+  const Trace trace = builder.build();
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, trace, *ncdrf);
+  EXPECT_TRUE(disparity_cdf(run).empty());
+}
+
+TEST(Metrics, AverageLinkUsageOfSaturatedExample) {
+  // Under NC-DRF on Fig. 3, links 1 and 3 run at 1 Gbps and links 0 and 2
+  // at 1/3 Gbps for the whole run → Σ usage = 8/3 Gbps.
+  const Fabric fabric(2, gbps(1.0));
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *ncdrf);
+  EXPECT_NEAR(average_link_usage(run), gbps(8.0 / 3.0), 1e3);
+  const WeightedCdf cdf = utilization_cdf(run);
+  EXPECT_NEAR(cdf.mean(), gbps(8.0 / 3.0), 1e3);
+}
+
+TEST(Metrics, BinAggregation) {
+  RunResult run;
+  auto add = [&](int id, double cct, int width, double max_flow) {
+    CoflowRecord rec;
+    rec.id = id;
+    rec.cct = cct;
+    rec.min_cct = 1.0;
+    rec.width = width;
+    rec.max_flow_bits = max_flow;
+    run.coflows.push_back(rec);
+  };
+  add(0, 2.0, 10, megabytes(1.0));   // SN
+  add(1, 4.0, 10, megabytes(10.0));  // LN
+  add(2, 6.0, 80, megabytes(1.0));   // SW
+  add(3, 8.0, 80, megabytes(10.0));  // LW
+  add(4, 10.0, 12, megabytes(2.0));  // SN
+
+  const auto counts = bin_counts(run);
+  EXPECT_EQ(counts.at(CoflowBin::kShortNarrow), 2);
+  EXPECT_EQ(counts.at(CoflowBin::kLongNarrow), 1);
+  EXPECT_EQ(counts.at(CoflowBin::kShortWide), 1);
+  EXPECT_EQ(counts.at(CoflowBin::kLongWide), 1);
+
+  std::vector<double> values{2.0, 4.0, 6.0, 8.0, 10.0};
+  EXPECT_DOUBLE_EQ(mean_over_bin(run, values, CoflowBin::kShortNarrow), 6.0);
+  EXPECT_DOUBLE_EQ(mean_over_bin(run, values, CoflowBin::kLongWide), 8.0);
+  EXPECT_THROW(mean_over_bin(run, {1.0}, CoflowBin::kShortNarrow),
+               CheckError);
+}
+
+TEST(Metrics, StarvedIntervalsLandAtSentinel) {
+  RunResult run;
+  IntervalRecord rec;
+  rec.t0 = 0.0;
+  rec.t1 = 1.0;
+  rec.active_coflows = 2;
+  rec.min_progress = 0.0;  // one coflow fully starved
+  rec.max_progress = 5.0;
+  run.intervals.push_back(rec);
+  const WeightedCdf cdf = disparity_cdf(run, 2, /*starved_value=*/1e6);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.max(), 1e6);
+}
+
+}  // namespace
+}  // namespace ncdrf

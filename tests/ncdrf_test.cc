@@ -1,0 +1,213 @@
+// Tests for the NC-DRF core scheduler (Algorithm 1), including:
+//   - the paper's worked example (P̂* = 2/3, every flow at 1/3 Gbps);
+//   - the "extreme condition" equivalence: with identical flow sizes,
+//     NC-DRF makes the same decisions as clairvoyant DRF (Sec. IV-A),
+//     verified as a randomized property over seeds;
+//   - non-clairvoyance by construction: allocations are invariant to flow
+//     sizes;
+//   - feasibility and work-conservation invariants under random workloads.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "core/registry.h"
+#include "sched/drf.h"
+#include "test_util.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::coflow_link_usage;
+using testing::fig3_trace;
+using testing::snapshot_all_active;
+
+// Random trace where every coflow's flows have identical sizes (the
+// paper's "extreme condition") or sizes spread by up to `spread`.
+Trace random_trace(std::uint64_t seed, int machines, int coflows,
+                   double spread = 1.0) {
+  Rng rng(seed);
+  TraceBuilder builder(machines);
+  for (int c = 0; c < coflows; ++c) {
+    builder.begin_coflow(0.0);
+    const double base = rng.uniform(megabits(10.0), megabits(500.0));
+    const int flows = static_cast<int>(rng.uniform_int(1, 12));
+    for (int f = 0; f < flows; ++f) {
+      const auto src =
+          static_cast<MachineId>(rng.uniform_int(0, machines - 1));
+      const auto dst =
+          static_cast<MachineId>(rng.uniform_int(0, machines - 1));
+      builder.add_flow(src, dst, base * rng.uniform(1.0, spread));
+    }
+  }
+  return builder.build();
+}
+
+TEST(NcDrf, PaperExampleAllocation) {
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  // "the maximum equal sharing on the flow-count-bottleneck links is
+  //  P̂* = 1/max_i Σ_k ĉ_k^i = 2/3" (Sec. IV-B example).
+  EXPECT_NEAR(NcDrfScheduler::flow_count_progress(snap.input), gbps(2.0 / 3),
+              1.0);
+  NcDrfScheduler ncdrf;
+  const Allocation alloc = ncdrf.allocate(snap.input);
+  // "all the four flows in this example will get transferring bandwidth
+  //  of 1/3 Gbps".
+  for (FlowId f = 0; f < 4; ++f) {
+    EXPECT_NEAR(alloc.rate(f), gbps(1.0 / 3), 1.0) << "flow " << f;
+  }
+  // "NC-DRF can fully utilize the bandwidth resources on both link-2 and
+  //  link-4" (our links 1 and 3).
+  const auto usage = link_usage(snap.input, alloc);
+  EXPECT_NEAR(usage[1], gbps(1.0), 1.0);
+  EXPECT_NEAR(usage[3], gbps(1.0), 1.0);
+}
+
+TEST(NcDrf, EqualRatePerFlowWithinCoflowBeforeBackfill) {
+  const Fabric fabric(4, gbps(1.0));
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 2, megabits(10.0));
+  builder.add_flow(0, 3, megabits(90.0));   // size differs — rate must not
+  builder.add_flow(1, 2, megabits(400.0));  // (NC-DRF cannot see sizes)
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false});
+  const Allocation alloc = ncdrf.allocate(snap.input);
+  EXPECT_DOUBLE_EQ(alloc.rate(0), alloc.rate(1));
+  EXPECT_DOUBLE_EQ(alloc.rate(1), alloc.rate(2));
+}
+
+TEST(NcDrf, AllocationProportionalToFlowCounts) {
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false});
+  const Allocation alloc = ncdrf.allocate(snap.input);
+  // a_k^i = ĉ_k^i · P̂*: coflow A uses <1,1,0,2> flows → usage on its
+  // flow-count bottleneck (link 3) is double that on links 0 and 1.
+  const auto usage = coflow_link_usage(fabric, snap.input.coflows[0], alloc);
+  EXPECT_NEAR(usage[3], 2.0 * usage[0], 1.0);
+  EXPECT_NEAR(usage[0], usage[1], 1.0);
+}
+
+TEST(NcDrf, NonClairvoyantByConstruction) {
+  // Scaling every flow size by 1000× must not change NC-DRF's decisions —
+  // only endpoints and counts may matter.
+  const Fabric fabric(6, gbps(1.0));
+  const Trace base = random_trace(99, 6, 8, 5.0);
+  TraceBuilder scaled_builder(6);
+  for (const Coflow& c : base.coflows) {
+    scaled_builder.begin_coflow(c.arrival_time());
+    for (const Flow& f : c.flows()) {
+      scaled_builder.add_flow(f.src, f.dst, f.size_bits * 1000.0);
+    }
+  }
+  const Trace scaled = scaled_builder.build();
+
+  NcDrfScheduler ncdrf;
+  auto snap_a = snapshot_all_active(fabric, base, false);
+  auto snap_b = snapshot_all_active(fabric, scaled, false);
+  const Allocation alloc_a = ncdrf.allocate(snap_a.input);
+  const Allocation alloc_b = ncdrf.allocate(snap_b.input);
+  for (FlowId f = 0; f < base.total_flows; ++f) {
+    EXPECT_DOUBLE_EQ(alloc_a.rate(f), alloc_b.rate(f)) << "flow " << f;
+  }
+}
+
+// Property sweep: with identical flow sizes inside each coflow, NC-DRF's
+// pre-backfill allocation equals clairvoyant DRF's (the Sec. IV-A
+// "extreme condition").
+class NcDrfEqualsDrfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NcDrfEqualsDrfProperty, IdenticalSizesMakeNcDrfOptimal) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Fabric fabric(8, gbps(1.0));
+  const Trace trace = random_trace(seed, 8, 10, /*spread=*/1.0);
+
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false});
+  DrfScheduler drf;
+
+  auto snap_nc = snapshot_all_active(fabric, trace, false);
+  auto snap_drf = snapshot_all_active(fabric, trace, true);
+  const Allocation a_nc = ncdrf.allocate(snap_nc.input);
+  const Allocation a_drf = drf.allocate(snap_drf.input);
+  for (FlowId f = 0; f < trace.total_flows; ++f) {
+    EXPECT_NEAR(a_nc.rate(f), a_drf.rate(f), 1e-3) << "flow " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NcDrfEqualsDrfProperty,
+                         ::testing::Range(0, 25));
+
+// Property sweep: feasibility and the work-conservation direction on
+// arbitrary (skewed) workloads.
+class NcDrfInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(NcDrfInvariants, FeasibleAndBackfillMonotone) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Fabric fabric(10, gbps(1.0));
+  const Trace trace = random_trace(seed + 1000, 10, 15, /*spread=*/8.0);
+
+  NcDrfScheduler plain(NcDrfOptions{.work_conserving = false});
+  NcDrfScheduler conserving;
+  auto snap = snapshot_all_active(fabric, trace, false);
+  const Allocation base = plain.allocate(snap.input);
+  const Allocation filled = conserving.allocate(snap.input);
+
+  EXPECT_NO_THROW(check_capacity(snap.input, base));
+  EXPECT_NO_THROW(check_capacity(snap.input, filled));
+  // Backfill only adds bandwidth, to every flow.
+  for (const ActiveCoflow& c : snap.input.coflows) {
+    for (const ActiveFlow& f : c.flows) {
+      EXPECT_GE(filled.rate(f.id), base.rate(f.id) - 1e-9);
+      EXPECT_GT(base.rate(f.id), 0.0);  // no flow is ever starved
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NcDrfInvariants, ::testing::Range(0, 25));
+
+TEST(NcDrf, EmptyInputYieldsEmptyAllocation) {
+  const Fabric fabric(2, gbps(1.0));
+  ScheduleInput input;
+  input.fabric = &fabric;
+  NcDrfScheduler ncdrf;
+  const Allocation alloc = ncdrf.allocate(input);
+  EXPECT_TRUE(alloc.rates().empty());
+}
+
+TEST(NcDrf, OnlineCountChangeShiftsAllocation) {
+  // When a flow of coflow A finishes, A's flow counts change and the
+  // shares rebalance — the NC-DRFOnline behaviour.
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false});
+  const Allocation before = ncdrf.allocate(snap.input);
+
+  // Remove A's flow on uplink 0 (flow id 0): A now has <0,1,0,1> counts,
+  // bottleneck 1; B unchanged <0,2,1,1>… wait: B has 2 flows on uplink 1.
+  auto& flows_a = snap.input.coflows[0].flows;
+  flows_a.erase(flows_a.begin());
+  const Allocation after = ncdrf.allocate(snap.input);
+  EXPECT_GT(after.rate(1), before.rate(1));  // A's surviving flow speeds up
+}
+
+TEST(Registry, CreatesEveryPolicy) {
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_FALSE(sched->name().empty());
+  }
+  EXPECT_THROW(make_scheduler("bogus"), CheckError);
+  EXPECT_FALSE(make_scheduler("ncdrf")->clairvoyant());
+  EXPECT_FALSE(make_scheduler("psp")->clairvoyant());
+  EXPECT_FALSE(make_scheduler("tcp")->clairvoyant());
+  EXPECT_FALSE(make_scheduler("aalo")->clairvoyant());
+  EXPECT_TRUE(make_scheduler("drf")->clairvoyant());
+  EXPECT_TRUE(make_scheduler("hug")->clairvoyant());
+  EXPECT_TRUE(make_scheduler("varys")->clairvoyant());
+}
+
+}  // namespace
+}  // namespace ncdrf

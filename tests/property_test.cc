@@ -1,0 +1,139 @@
+// Randomized property sweeps across the whole policy suite:
+//   - feasibility + conservation on heterogeneous-capacity fabrics;
+//   - determinism of the simulator;
+//   - online NC-DRF(live) ≡ DRF equivalence with identical flow sizes,
+//     including staggered arrivals;
+//   - coflow records' physical sanity under churn.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "core/registry.h"
+#include "metrics/eval.h"
+#include "sched/drf.h"
+#include "sim/sim.h"
+
+namespace ncdrf {
+namespace {
+
+Fabric random_fabric(Rng& rng, int machines) {
+  std::vector<double> capacities;
+  capacities.reserve(static_cast<std::size_t>(2 * machines));
+  for (int i = 0; i < 2 * machines; ++i) {
+    capacities.push_back(rng.uniform(gbps(0.5), gbps(4.0)));
+  }
+  return Fabric(std::move(capacities));
+}
+
+Trace random_online_trace(Rng& rng, int machines, int coflows,
+                          bool identical_sizes) {
+  TraceBuilder builder(machines);
+  for (int c = 0; c < coflows; ++c) {
+    builder.begin_coflow(rng.uniform(0.0, 3.0));
+    const double base = rng.uniform(megabits(20.0), megabits(300.0));
+    const int flows = static_cast<int>(rng.uniform_int(1, 10));
+    for (int f = 0; f < flows; ++f) {
+      builder.add_flow(
+          static_cast<MachineId>(rng.uniform_int(0, machines - 1)),
+          static_cast<MachineId>(rng.uniform_int(0, machines - 1)),
+          identical_sizes ? base : base * rng.uniform(0.2, 5.0));
+    }
+  }
+  return builder.build();
+}
+
+class HeterogeneousFabricProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeterogeneousFabricProperty, AllPoliciesFeasibleAndConserving) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 40'000);
+  const Fabric fabric = random_fabric(rng, 6);
+  const Trace trace = random_online_trace(rng, 6, 10, false);
+  SimOptions options;
+  options.validate_allocations = true;
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    const RunResult run = simulate(fabric, trace, *sched, options);
+    EXPECT_NEAR(run.total_bits_delivered, trace.total_bits(),
+                trace.total_bits() * 1e-6)
+        << name;
+    for (const CoflowRecord& rec : run.coflows) {
+      EXPECT_GE(rec.cct, rec.min_cct - 1e-6) << name;  // physics bound
+      EXPECT_GE(rec.completion, rec.arrival) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeterogeneousFabricProperty,
+                         ::testing::Range(0, 10));
+
+class OnlineEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineEquivalenceProperty, LiveNcDrfEqualsDrfWithIdenticalSizes) {
+  // With identical flow sizes inside each coflow, live-count NC-DRF makes
+  // the same decisions as clairvoyant DRF at every event, even with
+  // staggered arrivals: equal per-flow rates keep remaining sizes equal,
+  // so the remaining-demand correlation always equals the flow-count
+  // correlation.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 50'000);
+  const Fabric fabric(8, gbps(1.0));
+  const Trace trace = random_online_trace(rng, 8, 12, true);
+
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false,
+                                    .count_finished_flows = false});
+  DrfScheduler drf;
+  const RunResult run_nc = simulate(fabric, trace, ncdrf);
+  const RunResult run_drf = simulate(fabric, trace, drf);
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_NEAR(run_nc.coflows[k].cct, run_drf.coflows[k].cct,
+                run_drf.coflows[k].cct * 1e-6)
+        << "coflow " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineEquivalenceProperty,
+                         ::testing::Range(0, 15));
+
+class DeterminismProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismProperty, SimulationIsBitwiseRepeatable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 60'000);
+  const Fabric fabric(5, gbps(1.0));
+  const Trace trace = random_online_trace(rng, 5, 8, false);
+  for (const std::string name : {"ncdrf", "psp", "aalo", "varys"}) {
+    const auto s1 = make_scheduler(name);
+    const auto s2 = make_scheduler(name);
+    const RunResult a = simulate(fabric, trace, *s1);
+    const RunResult b = simulate(fabric, trace, *s2);
+    ASSERT_EQ(a.coflows.size(), b.coflows.size());
+    for (std::size_t k = 0; k < a.coflows.size(); ++k) {
+      EXPECT_EQ(a.coflows[k].cct, b.coflows[k].cct) << name;
+    }
+    EXPECT_EQ(a.num_events, b.num_events) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty, ::testing::Range(0, 8));
+
+TEST(StaleVsLive, LiveNeverLosesOnAverageNormalizedCct) {
+  // The ablation's direction as an invariant: live counts return finished
+  // flows' shares immediately, so on a contended workload the average
+  // normalized CCT of live NC-DRF is no worse than stale NC-DRF's.
+  Rng rng(77);
+  const Fabric fabric(10, gbps(1.0));
+  const Trace trace = random_online_trace(rng, 10, 40, false);
+
+  DrfScheduler drf;
+  const RunResult base = simulate(fabric, trace, drf);
+  const auto stale = make_scheduler("ncdrf");
+  const auto live = make_scheduler("ncdrf-live");
+  const RunResult run_stale = simulate(fabric, trace, *stale);
+  const RunResult run_live = simulate(fabric, trace, *live);
+
+  const Summary stale_norm = summarize(normalized_ccts(run_stale, base));
+  const Summary live_norm = summarize(normalized_ccts(run_live, base));
+  EXPECT_LE(live_norm.mean, stale_norm.mean * 1.02);
+}
+
+}  // namespace
+}  // namespace ncdrf

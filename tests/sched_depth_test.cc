@@ -1,0 +1,248 @@
+// Deeper behavioural tests for the baseline policies: HUG's progress cap,
+// Varys preemption under arrivals, Aalo's queue-structure parameter sweep,
+// PS-P redistribution-round convergence, and stale-count semantics with
+// populated finished-flow lists.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "core/registry.h"
+#include "sched/aalo.h"
+#include "sched/drf.h"
+#include "sched/hug.h"
+#include "sched/psp.h"
+#include "sched/varys.h"
+#include "sim/sim.h"
+#include "test_util.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::coflow_link_usage;
+using testing::fig3_trace;
+using testing::snapshot_all_active;
+
+// ------------------------------------------------------------------ HUG
+
+TEST(HugDepth, SpareStageRespectsProgressCap) {
+  // Coflow 0 uses only half of uplink 0; coflow 1 saturates uplink 1.
+  // HUG may hand coflow 0 spare bandwidth, but its total on any link must
+  // stay at or below P* × capacity.
+  const Fabric fabric(3, gbps(1.0));
+  TraceBuilder builder(3);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.add_flow(0, 2, 3e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 2, 4e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, true);
+
+  const double p_star = DrfScheduler::optimal_progress(snap.input);
+  HugScheduler hug;
+  const Allocation alloc = hug.allocate(snap.input);
+  for (const ActiveCoflow& coflow : snap.input.coflows) {
+    const auto usage = coflow_link_usage(fabric, coflow, alloc);
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      EXPECT_LE(usage[static_cast<std::size_t>(i)],
+                p_star * fabric.capacity(i) + 1.0)
+          << "coflow " << coflow.id << " link " << i;
+    }
+  }
+}
+
+TEST(HugDepth, UtilizationBetweenDrfAndWorkConservingBound) {
+  const Fabric fabric(4, gbps(1.0));
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 2, 2e8);
+  builder.add_flow(1, 2, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 3, 4e8);
+  builder.add_flow(0, 3, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, true);
+  DrfScheduler drf;
+  HugScheduler hug;
+  const double drf_total = drf.allocate(snap.input).total_rate();
+  const double hug_total = hug.allocate(snap.input).total_rate();
+  EXPECT_GE(hug_total, drf_total - 1.0);
+  EXPECT_NO_THROW(check_capacity(snap.input, hug.allocate(snap.input)));
+}
+
+// ---------------------------------------------------------------- Varys
+
+TEST(VarysDepth, SmallerArrivalPreemptsInSimulation) {
+  // A large coflow is running; a small one arrives and, under SEBF, takes
+  // the shared path until it finishes — the small coflow's CCT is close to
+  // its isolated time while the large one absorbs the delay.
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(8.0));
+  builder.begin_coflow(1.0);
+  builder.add_flow(0, 1, gigabits(1.0));
+  const Trace trace = builder.build();
+  const auto varys = make_scheduler("varys");
+  const RunResult run = simulate(fabric, trace, *varys);
+  EXPECT_NEAR(run.coflows[1].cct, 1.0, 1e-6);   // runs unimpeded
+  EXPECT_NEAR(run.coflows[0].cct, 9.0, 1e-6);   // 8 s of work + 1 s paused
+}
+
+TEST(VarysDepth, MinimizesAverageCctOnFig3) {
+  // Performance-optimal schedulers should beat fair ones on mean CCT.
+  const Fabric fabric(2, gbps(1.0));
+  const auto varys = make_scheduler("varys");
+  const auto drf = make_scheduler("drf");
+  const RunResult run_v = simulate(fabric, fig3_trace(), *varys);
+  const RunResult run_d = simulate(fabric, fig3_trace(), *drf);
+  const double avg_v = (run_v.coflows[0].cct + run_v.coflows[1].cct) / 2;
+  const double avg_d = (run_d.coflows[0].cct + run_d.coflows[1].cct) / 2;
+  EXPECT_LE(avg_v, avg_d + 1e-9);
+}
+
+// ----------------------------------------------------------------- Aalo
+
+class AaloQueueSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(AaloQueueSweep, QueueStructureIsConsistent) {
+  const auto [q0_mb, exchange, queues] = GetParam();
+  AaloOptions options;
+  options.initial_queue_limit_bits = megabytes(q0_mb);
+  options.exchange_rate = exchange;
+  options.num_queues = queues;
+  AaloScheduler aalo(options);
+
+  // Queue index is monotone in attained service, bounded by K-1, and each
+  // queue's upper bound is the next one's lower bound.
+  int previous_queue = 0;
+  for (double attained = 0.0; attained < megabytes(q0_mb) * 1e6;
+       attained = attained * 3.0 + megabytes(0.5)) {
+    const int q = aalo.queue_of(attained);
+    EXPECT_GE(q, previous_queue);
+    EXPECT_LT(q, queues);
+    previous_queue = q;
+    if (q < queues - 1) {
+      EXPECT_LT(attained, aalo.queue_upper_bound(q));
+    }
+    if (q > 0) {
+      EXPECT_GE(attained, aalo.queue_upper_bound(q - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AaloQueueSweep,
+    ::testing::Values(std::make_tuple(10.0, 10.0, 10),
+                      std::make_tuple(5.0, 2.0, 4),
+                      std::make_tuple(1.0, 10.0, 2),
+                      std::make_tuple(50.0, 4.0, 6),
+                      std::make_tuple(10.0, 10.0, 1)));
+
+TEST(AaloDepth, SingleQueueDegeneratesToFifo) {
+  // With K = 1 every coflow shares one queue → pure FIFO by arrival.
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(4.0));
+  builder.begin_coflow(0.5);
+  builder.add_flow(0, 1, gigabits(1.0));
+  const Trace trace = builder.build();
+
+  AaloScheduler aalo(AaloOptions{.num_queues = 1, .work_conserving = false});
+  const auto fifo = make_scheduler("fifo");
+  const RunResult run_a = simulate(fabric, trace, aalo);
+  const RunResult run_f = simulate(fabric, trace, *fifo);
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_NEAR(run_a.coflows[k].cct, run_f.coflows[k].cct, 1e-6);
+  }
+}
+
+// ----------------------------------------------------------------- PS-P
+
+TEST(PspDepth, RedistributionRoundsConvergeTowardFullUse) {
+  // On Fig. 3, each extra PS-P round recovers a geometric fraction of the
+  // wasted bandwidth: total rate increases monotonically with rounds and
+  // approaches the 4/3 Gbps NC-DRF achieves.
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  double previous = 0.0;
+  for (const int rounds : {0, 1, 3, 8}) {
+    PspScheduler psp(
+        PspOptions{.work_conserving = rounds > 0, .backfill_rounds = rounds});
+    const double total = psp.allocate(snap.input).total_rate();
+    EXPECT_GE(total, previous - 1.0);
+    previous = total;
+  }
+  EXPECT_GT(previous, gbps(4.0 / 3.0) * 0.95);
+  EXPECT_LE(previous, gbps(4.0 / 3.0) + 1.0);
+}
+
+// ------------------------------------------------- stale-count semantics
+
+TEST(StaleCounts, FinishedFlowsKeepTheirShareReserved) {
+  // Coflow 0 has 2 flows into machine 1, one already finished; coflow 1
+  // has 1 live flow into machine 1. Stale NC-DRF still counts 2 flows for
+  // coflow 0 on the downlink (ĉ unchanged), live NC-DRF counts 1.
+  const Fabric fabric(3, gbps(1.0));
+  TraceBuilder builder(3);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.add_flow(2, 1, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(2, 1, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+
+  // Mark coflow 0's first flow finished.
+  auto& c0 = snap.input.coflows[0];
+  c0.finished_flows.push_back(c0.flows.front());
+  c0.flows.erase(c0.flows.begin());
+
+  NcDrfScheduler stale(NcDrfOptions{.work_conserving = false,
+                                    .count_finished_flows = true});
+  NcDrfScheduler live(NcDrfOptions{.work_conserving = false,
+                                   .count_finished_flows = false});
+  const Allocation a_stale = stale.allocate(snap.input);
+  const Allocation a_live = live.allocate(snap.input);
+
+  // Stale: down1 load = ĉ0 (1) + ĉ1 (1) = 2 → P̂* = 0.5; coflow 0's live
+  // flow gets P̂*/n̄0 = 0.5/2 = 0.25. Live: coflow 0 counts 1 flow → its
+  // flow gets 0.5.
+  EXPECT_NEAR(a_stale.rate(c0.flows.front().id), gbps(0.25), 1e3);
+  EXPECT_NEAR(a_live.rate(c0.flows.front().id), gbps(0.5), 1e3);
+}
+
+TEST(StaleCounts, PspPresenceIncludesFinishedFlows) {
+  // Same snapshot for PS-P: with stale counting, coflow 0's downlink split
+  // divides its link share by 2 flows; with live counting, by 1.
+  const Fabric fabric(3, gbps(1.0));
+  TraceBuilder builder(3);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.add_flow(2, 1, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(2, 1, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  auto& c0 = snap.input.coflows[0];
+  c0.finished_flows.push_back(c0.flows.front());
+  c0.flows.erase(c0.flows.begin());
+
+  PspScheduler stale(PspOptions{.work_conserving = false,
+                                .count_finished_flows = true});
+  PspScheduler live(PspOptions{.work_conserving = false,
+                               .count_finished_flows = false});
+  // Stale: coflow 0 gets 0.5 of down1, split over 2 counted flows → 0.25.
+  EXPECT_NEAR(stale.allocate(snap.input).rate(c0.flows.front().id),
+              gbps(0.25), 1e3);
+  // Live: 0.5 of down1 over 1 flow, still capped by the uplink share.
+  EXPECT_NEAR(live.allocate(snap.input).rate(c0.flows.front().id),
+              gbps(0.5), 1e3);
+}
+
+}  // namespace
+}  // namespace ncdrf

@@ -1,0 +1,244 @@
+// Tests for the extended design-space baselines — FIFO (Orchestra),
+// Baraat (FIFO-LM), per-source / per-pair fairness — and for weighted
+// coflows under the fair policies.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/ncdrf.h"
+#include "core/registry.h"
+#include "sched/baraat.h"
+#include "sched/drf.h"
+#include "sched/endpoint_fair.h"
+#include "sched/fifo.h"
+#include "sim/sim.h"
+#include "test_util.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::coflow_link_usage;
+using testing::fig3_trace;
+using testing::snapshot_all_active;
+
+// ---------------------------------------------------------------- FIFO
+
+TEST(Fifo, HeadCoflowTakesItsLinks) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.begin_coflow(1.0);
+  builder.add_flow(0, 1, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  FifoScheduler fifo(FifoOptions{.work_conserving = false});
+  const Allocation alloc = fifo.allocate(snap.input);
+  EXPECT_DOUBLE_EQ(alloc.rate(0), gbps(1.0));
+  EXPECT_DOUBLE_EQ(alloc.rate(1), 0.0);
+}
+
+TEST(Fifo, LaterCoflowUsesDisjointLinks) {
+  // FIFO is per-link: a later coflow on disjoint links runs at full rate.
+  const Fabric fabric(4, gbps(1.0));
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.begin_coflow(1.0);
+  builder.add_flow(2, 3, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  FifoScheduler fifo(FifoOptions{.work_conserving = false});
+  const Allocation alloc = fifo.allocate(snap.input);
+  EXPECT_DOUBLE_EQ(alloc.rate(0), gbps(1.0));
+  EXPECT_DOUBLE_EQ(alloc.rate(1), gbps(1.0));
+}
+
+TEST(Fifo, HeadOfLineBlockingInSim) {
+  // A huge head coflow delays a tiny one behind it — the failure mode the
+  // paper's Sec. II-B attributes to FIFO scheduling.
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(10.0));  // 10 s alone
+  builder.begin_coflow(0.1);
+  builder.add_flow(0, 1, megabits(10.0));  // 0.01 s alone
+  const Trace trace = builder.build();
+  const auto fifo = make_scheduler("fifo");
+  const RunResult run = simulate(fabric, trace, *fifo);
+  EXPECT_GT(run.coflows[1].cct, 9.0);  // blocked behind the head
+}
+
+// --------------------------------------------------------------- Baraat
+
+TEST(Baraat, LightHeadServesAlone) {
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  // Both coflows light (attained 0): pure FIFO — coflow 0 wins.
+  BaraatScheduler baraat(BaraatOptions{.work_conserving = false});
+  const Allocation alloc = baraat.allocate(snap.input);
+  const auto usage0 = coflow_link_usage(fabric, snap.input.coflows[0], alloc);
+  const auto usage1 = coflow_link_usage(fabric, snap.input.coflows[1], alloc);
+  EXPECT_GT(usage0[1], 0.0);
+  EXPECT_DOUBLE_EQ(usage1[1], 0.0);
+}
+
+TEST(Baraat, HeavyHeadMultiplexesWithNext) {
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  snap.input.coflows[0].attained_bits = megabytes(100.0);  // heavy head
+  BaraatScheduler baraat(BaraatOptions{.work_conserving = false});
+  const Allocation alloc = baraat.allocate(snap.input);
+  const auto usage0 = coflow_link_usage(fabric, snap.input.coflows[0], alloc);
+  const auto usage1 = coflow_link_usage(fabric, snap.input.coflows[1], alloc);
+  // Both served: limited multiplexing avoids head-of-line blocking.
+  EXPECT_GT(usage0[1], 0.0);
+  EXPECT_GT(usage1[1], 0.0);
+}
+
+TEST(Baraat, AvoidsFifosHeadOfLineBlocking) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(10.0));
+  builder.begin_coflow(0.5);  // head is heavy by now (attained > 10 MB)
+  builder.add_flow(0, 1, megabits(10.0));
+  const Trace trace = builder.build();
+  const auto baraat = make_scheduler("baraat");
+  const auto fifo = make_scheduler("fifo");
+  const RunResult run_b = simulate(fabric, trace, *baraat);
+  const RunResult run_f = simulate(fabric, trace, *fifo);
+  EXPECT_LT(run_b.coflows[1].cct, 1.0);   // multiplexed in quickly
+  EXPECT_GT(run_f.coflows[1].cct, 9.0);   // FIFO blocks it
+}
+
+TEST(Baraat, PredictsHeavyCrossing) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(10.0));
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  BaraatScheduler baraat;
+  const Allocation alloc = baraat.allocate(snap.input);
+  const auto next = baraat.next_internal_event(snap.input, alloc);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NEAR(*next, 8e7 / gbps(1.0), 1e-9);  // 10 MB at 1 Gbps
+}
+
+// ------------------------------------------------- endpoint fairness
+
+TEST(EndpointFair, PerSourceEqualizesSources) {
+  // Source 0 runs 3 flows, source 1 runs 1, all into the same downlink.
+  // Per-source fairness gives each source half the downlink.
+  const Fabric fabric(3, gbps(1.0));
+  TraceBuilder builder(3);
+  builder.begin_coflow(0.0);
+  for (int i = 0; i < 3; ++i) builder.add_flow(0, 2, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 2, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  EndpointFairScheduler per_source(FairnessEntity::kSource);
+  const Allocation alloc = per_source.allocate(snap.input);
+  const double source0 = alloc.rate(0) + alloc.rate(1) + alloc.rate(2);
+  EXPECT_NEAR(source0, gbps(0.5), 1e3);
+  EXPECT_NEAR(alloc.rate(3), gbps(0.5), 1e3);
+}
+
+TEST(EndpointFair, PerPairEqualizesPairs) {
+  // Pair (0,2) has 3 flows, pair (1,2) has 1: per-pair fairness halves the
+  // shared downlink between the pairs regardless of flow count.
+  const Fabric fabric(3, gbps(1.0));
+  TraceBuilder builder(3);
+  builder.begin_coflow(0.0);
+  for (int i = 0; i < 3; ++i) builder.add_flow(0, 2, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 2, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  EndpointFairScheduler per_pair(FairnessEntity::kSourceDestinationPair);
+  const Allocation alloc = per_pair.allocate(snap.input);
+  const double pair0 = alloc.rate(0) + alloc.rate(1) + alloc.rate(2);
+  EXPECT_NEAR(pair0, gbps(0.5), 1e3);
+  EXPECT_NEAR(alloc.rate(3), gbps(0.5), 1e3);
+}
+
+TEST(EndpointFair, StillNoCoflowIsolation) {
+  // A coflow can still inflate its share by spreading over more sources —
+  // the gaming channel remains (unlike NC-DRF, which normalizes by n̄_k).
+  const Fabric fabric(4, gbps(1.0));
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 3, 1e8);
+  builder.add_flow(1, 3, 1e8);
+  builder.add_flow(2, 3, 1e8);  // three sources
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 3, 1e8);  // one source
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  EndpointFairScheduler per_source(FairnessEntity::kSource);
+  const Allocation alloc = per_source.allocate(snap.input);
+  const auto usage0 = coflow_link_usage(fabric, snap.input.coflows[0], alloc);
+  const auto usage1 = coflow_link_usage(fabric, snap.input.coflows[1], alloc);
+  EXPECT_GT(usage0[7], 2.0 * usage1[7]);  // downlink of machine 3
+}
+
+// ------------------------------------------------------ weighted coflows
+
+TEST(WeightedCoflows, NcDrfScalesProgressByWeight) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, false);
+  snap.input.coflows[0].weight = 3.0;
+  NcDrfScheduler ncdrf(NcDrfOptions{.work_conserving = false});
+  const Allocation alloc = ncdrf.allocate(snap.input);
+  EXPECT_NEAR(alloc.rate(0) / alloc.rate(1), 3.0, 1e-9);
+  EXPECT_NEAR(alloc.rate(0) + alloc.rate(1), gbps(1.0), 1e3);
+}
+
+TEST(WeightedCoflows, DrfScalesProgressByWeight) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 2e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  const Trace trace = builder.build();
+  auto snap = snapshot_all_active(fabric, trace, true);
+  snap.input.coflows[1].weight = 2.0;
+  DrfScheduler drf;
+  const Allocation alloc = drf.allocate(snap.input);
+  // Coflow 1 (weight 2) gets twice the progress; on the same single link
+  // pair that means twice the bandwidth.
+  EXPECT_NEAR(alloc.rate(1) / alloc.rate(0), 2.0 * (1e8 / 2e8) * 2.0, 0.1);
+  EXPECT_NEAR(alloc.rate(0) + alloc.rate(1), gbps(1.0), 1e3);
+}
+
+TEST(WeightedCoflows, InvalidWeightThrows) {
+  const Fabric fabric(2, gbps(1.0));
+  auto snap = snapshot_all_active(fabric, fig3_trace(), false);
+  snap.input.coflows[0].weight = 0.0;
+  NcDrfScheduler ncdrf;
+  EXPECT_THROW(ncdrf.allocate(snap.input), CheckError);
+}
+
+// --------------------------------------------- cross-policy sanity
+
+TEST(ExtendedRegistry, AllPoliciesFeasibleOnFig3) {
+  const Fabric fabric(2, gbps(1.0));
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    auto snap =
+        snapshot_all_active(fabric, fig3_trace(), sched->clairvoyant());
+    const Allocation alloc = sched->allocate(snap.input);
+    EXPECT_NO_THROW(check_capacity(snap.input, alloc)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ncdrf

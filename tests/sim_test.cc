@@ -1,0 +1,265 @@
+// Simulator tests: analytic single/two-coflow scenarios with closed-form
+// CCTs, conservation laws, event accounting, online arrivals, Aalo
+// queue-crossing events, and the DRF equal-progress invariant.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/registry.h"
+#include "sched/aalo.h"
+#include "sched/drf.h"
+#include "sched/perflow.h"
+#include "sched/psp.h"
+#include "sim/sim.h"
+#include "test_util.h"
+
+namespace ncdrf {
+namespace {
+
+using testing::fig3_trace;
+
+Trace single_flow_trace(double bits) {
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, bits);
+  return builder.build();
+}
+
+TEST(Sim, SingleFlowCompletesAtLineRate) {
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = single_flow_trace(gigabits(1.0));
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    const RunResult run = simulate(fabric, trace, *sched);
+    ASSERT_EQ(run.coflows.size(), 1u);
+    EXPECT_NEAR(run.coflows[0].cct, 1.0, 1e-6) << name;
+    EXPECT_NEAR(run.makespan, 1.0, 1e-6) << name;
+    EXPECT_NEAR(run.total_bits_delivered, gigabits(1.0), 10.0) << name;
+  }
+}
+
+TEST(Sim, Fig3CctsUnderDrfMatchPaper) {
+  // Fig. 4b: under DRF both coflows finish their 200 Mb bottlenecks at
+  // 2/3 Gbps progress → CCT = 0.3 s.
+  const Fabric fabric(2, gbps(1.0));
+  DrfScheduler drf;
+  const RunResult run = simulate(fabric, fig3_trace(), drf);
+  EXPECT_NEAR(run.coflows[0].cct, 0.3, 1e-6);
+  EXPECT_NEAR(run.coflows[1].cct, 0.3, 1e-6);
+}
+
+TEST(Sim, Fig3CctsUnderNcDrfEqualDrf) {
+  // Identical flow sizes → NC-DRF behaves exactly like DRF (Sec. IV-B
+  // example: "speeding the completion of both coflows by 25%").
+  const Fabric fabric(2, gbps(1.0));
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *ncdrf);
+  EXPECT_NEAR(run.coflows[0].cct, 0.3, 1e-6);
+  EXPECT_NEAR(run.coflows[1].cct, 0.3, 1e-6);
+}
+
+TEST(Sim, Fig3CctsUnderNonConservingPspMatchFig4a) {
+  // Fig. 4a: every flow at 0.25 Gbps → both coflows take 0.4 s.
+  const Fabric fabric(2, gbps(1.0));
+  PspScheduler psp(PspOptions{.work_conserving = false});
+  const RunResult run = simulate(fabric, fig3_trace(), psp);
+  EXPECT_NEAR(run.coflows[0].cct, 0.4, 1e-6);
+  EXPECT_NEAR(run.coflows[1].cct, 0.4, 1e-6);
+}
+
+TEST(Sim, MinCctIsBottleneckAloneTime) {
+  const Fabric fabric(2, gbps(1.0));
+  DrfScheduler drf;
+  const RunResult run = simulate(fabric, fig3_trace(), drf);
+  // Both coflows have a 200 Mb bottleneck on a 1 Gbps link → 0.2 s.
+  EXPECT_NEAR(run.coflows[0].min_cct, 0.2, 1e-9);
+  EXPECT_NEAR(run.coflows[1].min_cct, 0.2, 1e-9);
+}
+
+TEST(Sim, OnlineArrivalSharesFromArrivalInstant) {
+  // Flow A (1 Gb) starts alone; flow B (1 Gb, same path) arrives at
+  // t = 0.5. Under per-flow max-min: A runs at 1 Gbps until 0.5, then both
+  // at 0.5 Gbps; A finishes at 1.5 s, then B at 1 Gbps finishes at 2.0 s.
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(1.0));
+  builder.begin_coflow(0.5);
+  builder.add_flow(0, 1, gigabits(1.0));
+  const Trace trace = builder.build();
+  PerFlowScheduler tcp;
+  const RunResult run = simulate(fabric, trace, tcp);
+  EXPECT_NEAR(run.coflows[0].completion, 1.5, 1e-6);
+  EXPECT_NEAR(run.coflows[1].completion, 2.0, 1e-6);
+  EXPECT_NEAR(run.coflows[1].cct, 1.5, 1e-6);
+}
+
+TEST(Sim, IdleGapsAreSkipped) {
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, gigabits(1.0));
+  builder.begin_coflow(100.0);  // long idle gap after the first finishes
+  builder.add_flow(0, 1, gigabits(1.0));
+  const Trace trace = builder.build();
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, trace, *ncdrf);
+  EXPECT_NEAR(run.coflows[0].completion, 1.0, 1e-6);
+  EXPECT_NEAR(run.coflows[1].completion, 101.0, 1e-6);
+  // No interval covers the idle gap (no active coflows there).
+  for (const IntervalRecord& rec : run.intervals) {
+    EXPECT_FALSE(rec.t0 >= 1.0 + 1e-9 && rec.t1 <= 100.0 - 1e-9)
+        << "interval recorded during idle gap";
+  }
+}
+
+TEST(Sim, ConservationOfBits) {
+  const Fabric fabric(4, gbps(1.0));
+  TraceBuilder builder(4);
+  for (int c = 0; c < 6; ++c) {
+    builder.begin_coflow(0.1 * c);
+    for (int f = 0; f <= c; ++f) {
+      builder.add_flow(f % 4, (f + c + 1) % 4, megabits(80.0 + 10.0 * f));
+    }
+  }
+  const Trace trace = builder.build();
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    const RunResult run = simulate(fabric, trace, *sched);
+    EXPECT_NEAR(run.total_bits_delivered, trace.total_bits(),
+                trace.total_bits() * 1e-9)
+        << name;
+    for (const CoflowRecord& rec : run.coflows) {
+      EXPECT_GT(rec.cct, 0.0) << name;
+      EXPECT_GE(rec.cct, rec.min_cct - 1e-9) << name;  // physics lower bound
+    }
+  }
+}
+
+TEST(Sim, DrfKeepsEqualProgressAtAllTimes) {
+  // Fig. 5a's reference: "the isolation-optimal DRF consistently keeps the
+  // coflow progress disparity equal to 1".
+  const Fabric fabric(4, gbps(1.0));
+  TraceBuilder builder(4);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, megabits(100.0));
+  builder.add_flow(1, 2, megabits(400.0));
+  builder.begin_coflow(0.0);
+  builder.add_flow(2, 1, megabits(250.0));
+  builder.begin_coflow(0.3);
+  builder.add_flow(3, 1, megabits(300.0));
+  builder.add_flow(3, 2, megabits(60.0));
+  const Trace trace = builder.build();
+  DrfScheduler drf;
+  const RunResult run = simulate(fabric, trace, drf);
+  for (const IntervalRecord& rec : run.intervals) {
+    if (rec.active_coflows < 2) continue;
+    ASSERT_GT(rec.min_progress, 0.0);
+    EXPECT_NEAR(rec.max_progress / rec.min_progress, 1.0, 1e-6);
+  }
+}
+
+TEST(Sim, DrfOfflineCompletionOrderFollowsBottleneckDemand) {
+  // Under DRF all coflows progress equally, so offline they complete in
+  // ascending order of bottleneck demand (used in the Theorem 1 proof).
+  const Fabric fabric(6, gbps(1.0));
+  TraceBuilder builder(6);
+  const double sizes[] = {300.0, 80.0, 150.0, 500.0, 40.0};
+  for (int c = 0; c < 5; ++c) {
+    builder.begin_coflow(0.0);
+    builder.add_flow(c % 6, (c + 1) % 6, megabits(sizes[c]));
+  }
+  const Trace trace = builder.build();
+  DrfScheduler drf;
+  const RunResult run = simulate(fabric, trace, drf);
+  for (std::size_t a = 0; a < run.coflows.size(); ++a) {
+    for (std::size_t b = 0; b < run.coflows.size(); ++b) {
+      const double da = trace.coflows[a].demand(fabric).bottleneck_demand;
+      const double db = trace.coflows[b].demand(fabric).bottleneck_demand;
+      if (da < db) {
+        EXPECT_LE(run.coflows[a].completion,
+                  run.coflows[b].completion + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Sim, AaloPrioritizesShortCoflow) {
+  // A tiny coflow arriving alongside a huge one on the same path finishes
+  // almost immediately under D-CLAS (the huge one has drained its queue
+  // budget); the huge one is delayed — no isolation.
+  const Fabric fabric(2, gbps(1.0));
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, megabytes(500.0));
+  builder.begin_coflow(1.0);  // huge coflow is already in a lower queue
+  builder.add_flow(0, 1, megabytes(5.0));
+  const Trace trace = builder.build();
+  AaloScheduler aalo;
+  const RunResult run = simulate(fabric, trace, aalo);
+  // Small coflow: 40 Mb at full rate → 0.04 s.
+  EXPECT_NEAR(run.coflows[1].cct, 0.04, 1e-3);
+  // Large coflow pays at least the small one's service time on top.
+  EXPECT_GT(run.coflows[0].cct, megabytes(500.0) / gbps(1.0));
+}
+
+TEST(Sim, AaloQueueCrossingsGenerateEvents) {
+  // One long flow and nothing else: reallocations happen at every queue
+  // boundary the coflow crosses (10 MB, 100 MB, 1 GB for a 2 GB coflow →
+  // at least 3 internal events).
+  const Fabric fabric(2, gbps(1.0));
+  const Trace trace = single_flow_trace(megabytes(2000.0));
+  AaloScheduler aalo;
+  const RunResult run = simulate(fabric, trace, aalo);
+  EXPECT_GE(run.num_allocations, 4);
+  EXPECT_NEAR(run.coflows[0].cct, megabytes(2000.0) / gbps(1.0), 1e-6);
+}
+
+TEST(Sim, IntervalsTileTheBusyTimeline) {
+  const Fabric fabric(2, gbps(1.0));
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *ncdrf);
+  ASSERT_FALSE(run.intervals.empty());
+  double covered = 0.0;
+  for (const IntervalRecord& rec : run.intervals) {
+    EXPECT_LT(rec.t0, rec.t1);
+    covered += rec.t1 - rec.t0;
+  }
+  EXPECT_NEAR(covered, run.makespan, 1e-9);
+}
+
+TEST(Sim, ProgressTimeseriesCoversActiveCoflows) {
+  const Fabric fabric(2, gbps(1.0));
+  SimOptions options;
+  options.record_progress_timeseries = true;
+  const auto ncdrf = make_scheduler("ncdrf");
+  const RunResult run = simulate(fabric, fig3_trace(), *ncdrf, options);
+  ASSERT_FALSE(run.progress.empty());
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const ProgressSample& s : run.progress) {
+    EXPECT_GT(s.progress, 0.0);
+    saw_a = saw_a || s.coflow == 0;
+    saw_b = saw_b || s.coflow == 1;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(Sim, MismatchedFabricThrows) {
+  const Fabric fabric(3, gbps(1.0));
+  EXPECT_THROW(simulate(fabric, fig3_trace(), *make_scheduler("ncdrf")),
+               CheckError);
+}
+
+TEST(Sim, ValidateAllocationsOptionPasses) {
+  const Fabric fabric(2, gbps(1.0));
+  SimOptions options;
+  options.validate_allocations = true;
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    EXPECT_NO_THROW(simulate(fabric, fig3_trace(), *sched, options)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ncdrf

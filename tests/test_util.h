@@ -1,0 +1,81 @@
+// Shared helpers for scheduler and simulator tests: building
+// ScheduleInput snapshots from traces and small inline workloads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "trace/trace.h"
+
+namespace ncdrf::testing {
+
+// Snapshot state: remaining bits per flow plus the scheduler view.
+// Heap-held members keep the raw pointers inside `input` stable across
+// moves of the Snapshot itself.
+struct Snapshot {
+  ScheduleInput input;
+  std::unique_ptr<std::vector<double>> remaining;  // indexed by FlowId
+  std::unique_ptr<ClairvoyantInfo> info;
+
+  // Wires the clairvoyant pointer; call after remaining is final.
+  void expose_sizes() {
+    info = std::make_unique<ClairvoyantInfo>(remaining.get());
+    input.clairvoyant = info.get();
+  }
+};
+
+// Builds a snapshot with every coflow of `trace` active at time `now` and
+// full remaining demand. Sizes are exposed iff `clairvoyant`.
+inline Snapshot snapshot_all_active(const Fabric& fabric, const Trace& trace,
+                                    bool clairvoyant, double now = 0.0) {
+  Snapshot snap;
+  snap.input.fabric = &fabric;
+  snap.input.now = now;
+  snap.remaining = std::make_unique<std::vector<double>>(
+      static_cast<std::size_t>(trace.total_flows), 0.0);
+  for (const Coflow& coflow : trace.coflows) {
+    ActiveCoflow view;
+    view.id = coflow.id();
+    view.arrival_time = coflow.arrival_time();
+    view.attained_bits = 0.0;
+    for (const Flow& f : coflow.flows()) {
+      view.flows.push_back(ActiveFlow{f.id, f.coflow, f.src, f.dst});
+      (*snap.remaining)[static_cast<std::size_t>(f.id)] = f.size_bits;
+    }
+    snap.input.coflows.push_back(std::move(view));
+  }
+  if (clairvoyant) snap.expose_sizes();
+  return snap;
+}
+
+// The paper's Fig. 3 workload: two coflows contending on a 2-machine
+// fabric with 1 Gbps links. Coflow-A: 100 Mb from machines 0 and 1 to
+// machine 1. Coflow-B: 100 Mb from machine 1 to machines 0 and 1.
+inline Trace fig3_trace() {
+  TraceBuilder builder(2);
+  builder.begin_coflow(0.0);
+  builder.add_flow(0, 1, 1e8);
+  builder.add_flow(1, 1, 1e8);
+  builder.begin_coflow(0.0);
+  builder.add_flow(1, 0, 1e8);
+  builder.add_flow(1, 1, 1e8);
+  return builder.build();
+}
+
+// Per-coflow aggregate link usage under an allocation.
+inline std::vector<double> coflow_link_usage(const Fabric& fabric,
+                                             const ActiveCoflow& coflow,
+                                             const Allocation& alloc) {
+  std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
+                            0.0);
+  for (const ActiveFlow& f : coflow.flows) {
+    usage[static_cast<std::size_t>(fabric.uplink(f.src))] +=
+        alloc.rate(f.id);
+    usage[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+        alloc.rate(f.id);
+  }
+  return usage;
+}
+
+}  // namespace ncdrf::testing
