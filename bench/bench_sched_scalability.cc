@@ -3,12 +3,22 @@
 // policy. The paper's master recomputes the allocation on every coflow
 // event, so allocation latency bounds how fast a cluster can churn
 // coflows; NC-DRF's allocation is O(flows + coflows·links), no LP solves.
+//
+// The EventReplay benchmarks measure the online loop itself: a scripted
+// stream of flow-finish / departure / arrival events at a steady number of
+// concurrent coflows, with one allocate() per event. "Incremental" drives
+// NC-DRF through its delta hooks (persistent per-coflow state, O(links
+// touched) updates); "FromScratch" forces a full snapshot rescan per
+// event. items_per_second in the JSON output is events/sec — the number
+// the CI bench-smoke job archives as the perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "core/ncdrf.h"
 #include "core/registry.h"
 #include "sched/scheduler.h"
 #include "trace/synthetic_fb.h"
@@ -25,11 +35,11 @@ struct Workbench {
   std::vector<double> remaining;
   std::unique_ptr<ClairvoyantInfo> info;
 
-  explicit Workbench(int num_coflows) {
+  explicit Workbench(int num_coflows, int max_flows_per_coflow = 200) {
     SyntheticFbOptions options;
     options.num_coflows = num_coflows;
     options.duration_s = 1.0;  // everything concurrently active
-    options.max_flows_per_coflow = 200;
+    options.max_flows_per_coflow = max_flows_per_coflow;
     trace = generate_synthetic_fb(options);
 
     input.fabric = &fabric;
@@ -66,6 +76,75 @@ void run_allocate(benchmark::State& state, const std::string& name) {
   state.counters["flows"] = flows;
 }
 
+// One replay step at coflow cursor k — three events, each followed by an
+// allocate(), leaving the snapshot unchanged (modulo coflow order):
+//   1. the last flow of coflow k finishes;
+//   2. coflow k departs;
+//   3. coflow k re-arrives in its original form.
+// `pristine` holds the untouched view of k for the re-arrival.
+template <typename OnEvent>
+void replay_triple(ScheduleInput& input, std::size_t k,
+                   const ActiveCoflow& pristine, OnEvent&& on_event) {
+  ActiveCoflow& coflow = input.coflows[k];
+  const ActiveFlow finished = coflow.flows.back();
+  coflow.flows.pop_back();
+  coflow.finished_flows.push_back(finished);
+  on_event(/*finish=*/&finished, /*depart=*/static_cast<CoflowId>(-1),
+           /*arrive=*/static_cast<const ActiveCoflow*>(nullptr));
+
+  const CoflowId departed = coflow.id;
+  if (k + 1 != input.coflows.size()) {
+    input.coflows[k] = std::move(input.coflows.back());
+  }
+  input.coflows.pop_back();
+  on_event(nullptr, departed, nullptr);
+
+  input.coflows.push_back(pristine);
+  on_event(nullptr, static_cast<CoflowId>(-1), &input.coflows.back());
+}
+
+void run_event_replay(benchmark::State& state, bool incremental) {
+  const auto coflows = static_cast<int>(state.range(0));
+  // Modest widths: the FB trace is narrow-heavy, and the event loop is the
+  // subject here, not flow fan-out.
+  Workbench bench(coflows, /*max_flows_per_coflow=*/64);
+  const std::vector<ActiveCoflow> pristine = bench.input.coflows;
+
+  NcDrfScheduler scheduler(NcDrfOptions{
+      .incremental = incremental, .verify_incremental = false});
+  if (incremental) {
+    scheduler.on_reset(bench.fabric);
+    for (const ActiveCoflow& c : bench.input.coflows) {
+      scheduler.on_coflow_arrival(c);
+    }
+  }
+
+  const auto on_event = [&](const ActiveFlow* finish, CoflowId depart,
+                            const ActiveCoflow* arrive) {
+    if (incremental) {
+      if (finish != nullptr) scheduler.on_flow_finish(*finish);
+      if (depart >= 0) scheduler.on_coflow_departure(depart);
+      if (arrive != nullptr) scheduler.on_coflow_arrival(*arrive);
+    }
+    Allocation alloc = scheduler.allocate(bench.input);
+    benchmark::DoNotOptimize(alloc);
+  };
+
+  // Cycle the cursor over coflows wide enough to never drain one (every
+  // pristine coflow has ≥ 1 flow; the triple restores it immediately).
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    // The departed slot moves under swap-pop, so locate the pristine view
+    // by id rather than by position.
+    const CoflowId id = bench.input.coflows[cursor].id;
+    replay_triple(bench.input, cursor,
+                  pristine[static_cast<std::size_t>(id)], on_event);
+    cursor = (cursor + 1) % bench.input.coflows.size();
+  }
+  state.SetItemsProcessed(state.iterations() * 3);  // events/sec
+  state.counters["coflows"] = coflows;
+}
+
 }  // namespace
 
 #define NCDRF_SCALE_BENCH(tag, name)                       \
@@ -82,5 +161,20 @@ NCDRF_SCALE_BENCH(Psp, "psp");
 NCDRF_SCALE_BENCH(Tcp, "tcp");
 NCDRF_SCALE_BENCH(Aalo, "aalo");
 NCDRF_SCALE_BENCH(Varys, "varys");
+
+void BM_NcDrfEventReplay_Incremental(benchmark::State& state) {
+  run_event_replay(state, /*incremental=*/true);
+}
+void BM_NcDrfEventReplay_FromScratch(benchmark::State& state) {
+  run_event_replay(state, /*incremental=*/false);
+}
+BENCHMARK(BM_NcDrfEventReplay_Incremental)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NcDrfEventReplay_FromScratch)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

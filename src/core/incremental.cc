@@ -1,0 +1,232 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ncdrf {
+namespace {
+
+// Tolerance for double-vector agreement with a fresh rebuild; integer
+// state must match exactly. Scaled by magnitude so big clusters (load ~ K)
+// and raw capacities (~1e9 bps) are judged relatively.
+bool near(double a, double b) {
+  return std::abs(a - b) <=
+         1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+IncrementalNcDrfState::IncrementalNcDrfState(bool count_finished_flows)
+    : count_finished_flows_(count_finished_flows) {}
+
+void IncrementalNcDrfState::reset(const Fabric& fabric) {
+  fabric_ = &fabric;
+  coflows_.clear();
+  const auto links = static_cast<std::size_t>(fabric.num_links());
+  load_.assign(links, 0.0);
+  usage_weight_.assign(links, 0.0);
+  live_link_counts_.assign(links, 0);
+}
+
+void IncrementalNcDrfState::apply(const CoflowState& cs, int sign) {
+  if (cs.bottleneck <= 0) return;
+  for (const LinkId l : cs.touched) {
+    const std::size_t i = index(l);
+    // Per-link division (not a precomputed w/n̄ factor) keeps the rebuild
+    // path bitwise identical to the full-scan reference implementation.
+    load_[i] += sign * (cs.weight * cs.count[i] / cs.bottleneck);
+    usage_weight_[i] += sign * (cs.weight * cs.live[i] / cs.bottleneck);
+    live_link_counts_[i] += sign * cs.live[i];
+  }
+}
+
+std::size_t IncrementalNcDrfState::add_coflow(const ActiveCoflow& coflow) {
+  NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");
+  NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
+  const auto [it, inserted] = coflows_.try_emplace(coflow.id);
+  NCDRF_CHECK(inserted, "coflow already tracked");
+  CoflowState& cs = it->second;
+  cs.weight = coflow.weight;
+  const auto links = static_cast<std::size_t>(fabric_->num_links());
+  cs.count.assign(links, 0);
+  cs.live.assign(links, 0);
+
+  const auto count_flow = [&](const ActiveFlow& f, bool is_live) {
+    const std::size_t up = index(fabric_->uplink(f.src));
+    const std::size_t dn = index(fabric_->downlink(f.dst));
+    if (cs.count[up]++ == 0) cs.touched.push_back(static_cast<LinkId>(up));
+    if (cs.count[dn]++ == 0) cs.touched.push_back(static_cast<LinkId>(dn));
+    if (is_live) {
+      ++cs.live[up];
+      ++cs.live[dn];
+      ++cs.live_flows;
+    }
+    ++cs.counted_flows;
+  };
+  for (const ActiveFlow& f : coflow.flows) count_flow(f, true);
+  if (count_finished_flows_) {
+    for (const ActiveFlow& f : coflow.finished_flows) count_flow(f, false);
+  }
+
+  for (const LinkId l : cs.touched) {
+    cs.bottleneck = std::max(cs.bottleneck, cs.count[index(l)]);
+  }
+  apply(cs, +1);
+  return cs.touched.size();
+}
+
+std::size_t IncrementalNcDrfState::finish_flow(const ActiveFlow& flow) {
+  NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");
+  const auto it = coflows_.find(flow.coflow);
+  NCDRF_CHECK(it != coflows_.end(), "flow finish for an untracked coflow");
+  CoflowState& cs = it->second;
+  const std::size_t up = index(fabric_->uplink(flow.src));
+  const std::size_t dn = index(fabric_->downlink(flow.dst));
+  NCDRF_CHECK(cs.live[up] > 0 && cs.live[dn] > 0 && cs.live_flows > 0,
+              "flow finish without a matching live flow");
+  const double share = cs.weight / cs.bottleneck;  // bottleneck ≥ 1 here
+
+  --cs.live[up];
+  --cs.live[dn];
+  --cs.live_flows;
+  --live_link_counts_[up];
+  --live_link_counts_[dn];
+  usage_weight_[up] -= share;
+  usage_weight_[dn] -= share;
+  std::size_t touched = 2;
+
+  if (!count_finished_flows_) {
+    // Live counting: the flow leaves n_k too, and n̄_k may shrink.
+    --cs.count[up];
+    --cs.count[dn];
+    --cs.counted_flows;
+    load_[up] -= share;
+    load_[dn] -= share;
+    if (cs.count[up] + 1 == cs.bottleneck ||
+        cs.count[dn] + 1 == cs.bottleneck) {
+      int fresh = 0;
+      for (const LinkId l : cs.touched) {
+        fresh = std::max(fresh, cs.count[index(l)]);
+      }
+      if (fresh != cs.bottleneck) {
+        // Rescale this coflow's contribution from 1/n̄_old to 1/n̄_new on
+        // every link it touches (all-zero counts make both terms vanish).
+        const double old_inv = 1.0 / cs.bottleneck;
+        const double new_inv = fresh > 0 ? 1.0 / fresh : 0.0;
+        for (const LinkId l : cs.touched) {
+          const std::size_t i = index(l);
+          const double rescale = cs.weight * (new_inv - old_inv);
+          load_[i] += cs.count[i] * rescale;
+          usage_weight_[i] += cs.live[i] * rescale;
+        }
+        touched += cs.touched.size();
+        cs.bottleneck = fresh;
+      }
+    }
+  }
+  return touched;
+}
+
+std::size_t IncrementalNcDrfState::remove_coflow(CoflowId id) {
+  NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");
+  const auto it = coflows_.find(id);
+  NCDRF_CHECK(it != coflows_.end(), "departure of an untracked coflow");
+  const std::size_t touched = it->second.touched.size();
+  apply(it->second, -1);
+  coflows_.erase(it);
+  if (coflows_.empty()) {
+    // Flush accumulated rounding residue whenever the fabric drains, so
+    // drift cannot build up across scheduling epochs.
+    std::fill(load_.begin(), load_.end(), 0.0);
+    std::fill(usage_weight_.begin(), usage_weight_.end(), 0.0);
+    std::fill(live_link_counts_.begin(), live_link_counts_.end(), 0);
+  }
+  return touched;
+}
+
+void IncrementalNcDrfState::rebuild(const ScheduleInput& input) {
+  NCDRF_CHECK(input.fabric != nullptr, "snapshot without a fabric");
+  reset(*input.fabric);
+  for (const ActiveCoflow& coflow : input.coflows) add_coflow(coflow);
+}
+
+bool IncrementalNcDrfState::matches(const ScheduleInput& input) const {
+  if (fabric_ != input.fabric) return false;
+  if (coflows_.size() != input.coflows.size()) return false;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    const auto it = coflows_.find(coflow.id);
+    if (it == coflows_.end()) return false;
+    const CoflowState& cs = it->second;
+    const int counted =
+        static_cast<int>(coflow.flows.size()) +
+        (count_finished_flows_
+             ? static_cast<int>(coflow.finished_flows.size())
+             : 0);
+    if (cs.weight != coflow.weight ||
+        cs.live_flows != static_cast<int>(coflow.flows.size()) ||
+        cs.counted_flows != counted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double IncrementalNcDrfState::p_star() const {
+  NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");
+  double p_star = std::numeric_limits<double>::infinity();
+  for (LinkId i = 0; i < fabric_->num_links(); ++i) {
+    const std::size_t idx = index(i);
+    if (load_[idx] > 0.0) {
+      p_star = std::min(p_star, fabric_->capacity(i) / load_[idx]);
+    }
+  }
+  return std::isfinite(p_star) ? p_star : 0.0;
+}
+
+double IncrementalNcDrfState::rate_bps(CoflowId id, double p_star) const {
+  const auto it = coflows_.find(id);
+  if (it == coflows_.end() || it->second.bottleneck <= 0) return 0.0;
+  return it->second.weight * p_star / it->second.bottleneck;
+}
+
+void IncrementalNcDrfState::residual_capacity(double p_star,
+                                              std::vector<double>& out) const {
+  NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");
+  out.resize(usage_weight_.size());
+  for (LinkId i = 0; i < fabric_->num_links(); ++i) {
+    const std::size_t idx = index(i);
+    out[idx] = fabric_->capacity(i) - p_star * usage_weight_[idx];
+  }
+}
+
+void IncrementalNcDrfState::check_consistent(const ScheduleInput& input) const {
+  IncrementalNcDrfState fresh(count_finished_flows_);
+  fresh.rebuild(input);
+  NCDRF_CHECK(fresh.coflows_.size() == coflows_.size(),
+              "incremental state tracks a different coflow set");
+  for (const auto& [id, want] : fresh.coflows_) {
+    const auto it = coflows_.find(id);
+    NCDRF_CHECK(it != coflows_.end(),
+                "incremental state is missing a coflow");
+    const CoflowState& got = it->second;
+    NCDRF_CHECK(got.weight == want.weight &&
+                    got.bottleneck == want.bottleneck &&
+                    got.live_flows == want.live_flows &&
+                    got.counted_flows == want.counted_flows &&
+                    got.count == want.count && got.live == want.live,
+                "incremental per-coflow counts diverged from recompute");
+  }
+  NCDRF_CHECK(live_link_counts_ == fresh.live_link_counts_,
+              "incremental live link counts diverged from recompute");
+  for (std::size_t i = 0; i < load_.size(); ++i) {
+    NCDRF_CHECK(near(load_[i], fresh.load_[i]),
+                "incremental load vector diverged from recompute");
+    NCDRF_CHECK(near(usage_weight_[i], fresh.usage_weight_[i]),
+                "incremental usage weights diverged from recompute");
+  }
+}
+
+}  // namespace ncdrf

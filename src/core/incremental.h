@@ -1,0 +1,123 @@
+// Incremental allocation state for NC-DRF (the event-driven engine behind
+// NcDrfScheduler).
+//
+// The online procedure reallocates on every coflow arrival, departure and
+// flow completion. Rebuilding every coflow's per-link flow-count vector
+// from the snapshot makes that O(K·(F+L)) per event — the cost that
+// dominates trace replay at scale. This class instead keeps the quantities
+// Algorithm 1 needs as persistent state:
+//
+//   * per coflow k: the per-link count vector n_k (and the live-flow
+//     vector, which excludes finished flows), its bottleneck n̄_k, and the
+//     list of links the coflow touches;
+//   * globally: the DRF load vector  load_i = Σ_k w_k·n_k^i/n̄_k  (the
+//     denominator of Eq. 5), the usage-weight vector
+//     Σ_k (w_k/n̄_k)·live_k^i (which turns into post-DRF link usage when
+//     multiplied by P̂*), and per-link live-flow totals (the backfilling
+//     denominator).
+//
+// Delta notifications update all of it in O(links touched by the event):
+// O(1) for a flow finish (plus an O(links of that coflow) rescale in live
+// counting mode when the coflow's bottleneck shrinks), O(flows of the
+// coflow) for arrivals and departures. rebuild() is the O(K·(F+L))
+// from-scratch reference path, kept both as the fallback for drivers that
+// do not deliver events and as the oracle for check_consistent().
+//
+// Counts and bottlenecks are integers and therefore exact; the two double
+// vectors accumulate deltas and may drift from a fresh rebuild by a few
+// ulps per event, which is why consistency is defined as agreement within
+// 1e-9 (relative) rather than bitwise.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+class IncrementalNcDrfState {
+ public:
+  // `count_finished_flows` mirrors NcDrfOptions: when true (Algorithm 1
+  // read literally), finished flows keep counting toward n_k until their
+  // coflow departs; when false, counts shrink as flows finish.
+  explicit IncrementalNcDrfState(bool count_finished_flows);
+
+  // Forgets all tracked coflows and binds the state to `fabric`. Hook
+  // deliveries and snapshots must use this fabric until the next reset.
+  void reset(const Fabric& fabric);
+
+  // Delta updates. Each returns the number of per-link state entries it
+  // wrote — the "links touched" the perf layer reports.
+  std::size_t add_coflow(const ActiveCoflow& coflow);
+  std::size_t finish_flow(const ActiveFlow& flow);
+  std::size_t remove_coflow(CoflowId id);
+
+  // Full O(K·(F+L)) rebuild from a snapshot: the from-scratch path, also
+  // used to adopt snapshots from drivers that never deliver events.
+  void rebuild(const ScheduleInput& input);
+
+  // Cheap structural check (O(K) hash lookups) that the tracked state
+  // covers `input`: same fabric, same coflow ids/weights, same live and
+  // counted flow cardinalities. allocate() trusts the state only when this
+  // passes, so stale state degrades to a rebuild, never to wrong rates.
+  bool matches(const ScheduleInput& input) const;
+
+  // P̂* = min_i C_i / load_i over loaded links (Eq. 5 generalized to
+  // per-link capacities); 0 when nothing is loaded. O(L).
+  double p_star() const;
+
+  // Flow rate for coflow `id` given P̂*: w_k·P̂*/n̄_k (Algorithm 1 lines
+  // 10-15); 0 for untracked coflows or an all-zero count vector.
+  double rate_bps(CoflowId id, double p_star) const;
+
+  // Σ_k w_k·n_k^i/n̄_k per link — the DRF load vector behind p_star().
+  const std::vector<double>& load() const { return load_; }
+
+  // Per-link live (unfinished) flow totals — backfilling's Σ_k n_k^i.
+  const std::vector<int>& live_link_counts() const {
+    return live_link_counts_;
+  }
+
+  // Writes C_i − P̂*·Σ_k (w_k/n̄_k)·live_k^i into `out`: the capacity left
+  // on each link after the DRF stage (the backfilling budget), in O(L)
+  // without touching any flow.
+  void residual_capacity(double p_star, std::vector<double>& out) const;
+
+  std::size_t num_coflows() const { return coflows_.size(); }
+  bool bound() const { return fabric_ != nullptr; }
+
+  // Debug oracle: every tracked quantity must match a fresh rebuild of
+  // `input` (integers exactly, doubles within 1e-9 relative). Throws
+  // CheckError on divergence.
+  void check_consistent(const ScheduleInput& input) const;
+
+ private:
+  struct CoflowState {
+    double weight = 1.0;
+    int bottleneck = 0;     // n̄_k = max_i count[i]
+    int live_flows = 0;     // |unfinished flows|
+    int counted_flows = 0;  // flows contributing to `count`
+    std::vector<int> count;      // n_k^i (includes finished when stale)
+    std::vector<int> live;       // unfinished flows only
+    std::vector<LinkId> touched;  // links where count ever became > 0
+  };
+
+  // Adds (+1) or removes (-1) coflow `cs`'s contribution to the global
+  // vectors over its touched links.
+  void apply(const CoflowState& cs, int sign);
+
+  static std::size_t index(LinkId link) {
+    return static_cast<std::size_t>(link);
+  }
+
+  const Fabric* fabric_ = nullptr;
+  bool count_finished_flows_;
+  std::unordered_map<CoflowId, CoflowState> coflows_;
+  std::vector<double> load_;
+  std::vector<double> usage_weight_;
+  std::vector<int> live_link_counts_;
+};
+
+}  // namespace ncdrf

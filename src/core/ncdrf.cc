@@ -1,7 +1,7 @@
-#include <cmath>
 #include "core/ncdrf.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -11,7 +11,8 @@
 namespace ncdrf {
 namespace {
 
-// Flow counts per link for one coflow (Algorithm 1 lines 4-5).
+// Flow counts per link for one coflow (Algorithm 1 lines 4-5) — the
+// from-scratch reference used by flow_count_progress.
 std::vector<int> coflow_link_counts(const Fabric& fabric,
                                     const ActiveCoflow& coflow,
                                     bool count_finished) {
@@ -31,7 +32,8 @@ std::vector<int> coflow_link_counts(const Fabric& fabric,
 
 }  // namespace
 
-NcDrfScheduler::NcDrfScheduler(NcDrfOptions options) : options_(options) {
+NcDrfScheduler::NcDrfScheduler(NcDrfOptions options)
+    : options_(options), state_(options.count_finished_flows) {
   NCDRF_CHECK(options_.backfill_rounds >= 0,
               "backfill rounds must be non-negative");
 }
@@ -62,30 +64,78 @@ double NcDrfScheduler::flow_count_progress(const ScheduleInput& input,
   return std::isfinite(p_star) ? p_star : 0.0;
 }
 
+void NcDrfScheduler::on_reset(const Fabric& fabric) {
+  state_.reset(fabric);
+  event_driven_ = true;
+}
+
+void NcDrfScheduler::on_coflow_arrival(const ActiveCoflow& coflow) {
+  if (!options_.incremental || !event_driven_) return;
+  perf_.links_touched +=
+      static_cast<long long>(state_.add_coflow(coflow));
+  ++perf_.arrival_events;
+}
+
+void NcDrfScheduler::on_flow_finish(const ActiveFlow& flow) {
+  if (!options_.incremental || !event_driven_) return;
+  perf_.links_touched += static_cast<long long>(state_.finish_flow(flow));
+  ++perf_.flow_finish_events;
+}
+
+void NcDrfScheduler::on_coflow_departure(CoflowId id) {
+  if (!options_.incremental || !event_driven_) return;
+  perf_.links_touched += static_cast<long long>(state_.remove_coflow(id));
+  ++perf_.departure_events;
+}
+
 Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   // Non-clairvoyance by construction: this function must compile and run
   // without ever touching input.clairvoyant.
-  const Fabric& fabric = *input.fabric;
+  const AllocateTimer timer(perf_);
+  ++perf_.allocate_calls;
   Allocation alloc;
 
-  const double p_star =
-      flow_count_progress(input, options_.count_finished_flows);
+  // Serve from the event-maintained state when it provably covers the
+  // snapshot; otherwise adopt the snapshot with a full O(K·(F+L)) rebuild
+  // (single pass — counts and bottlenecks are computed once and reused for
+  // both P̂* and the per-coflow rates).
+  const bool synced = options_.incremental && event_driven_ &&
+                      state_.matches(input);
+  if (synced) {
+    ++perf_.incremental_allocs;
+    if (options_.verify_incremental) {
+      state_.check_consistent(input);
+      ++perf_.consistency_checks;
+    }
+  } else {
+    state_.rebuild(input);
+    ++perf_.full_rebuilds;
+  }
+
+  const double p_star = state_.p_star();
   if (p_star <= 0.0) return alloc;
 
   // Algorithm 1 lines 10-15: every flow of coflow k runs at
   // r_k = w_k · P̂*/n̄_k, so the coflow's aggregate on link i is
   // w_k · ĉ_k^i · P̂* (weights default to 1, recovering the paper's form).
+  std::size_t total_flows = 0;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    total_flows += coflow.flows.size();
+  }
+  alloc.reserve(total_flows);
   for (const ActiveCoflow& coflow : input.coflows) {
     if (coflow.flows.empty()) continue;
-    const std::vector<int> counts =
-        coflow_link_counts(fabric, coflow, options_.count_finished_flows);
-    const int bottleneck = *std::max_element(counts.begin(), counts.end());
-    const double r_k = coflow.weight * p_star / bottleneck;
+    const double r_k = state_.rate_bps(coflow.id, p_star);
     for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, r_k);
   }
 
   if (options_.work_conserving) {
-    even_backfill(input, alloc, options_.backfill_rounds);
+    // The backfilling budget comes straight from the tracked vectors —
+    // residual_i = C_i − P̂*·Σ_k (w_k/n̄_k)·live_k^i — so round one needs
+    // no O(flows) usage rescan.
+    state_.residual_capacity(p_star, residual_);
+    even_backfill_cached(input, alloc, options_.backfill_rounds,
+                         state_.live_link_counts(), residual_);
   }
   return alloc;
 }

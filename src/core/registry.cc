@@ -20,6 +20,13 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
     return std::make_unique<NcDrfScheduler>(
         NcDrfOptions{.count_finished_flows = false});
   }
+  if (name == "ncdrf-scratch") {
+    // Incremental engine pinned off: every allocate() rescans the
+    // snapshot. Same results as "ncdrf" (within fp rounding); kept for
+    // A/B perf measurement and as a cross-check in the property suite.
+    return std::make_unique<NcDrfScheduler>(
+        NcDrfOptions{.incremental = false});
+  }
   if (name == "psp-live") {
     return std::make_unique<PspScheduler>(
         PspOptions{.count_finished_flows = false});
@@ -44,9 +51,9 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
 }
 
 std::vector<std::string> scheduler_names() {
-  return {"tcp",   "persource",  "perpair",  "psp",    "psp-live",
-          "ncdrf", "ncdrf-live", "drf",      "hug",    "aalo",
-          "varys", "baraat",     "fifo"};
+  return {"tcp",   "persource",  "perpair",       "psp",  "psp-live",
+          "ncdrf", "ncdrf-live", "ncdrf-scratch", "drf",  "hug",
+          "aalo",  "varys",      "baraat",        "fifo"};
 }
 
 }  // namespace ncdrf

@@ -39,6 +39,14 @@ void write_cdf_csv(std::ostream& out, const WeightedCdf& cdf,
   }
 }
 
+void write_perf_json(std::ostream& out, const SchedPerf& perf,
+                     const std::string& scheduler, const std::string& label) {
+  out << "{";
+  if (!scheduler.empty()) out << "\"scheduler\":\"" << scheduler << "\",";
+  if (!label.empty()) out << "\"label\":\"" << label << "\",";
+  out << "\"perf\":" << to_json(perf) << "}\n";
+}
+
 void write_normalized_cct_csv(
     std::ostream& out, const std::map<std::string, RunResult>& runs,
     const RunResult& baseline) {

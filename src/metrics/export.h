@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "metrics/perf.h"
 #include "sim/sim.h"
 
 namespace ncdrf {
@@ -31,5 +32,12 @@ void write_cdf_csv(std::ostream& out, const WeightedCdf& cdf,
 void write_normalized_cct_csv(
     std::ostream& out, const std::map<std::string, RunResult>& runs,
     const RunResult& baseline);
+
+// Scheduler perf counters as one JSON object, newline-terminated —
+// consumed by the CI bench-smoke artifact and external dashboards.
+// `scheduler` and `label` are attached as string fields when non-empty.
+void write_perf_json(std::ostream& out, const SchedPerf& perf,
+                     const std::string& scheduler = "",
+                     const std::string& label = "");
 
 }  // namespace ncdrf

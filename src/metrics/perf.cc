@@ -1,0 +1,35 @@
+#include "metrics/perf.h"
+
+#include <sstream>
+
+namespace ncdrf {
+
+SchedPerf& SchedPerf::operator+=(const SchedPerf& other) {
+  allocate_calls += other.allocate_calls;
+  incremental_allocs += other.incremental_allocs;
+  full_rebuilds += other.full_rebuilds;
+  arrival_events += other.arrival_events;
+  flow_finish_events += other.flow_finish_events;
+  departure_events += other.departure_events;
+  links_touched += other.links_touched;
+  consistency_checks += other.consistency_checks;
+  allocate_seconds += other.allocate_seconds;
+  return *this;
+}
+
+std::string to_json(const SchedPerf& perf) {
+  std::ostringstream out;
+  out << "{"
+      << "\"allocate_calls\":" << perf.allocate_calls << ","
+      << "\"incremental_allocs\":" << perf.incremental_allocs << ","
+      << "\"full_rebuilds\":" << perf.full_rebuilds << ","
+      << "\"arrival_events\":" << perf.arrival_events << ","
+      << "\"flow_finish_events\":" << perf.flow_finish_events << ","
+      << "\"departure_events\":" << perf.departure_events << ","
+      << "\"links_touched\":" << perf.links_touched << ","
+      << "\"consistency_checks\":" << perf.consistency_checks << ","
+      << "\"allocate_seconds\":" << perf.allocate_seconds << "}";
+  return out.str();
+}
+
+}  // namespace ncdrf

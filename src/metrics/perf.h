@@ -1,0 +1,74 @@
+// Scheduler performance counters — the observability layer for the
+// allocation hot path.
+//
+// The online loop recomputes the allocation on every coflow event, so
+// allocation cost bounds how fast a cluster can churn coflows. These
+// counters separate the two cost regimes of the incremental NC-DRF engine
+// (full snapshot rescans vs O(links touched) delta updates) and accumulate
+// wall-clock time inside allocate() via std::chrono::steady_clock, cheap
+// enough to stay on in production builds (two clock reads per allocate).
+//
+// The struct is plain data: schedulers own one, drivers and benches read
+// it, and metrics/export.cc serializes it as JSON for the perf-trajectory
+// artifacts (BENCH_*.json).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace ncdrf {
+
+struct SchedPerf {
+  // allocate() invocations, split by how the per-coflow state was obtained.
+  long long allocate_calls = 0;
+  long long incremental_allocs = 0;  // served from event-maintained state
+  long long full_rebuilds = 0;       // required an O(K·(F+L)) snapshot rescan
+
+  // Delta notifications delivered by an event-driven driver.
+  long long arrival_events = 0;
+  long long flow_finish_events = 0;
+  long long departure_events = 0;
+
+  // Per-link state updates applied by delta notifications — the work the
+  // incremental engine does *instead of* full rescans.
+  long long links_touched = 0;
+
+  // Debug cross-checks (incremental state vs full recompute) that ran.
+  long long consistency_checks = 0;
+
+  // Total wall-clock spent inside allocate().
+  double allocate_seconds = 0.0;
+
+  long long events() const {
+    return arrival_events + flow_finish_events + departure_events;
+  }
+
+  void reset() { *this = SchedPerf{}; }
+  SchedPerf& operator+=(const SchedPerf& other);
+};
+
+// Compact single-object JSON with one key per counter (deterministic key
+// order, so outputs diff cleanly between runs).
+std::string to_json(const SchedPerf& perf);
+
+// RAII accumulator for SchedPerf::allocate_seconds.
+class AllocateTimer {
+ public:
+  explicit AllocateTimer(SchedPerf& perf)
+      : perf_(perf), start_(std::chrono::steady_clock::now()) {}
+  ~AllocateTimer() {
+    perf_.allocate_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+  }
+
+  AllocateTimer(const AllocateTimer&) = delete;
+  AllocateTimer& operator=(const AllocateTimer&) = delete;
+
+ private:
+  SchedPerf& perf_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ncdrf

@@ -8,26 +8,51 @@
 
 namespace ncdrf {
 
+double& Allocation::slot(FlowId flow) {
+  NCDRF_CHECK(flow >= 0, "flow ids must be non-negative");
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= rates_.size()) rates_.resize(idx + 1, kAbsent);
+  return rates_[idx];
+}
+
 void Allocation::set_rate(FlowId flow, double rate_bps) {
   NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
               "flow rate must be finite and non-negative");
-  rates_[flow] = rate_bps;
+  double& entry = slot(flow);
+  if (entry == kAbsent) ++num_flows_;
+  entry = rate_bps;
 }
 
 void Allocation::add_rate(FlowId flow, double rate_bps) {
   NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
               "flow rate increment must be finite and non-negative");
-  rates_[flow] += rate_bps;
+  double& entry = slot(flow);
+  if (entry == kAbsent) {
+    entry = rate_bps;
+    ++num_flows_;
+  } else {
+    entry += rate_bps;
+  }
 }
 
 double Allocation::rate(FlowId flow) const {
-  const auto it = rates_.find(flow);
-  return it == rates_.end() ? 0.0 : it->second;
+  if (flow < 0) return 0.0;
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= rates_.size() || rates_[idx] == kAbsent) return 0.0;
+  return rates_[idx];
+}
+
+bool Allocation::has_rate(FlowId flow) const {
+  if (flow < 0) return false;
+  const auto idx = static_cast<std::size_t>(flow);
+  return idx < rates_.size() && rates_[idx] != kAbsent;
 }
 
 double Allocation::total_rate() const {
   double total = 0.0;
-  for (const auto& [flow, rate] : rates_) total += rate;
+  for (const double rate : rates_) {
+    if (rate != kAbsent) total += rate;
+  }
   return total;
 }
 

@@ -3,7 +3,7 @@
 // (capacity feasibility on all 2m links).
 #pragma once
 
-#include <unordered_map>
+#include <cstddef>
 #include <vector>
 
 #include "coflow/flow.h"
@@ -14,6 +14,11 @@ namespace ncdrf {
 struct ActiveFlow;
 struct ScheduleInput;
 
+// Rates are stored densely, indexed by FlowId: traces assign flow ids as a
+// contiguous 0-based range, so a flat array beats a hash map on the
+// allocate() hot path (one store per flow instead of one hash insert).
+// Sparse or out-of-range ids still work — the table grows on demand — and
+// "never mentioned" stays distinct from "explicitly rate 0".
 class Allocation {
  public:
   // Sets the rate for a flow (replacing any previous value). Rates must be
@@ -23,17 +28,32 @@ class Allocation {
   // Adds to the flow's current rate (used by backfilling stages).
   void add_rate(FlowId flow, double rate_bps);
 
+  // Pre-sizes the table for flow ids in [0, num_flows) so the bulk
+  // set_rate pass in allocate() never reallocates mid-flight.
+  void reserve(std::size_t num_flows) { rates_.reserve(num_flows); }
+
   // Rate for a flow; 0 for flows never mentioned.
   double rate(FlowId flow) const;
 
-  const std::unordered_map<FlowId, double>& rates() const { return rates_; }
+  // True once set_rate/add_rate has been called for the flow, even with 0.
+  bool has_rate(FlowId flow) const;
+
+  // Number of flows with an assigned rate.
+  std::size_t num_flows() const { return num_flows_; }
+  bool empty() const { return num_flows_ == 0; }
 
   // Sum of all flow rates (total fabric throughput contribution; each flow
   // counted once, so total link usage is twice this).
   double total_rate() const;
 
  private:
-  std::unordered_map<FlowId, double> rates_;
+  static constexpr double kAbsent = -1.0;
+
+  // Grows the table (filled with kAbsent) to cover `flow`; returns its slot.
+  double& slot(FlowId flow);
+
+  std::vector<double> rates_;  // indexed by FlowId; kAbsent = unassigned
+  std::size_t num_flows_ = 0;
 };
 
 // Aggregate usage per link implied by `alloc` over the snapshot's flows,

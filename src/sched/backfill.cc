@@ -5,35 +5,80 @@
 #include "common/check.h"
 
 namespace ncdrf {
+namespace {
+
+// One even-share round: share_i = max(residual_i, 0) / counts_i, each flow
+// gaining min(share_up, share_down). Returns false when no link had both
+// spare capacity and flows to give it to (callers stop iterating).
+bool backfill_round(const ScheduleInput& input, Allocation& alloc,
+                    const std::vector<int>& counts,
+                    const std::vector<double>& residual) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> share(static_cast<std::size_t>(fabric.num_links()),
+                            0.0);
+  bool any_spare = false;
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double unused = std::max(residual[idx], 0.0);
+    if (counts[idx] > 0 && unused > 0.0) {
+      share[idx] = unused / counts[idx];
+      any_spare = true;
+    }
+  }
+  if (!any_spare) return false;
+
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(flow.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(flow.dst));
+      const double w = std::min(share[u], share[d]);
+      if (w > 0.0) alloc.add_rate(flow.id, w);
+    }
+  }
+  return true;
+}
+
+// capacity − usage per link, from a full scan of the allocation.
+std::vector<double> residual_from_usage(const ScheduleInput& input,
+                                        const Allocation& alloc) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> residual = link_usage(input, alloc);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    residual[idx] = fabric.capacity(i) - residual[idx];
+  }
+  return residual;
+}
+
+}  // namespace
 
 void even_backfill(const ScheduleInput& input, Allocation& alloc,
                    int rounds) {
   NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
-  const Fabric& fabric = *input.fabric;
+  if (rounds == 0) return;
   const std::vector<int> counts = link_flow_counts(input);
-
   for (int round = 0; round < rounds; ++round) {
-    const std::vector<double> usage = link_usage(input, alloc);
-    std::vector<double> share(static_cast<std::size_t>(fabric.num_links()),
-                              0.0);
-    bool any_spare = false;
-    for (LinkId i = 0; i < fabric.num_links(); ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      const double unused = std::max(fabric.capacity(i) - usage[idx], 0.0);
-      if (counts[idx] > 0 && unused > 0.0) {
-        share[idx] = unused / counts[idx];
-        any_spare = true;
-      }
+    if (!backfill_round(input, alloc, counts,
+                        residual_from_usage(input, alloc))) {
+      return;
     }
-    if (!any_spare) return;
+  }
+}
 
-    for (const ActiveCoflow& coflow : input.coflows) {
-      for (const ActiveFlow& flow : coflow.flows) {
-        const auto u = static_cast<std::size_t>(fabric.uplink(flow.src));
-        const auto d = static_cast<std::size_t>(fabric.downlink(flow.dst));
-        const double w = std::min(share[u], share[d]);
-        if (w > 0.0) alloc.add_rate(flow.id, w);
-      }
+void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
+                          int rounds, const std::vector<int>& live_counts,
+                          const std::vector<double>& residual) {
+  NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
+  if (rounds == 0) return;
+  const auto links =
+      static_cast<std::size_t>(input.fabric->num_links());
+  NCDRF_CHECK(live_counts.size() == links && residual.size() == links,
+              "cached backfill vectors must cover all links");
+  if (!backfill_round(input, alloc, live_counts, residual)) return;
+  for (int round = 1; round < rounds; ++round) {
+    if (!backfill_round(input, alloc, live_counts,
+                        residual_from_usage(input, alloc))) {
+      return;
     }
   }
 }

@@ -10,13 +10,28 @@
 // utilization and are exposed for the ablation bench.
 #pragma once
 
+#include <vector>
+
 #include "sched/scheduler.h"
 
 namespace ncdrf {
 
 // Runs `rounds` rounds of even backfilling on top of `alloc`, in place.
 // Requires rounds >= 0 (0 is a no-op). Never oversubscribes a link.
+// Rescans the snapshot for per-link flow counts and usage — O(flows) per
+// call on top of the round cost.
 void even_backfill(const ScheduleInput& input, Allocation& alloc,
                    int rounds = 1);
+
+// Variant for callers that already maintain the per-link vectors (the
+// incremental NC-DRF engine): `live_counts` holds each link's active-flow
+// total (link_flow_counts equivalent) and `residual` the capacity left
+// after the base allocation (capacity − usage, unclamped; negative values
+// are treated as no spare). Skips the first round's O(flows) rescan;
+// rounds beyond the first recompute usage from `alloc` as usual. Both
+// vectors must be sized to fabric.num_links().
+void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
+                          int rounds, const std::vector<int>& live_counts,
+                          const std::vector<double>& residual);
 
 }  // namespace ncdrf

@@ -75,9 +75,7 @@ Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
   // Coflows outside the served set wait (rate 0 before backfilling).
   for (const ActiveCoflow& coflow : input.coflows) {
     for (const ActiveFlow& f : coflow.flows) {
-      if (alloc.rates().find(f.id) == alloc.rates().end()) {
-        alloc.set_rate(f.id, 0.0);
-      }
+      if (!alloc.has_rate(f.id)) alloc.set_rate(f.id, 0.0);
     }
   }
 

@@ -100,6 +100,28 @@ class Scheduler {
     (void)current;
     return std::nullopt;
   }
+
+  // --- Optional event-driven (incremental) interface ---------------------
+  //
+  // Drivers that track scheduling deltas (the DynamicSimulator) deliver
+  // them to schedulers returning true from wants_events(), in event order:
+  // on_reset() once per run before anything else, then on_coflow_arrival /
+  // on_flow_finish / on_coflow_departure as the active set evolves. When a
+  // coflow's last flow finishes, on_flow_finish fires before the coflow's
+  // on_coflow_departure. Every subsequent allocate() snapshot is consistent
+  // with the deltas delivered so far, which lets a scheduler maintain
+  // per-coflow state in O(links touched) per event instead of rescanning
+  // the snapshot.
+  //
+  // Schedulers must stay correct when the hooks are never called — drivers
+  // that predate this interface (the cluster master, direct test harnesses)
+  // hand allocate() bare snapshots. One driver at a time per scheduler
+  // instance.
+  virtual bool wants_events() const { return false; }
+  virtual void on_reset(const Fabric& fabric) { (void)fabric; }
+  virtual void on_coflow_arrival(const ActiveCoflow& coflow) { (void)coflow; }
+  virtual void on_flow_finish(const ActiveFlow& flow) { (void)flow; }
+  virtual void on_coflow_departure(CoflowId id) { (void)id; }
 };
 
 // Total number of active flows in the snapshot.

@@ -49,6 +49,10 @@ struct DynamicSimulator::Impl {
   Scheduler& scheduler;
   SimOptions options;
   CompletionCallback on_complete;
+  // Deliver arrival/flow-finish/departure deltas to the scheduler (set at
+  // run() from Scheduler::wants_events) so event-driven policies can keep
+  // incremental state instead of rescanning every snapshot.
+  bool deliver_events = false;
 
   double now = 0.0;
   RunResult result;
@@ -105,6 +109,17 @@ struct DynamicSimulator::Impl {
         remaining_of(f) = f.size_bits;
         entry->unfinished.push_back(&f);
       }
+      if (deliver_events) {
+        ActiveCoflow view;
+        view.id = entry->coflow.id();
+        view.arrival_time = entry->coflow.arrival_time();
+        view.weight = entry->coflow.weight();
+        view.flows.reserve(entry->unfinished.size());
+        for (const Flow* f : entry->unfinished) {
+          view.flows.push_back(ActiveFlow{f->id, f->coflow, f->src, f->dst});
+        }
+        scheduler.on_coflow_arrival(view);
+      }
       active.push_back(std::move(entry));
     }
   }
@@ -136,6 +151,8 @@ struct DynamicSimulator::Impl {
   void run() {
     const ClairvoyantInfo clairvoyant_info(&remaining);
     const bool clairvoyant = scheduler.clairvoyant();
+    deliver_events = scheduler.wants_events();
+    if (deliver_events) scheduler.on_reset(fabric);
 
     admit_due();
     while (!active.empty() || !pending.empty()) {
@@ -245,6 +262,10 @@ struct DynamicSimulator::Impl {
         for (const Flow* f : entry.unfinished) {
           if (remaining_of(*f) <= options.completion_epsilon_bits) {
             entry.finished.push_back(f);
+            if (deliver_events) {
+              scheduler.on_flow_finish(
+                  ActiveFlow{f->id, f->coflow, f->src, f->dst});
+            }
           }
         }
         std::erase_if(entry.unfinished, [&](const Flow* f) {
@@ -252,6 +273,7 @@ struct DynamicSimulator::Impl {
         });
         if (entry.unfinished.empty()) {
           const CoflowId id = entry.coflow.id();
+          if (deliver_events) scheduler.on_coflow_departure(id);
           CoflowRecord* rec = nullptr;
           for (CoflowRecord& r : result.coflows) {
             if (r.id == id) rec = &r;

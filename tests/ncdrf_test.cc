@@ -174,7 +174,7 @@ TEST(NcDrf, EmptyInputYieldsEmptyAllocation) {
   input.fabric = &fabric;
   NcDrfScheduler ncdrf;
   const Allocation alloc = ncdrf.allocate(input);
-  EXPECT_TRUE(alloc.rates().empty());
+  EXPECT_TRUE(alloc.empty());
 }
 
 TEST(NcDrf, OnlineCountChangeShiftsAllocation) {
