@@ -19,12 +19,14 @@ int main() {
   const Trace trace = bench::evaluation_trace();
   const Fabric fabric = bench::evaluation_fabric(trace);
 
+  const auto runs = bench::run_policies({"ncdrf", "psp", "drf"}, fabric,
+                                        trace, /*with_intervals=*/true);
+
   AsciiTable table({"Policy", "P50", "P90", "P95", "P99", "Max"});
   double max_ncdrf = 0.0;
   double max_psp = 0.0;
   for (const std::string name : {"ncdrf", "psp", "drf"}) {
-    const RunResult run =
-        bench::run_policy(name, fabric, trace, /*with_intervals=*/true);
+    const RunResult& run = runs.at(name);
     const WeightedCdf cdf = disparity_cdf(run);
     table.add_row({make_scheduler(name)->name(),
                    AsciiTable::fmt(cdf.quantile(0.50), 1),

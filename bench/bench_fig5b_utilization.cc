@@ -21,9 +21,11 @@ int main() {
       {"Policy", "Avg alloc (Gbps)", "% of " +
                      AsciiTable::fmt(to_gbps(fabric.total_capacity()), 0) +
                      " Gbps"});
+  const auto runs =
+      bench::run_policies({"tcp", "psp", "ncdrf", "drf", "aalo"}, fabric,
+                          trace, /*with_intervals=*/true);
   for (const std::string name : {"tcp", "psp", "ncdrf", "drf", "aalo"}) {
-    const RunResult run =
-        bench::run_policy(name, fabric, trace, /*with_intervals=*/true);
+    const RunResult& run = runs.at(name);
     const double avg = average_link_usage(run);
     table.add_row({make_scheduler(name)->name(),
                    AsciiTable::fmt(to_gbps(avg), 1),

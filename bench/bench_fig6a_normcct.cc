@@ -19,13 +19,14 @@ int main() {
   const Trace trace = bench::evaluation_trace();
   const Fabric fabric = bench::evaluation_fabric(trace);
 
-  const RunResult base =
-      bench::run_policy("drf", fabric, trace, /*with_intervals=*/false);
+  const auto runs = bench::run_policies({"drf", "tcp", "psp", "ncdrf", "aalo"},
+                                        fabric, trace,
+                                        /*with_intervals=*/false);
+  const RunResult& base = runs.at("drf");
 
   AsciiTable table({"Policy", "P25", "P50", "P75", "P95", "Max", "Mean"});
   for (const std::string name : {"tcp", "psp", "ncdrf", "aalo"}) {
-    const RunResult run =
-        bench::run_policy(name, fabric, trace, /*with_intervals=*/false);
+    const RunResult& run = runs.at(name);
     std::vector<double> norm = normalized_ccts(run, base);
     std::sort(norm.begin(), norm.end());
     const Summary s = summarize(norm);

@@ -16,12 +16,11 @@ int main() {
   const Trace trace = bench::evaluation_trace();
   const Fabric fabric = bench::evaluation_fabric(trace);
 
-  const RunResult base =
-      bench::run_policy("drf", fabric, trace, /*with_intervals=*/false);
-  const RunResult run_nc =
-      bench::run_policy("ncdrf", fabric, trace, /*with_intervals=*/false);
-  const RunResult run_psp =
-      bench::run_policy("psp", fabric, trace, /*with_intervals=*/false);
+  const auto runs = bench::run_policies({"drf", "ncdrf", "psp"}, fabric,
+                                        trace, /*with_intervals=*/false);
+  const RunResult& base = runs.at("drf");
+  const RunResult& run_nc = runs.at("ncdrf");
+  const RunResult& run_psp = runs.at("psp");
 
   const std::vector<double> norm_nc = normalized_ccts(run_nc, base);
   const std::vector<double> norm_psp = normalized_ccts(run_psp, base);

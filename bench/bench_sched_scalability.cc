@@ -21,6 +21,7 @@
 #include "core/ncdrf.h"
 #include "core/registry.h"
 #include "sched/scheduler.h"
+#include "sim/sim.h"
 #include "trace/synthetic_fb.h"
 
 namespace {
@@ -145,6 +146,33 @@ void run_event_replay(benchmark::State& state, bool incremental) {
   state.counters["coflows"] = coflows;
 }
 
+// Full engine loop: replay a synthetic trace whose coflows are all
+// concurrently active through the DynamicSimulator and report simulated
+// events/sec — the number the engine hot-path work (incremental snapshot,
+// completion heap) moves. Unlike the EventReplay benchmarks above, this
+// includes the engine's own per-event cost, not just allocate().
+void run_engine_replay(benchmark::State& state, const std::string& name) {
+  const auto coflows = static_cast<int>(state.range(0));
+  SyntheticFbOptions options;
+  options.num_coflows = coflows;
+  options.duration_s = 1.0;  // everything concurrently active
+  options.max_flows_per_coflow = 64;
+  const Trace trace = generate_synthetic_fb(options);
+  const Fabric fabric(150, gbps(1.0));
+
+  SimOptions sim_options;
+  sim_options.record_intervals = false;
+  long long events = 0;
+  for (auto _ : state) {
+    const auto scheduler = make_scheduler(name);
+    const RunResult run = simulate(fabric, trace, *scheduler, sim_options);
+    events += run.num_events;
+    benchmark::DoNotOptimize(run.makespan);
+  }
+  state.SetItemsProcessed(events);  // events/sec
+  state.counters["coflows"] = coflows;
+}
+
 }  // namespace
 
 #define NCDRF_SCALE_BENCH(tag, name)                       \
@@ -173,6 +201,14 @@ BENCHMARK(BM_NcDrfEventReplay_Incremental)
     ->Arg(500)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NcDrfEventReplay_FromScratch)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineReplay_NcDrf(benchmark::State& state) {
+  run_engine_replay(state, "ncdrf");
+}
+BENCHMARK(BM_EngineReplay_NcDrf)
     ->Arg(100)
     ->Arg(500)
     ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,96 @@
+// Sweep-runner perf smoke: replays a {policy × seed} grid through
+// runner/sweep.h once serially and once on a parallel pool, verifies the
+// aggregated results are bit-identical, and emits newline-delimited JSON —
+// per-cell events/sec for both configurations plus one parallel-speedup
+// record. The CI bench-smoke job archives the output as the sweep perf
+// trajectory.
+//
+// Usage: bench_sweep [threads] [coflows_per_seed]
+//   threads   parallel pool size (default: hardware concurrency, min 2)
+//   coflows   workload size per seed (default 60; CI keeps this small)
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "metrics/export.h"
+#include "runner/sweep.h"
+#include "trace/synthetic_fb.h"
+
+namespace {
+
+using namespace ncdrf;
+
+// Bitwise equality of two run results — the determinism contract the
+// parallel runner must keep (same cells, same doubles, no tolerance).
+bool identical(const RunResult& a, const RunResult& b) {
+  if (a.coflows.size() != b.coflows.size() ||
+      a.num_events != b.num_events ||
+      a.num_allocations != b.num_allocations ||
+      a.makespan != b.makespan ||
+      a.total_bits_delivered != b.total_bits_delivered ||
+      a.progress.size() != b.progress.size() ||
+      a.intervals.size() != b.intervals.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    if (a.coflows[i].cct != b.coflows[i].cct ||
+        a.coflows[i].completion != b.coflows[i].completion) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = std::max(2u, std::thread::hardware_concurrency());
+  if (argc >= 2) threads = std::max(1, std::stoi(argv[1]));
+  int coflows = 60;
+  if (argc >= 3) coflows = std::stoi(argv[2]);
+
+  // The acceptance grid: 4 policies × 8 seeds, every cell independent.
+  SweepSpec spec;
+  spec.fabric = Fabric(40, gbps(1.0));
+  spec.policies = {"ncdrf", "psp", "drf", "tcp"};
+  for (unsigned long long seed = 1; seed <= 8; ++seed) {
+    SyntheticFbOptions options;
+    options.seed = seed;
+    options.num_coflows = coflows;
+    options.num_racks = 40;
+    options.duration_s = 60.0;
+    spec.traces.push_back(
+        SweepCase{"seed" + std::to_string(seed),
+                  generate_synthetic_fb(options)});
+  }
+  spec.sim.record_intervals = false;
+
+  spec.threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = threads;
+  const SweepResult parallel = run_sweep(spec);
+
+  bool bit_identical = serial.cells.size() == parallel.cells.size();
+  for (std::size_t i = 0; bit_identical && i < serial.cells.size(); ++i) {
+    bit_identical = serial.cells[i].policy == parallel.cells[i].policy &&
+                    serial.cells[i].trace_label ==
+                        parallel.cells[i].trace_label &&
+                    identical(serial.cells[i].run, parallel.cells[i].run);
+  }
+
+  write_sweep_json(std::cout, serial, "sweep-serial");
+  write_sweep_json(std::cout, parallel, "sweep-parallel");
+  std::cout << "{\"label\":\"sweep-speedup\",\"threads\":" << threads
+            << ",\"cells\":" << serial.cells.size()
+            << ",\"serial_wall_seconds\":" << serial.wall_seconds
+            << ",\"parallel_wall_seconds\":" << parallel.wall_seconds
+            << ",\"speedup\":"
+            << (parallel.wall_seconds > 0.0
+                    ? serial.wall_seconds / parallel.wall_seconds
+                    : 0.0)
+            << ",\"bit_identical\":" << (bit_identical ? "true" : "false")
+            << "}\n";
+  return bit_identical ? 0 : 1;
+}

@@ -27,9 +27,11 @@ int main() {
   double mean_nc = 0.0;
   double p95_psp = 0.0;
   double p95_nc = 0.0;
+  const auto runs =
+      bench::run_policies({"tcp", "psp", "ncdrf", "drf", "aalo"}, fabric,
+                          trace, /*with_intervals=*/false);
   for (const std::string name : {"tcp", "psp", "ncdrf", "drf", "aalo"}) {
-    const RunResult run =
-        bench::run_policy(name, fabric, trace, /*with_intervals=*/false);
+    const RunResult& run = runs.at(name);
     const Summary s = summarize(slowdowns(run));
     table.add_row({make_scheduler(name)->name(), AsciiTable::fmt(s.min, 2),
                    AsciiTable::fmt(s.mean, 2), AsciiTable::fmt(s.p95, 2),

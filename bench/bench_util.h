@@ -7,15 +7,21 @@
 // reproducible and comparable.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 #include "common/units.h"
 #include "core/registry.h"
 #include "fabric/fabric.h"
 #include "metrics/eval.h"
+#include "runner/sweep.h"
 #include "sim/sim.h"
 #include "trace/benchmark_format.h"
 #include "trace/synthetic_fb.h"
@@ -54,6 +60,39 @@ inline RunResult run_policy(const std::string& name, const Fabric& fabric,
   options.record_intervals = with_intervals;
   std::cerr << "  running " << scheduler->name() << "...\n";
   return simulate(fabric, trace, *scheduler, options);
+}
+
+// Number of sweep threads for the figure benches: NCDRF_BENCH_THREADS if
+// set, hardware concurrency otherwise, never more than `max_cells`.
+inline int bench_threads(int max_cells) {
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("NCDRF_BENCH_THREADS")) {
+    threads = std::stoi(env);
+  }
+  return std::clamp(threads, 1, std::max(max_cells, 1));
+}
+
+// Runs every named policy over the trace through the parallel sweep
+// runner (runner/sweep.h) — one grid cell per policy. Results are keyed
+// by policy name and bit-identical to serial run_policy calls whatever
+// the thread count (the runner's determinism contract).
+inline std::map<std::string, RunResult> run_policies(
+    const std::vector<std::string>& names, const Fabric& fabric,
+    const Trace& trace, bool with_intervals) {
+  SweepSpec spec;
+  spec.fabric = fabric;
+  spec.policies = names;
+  spec.traces.push_back(SweepCase{"workload", trace});
+  spec.sim.record_intervals = with_intervals;
+  spec.threads = bench_threads(static_cast<int>(names.size()));
+  std::cerr << "  sweep: " << names.size() << " policies on "
+            << spec.threads << " thread(s)...\n";
+  SweepResult sweep = run_sweep(spec);
+  std::map<std::string, RunResult> runs;
+  for (SweepCellResult& cell : sweep.cells) {
+    runs.emplace(cell.policy, std::move(cell.run));
+  }
+  return runs;
 }
 
 inline void print_header(const std::string& experiment,

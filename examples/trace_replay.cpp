@@ -8,14 +8,22 @@
 //
 // This is the programmable counterpart of the bench/ binaries: point it at
 // the real FB2010-1Hr-150-0.txt if you have it, and the same pipeline runs.
+//
+// All policies run through the parallel sweep runner (runner/sweep.h):
+// one grid cell per policy, NCDRF_BENCH_THREADS (default: hardware
+// concurrency) worker threads, results bit-identical to serial runs.
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/table.h"
 #include "common/units.h"
 #include "core/registry.h"
 #include "metrics/eval.h"
+#include "runner/sweep.h"
 #include "sim/sim.h"
 #include "trace/benchmark_format.h"
 #include "trace/synthetic_fb.h"
@@ -47,17 +55,33 @@ int main(int argc, char** argv) {
 
   const Fabric fabric(trace.num_machines, gbps(1.0));
 
-  // DRF is the normalization baseline for every other policy.
-  const auto drf = make_scheduler("drf");
-  const RunResult run_drf = simulate(fabric, trace, *drf);
+  // One sweep cell per policy; DRF (in the same grid) is the
+  // normalization baseline for every other policy.
+  SweepSpec spec;
+  spec.fabric = fabric;
+  spec.policies = {"tcp", "psp", "ncdrf", "drf", "hug", "aalo", "varys"};
+  spec.traces.push_back(SweepCase{"replay", std::move(trace)});
+  spec.threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  if (const char* env = std::getenv("NCDRF_BENCH_THREADS")) {
+    spec.threads = std::max(1, std::stoi(env));
+  }
+  const SweepResult sweep = run_sweep(spec);
+
+  const auto run_of = [&](const std::string& name) -> const RunResult& {
+    for (const SweepCellResult& cell : sweep.cells) {
+      if (cell.policy == name) return cell.run;
+    }
+    NCDRF_CHECK(false, "policy missing from sweep: " + name);
+    std::abort();  // unreachable; NCDRF_CHECK throws
+  };
+  const RunResult& run_drf = run_of("drf");
 
   AsciiTable table({"Policy", "Avg CCT (s)", "Avg norm. CCT", "Avg slowdown",
                     "Util (Gbps)", "P95 disparity"});
-  for (const std::string name :
-       {"tcp", "psp", "ncdrf", "drf", "hug", "aalo", "varys"}) {
+  for (const std::string& name : spec.policies) {
     const auto sched = make_scheduler(name);
-    const RunResult run =
-        name == "drf" ? run_drf : simulate(fabric, trace, *sched);
+    const RunResult& run = run_of(name);
 
     double avg_cct = 0.0;
     for (const CoflowRecord& rec : run.coflows) avg_cct += rec.cct;

@@ -186,12 +186,6 @@ double IncrementalNcDrfState::p_star() const {
   return std::isfinite(p_star) ? p_star : 0.0;
 }
 
-double IncrementalNcDrfState::rate_bps(CoflowId id, double p_star) const {
-  const auto it = coflows_.find(id);
-  if (it == coflows_.end() || it->second.bottleneck <= 0) return 0.0;
-  return it->second.weight * p_star / it->second.bottleneck;
-}
-
 void IncrementalNcDrfState::residual_capacity(double p_star,
                                               std::vector<double>& out) const {
   NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");

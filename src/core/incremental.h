@@ -69,8 +69,13 @@ class IncrementalNcDrfState {
   double p_star() const;
 
   // Flow rate for coflow `id` given P̂*: w_k·P̂*/n̄_k (Algorithm 1 lines
-  // 10-15); 0 for untracked coflows or an all-zero count vector.
-  double rate_bps(CoflowId id, double p_star) const;
+  // 10-15); 0 for untracked coflows or an all-zero count vector. Inline:
+  // allocate() calls this once per active coflow per event.
+  double rate_bps(CoflowId id, double p_star) const {
+    const auto it = coflows_.find(id);
+    if (it == coflows_.end() || it->second.bottleneck <= 0) return 0.0;
+    return it->second.weight * p_star / it->second.bottleneck;
+  }
 
   // Σ_k w_k·n_k^i/n̄_k per link — the DRF load vector behind p_star().
   const std::vector<double>& load() const { return load_; }

@@ -115,6 +115,30 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   const double p_star = state_.p_star();
   if (p_star <= 0.0) return alloc;
 
+  // Backfilling round one needs only O(L) state available before any flow
+  // is touched: residual_i = C_i − P̂*·Σ_k (w_k/n̄_k)·live_k^i (from the
+  // tracked vectors, no usage rescan), divided evenly among each link's
+  // live flows. Converting residual_ into the per-link share vector here
+  // lets the base DRF rate and the first backfill round land in a single
+  // O(flows) pass below — set_rate(r_k + w) is bitwise identical to
+  // set_rate(r_k) followed by add_rate(w).
+  const Fabric& fabric = *input.fabric;
+  bool any_spare = false;
+  if (options_.work_conserving && options_.backfill_rounds > 0) {
+    state_.residual_capacity(p_star, residual_);
+    const std::vector<int>& counts = state_.live_link_counts();
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double unused = std::max(residual_[idx], 0.0);
+      if (counts[idx] > 0 && unused > 0.0) {
+        residual_[idx] = unused / counts[idx];
+        any_spare = true;
+      } else {
+        residual_[idx] = 0.0;
+      }
+    }
+  }
+
   // Algorithm 1 lines 10-15: every flow of coflow k runs at
   // r_k = w_k · P̂*/n̄_k, so the coflow's aggregate on link i is
   // w_k · ĉ_k^i · P̂* (weights default to 1, recovering the paper's form).
@@ -126,15 +150,27 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   for (const ActiveCoflow& coflow : input.coflows) {
     if (coflow.flows.empty()) continue;
     const double r_k = state_.rate_bps(coflow.id, p_star);
-    for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, r_k);
+    if (any_spare) {
+      for (const ActiveFlow& f : coflow.flows) {
+        const double w = std::min(
+            residual_[static_cast<std::size_t>(fabric.uplink(f.src))],
+            residual_[static_cast<std::size_t>(fabric.downlink(f.dst))]);
+        alloc.set_rate(f.id, r_k + w);
+      }
+    } else {
+      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, r_k);
+    }
   }
 
-  if (options_.work_conserving) {
-    // The backfilling budget comes straight from the tracked vectors —
-    // residual_i = C_i − P̂*·Σ_k (w_k/n̄_k)·live_k^i — so round one needs
-    // no O(flows) usage rescan.
-    state_.residual_capacity(p_star, residual_);
-    even_backfill_cached(input, alloc, options_.backfill_rounds,
+  // Rounds beyond the first work from actual usage, exactly as
+  // even_backfill_cached's later rounds do (ablation configs only).
+  if (any_spare && options_.backfill_rounds > 1) {
+    link_usage(input, alloc, residual_);
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      residual_[idx] = fabric.capacity(i) - residual_[idx];
+    }
+    even_backfill_cached(input, alloc, options_.backfill_rounds - 1,
                          state_.live_link_counts(), residual_);
   }
   return alloc;

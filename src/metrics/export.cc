@@ -47,6 +47,24 @@ void write_perf_json(std::ostream& out, const SchedPerf& perf,
   out << "\"perf\":" << to_json(perf) << "}\n";
 }
 
+void write_sweep_json(std::ostream& out, const SweepResult& sweep,
+                      const std::string& label) {
+  out << "{";
+  if (!label.empty()) out << "\"label\":\"" << label << "\",";
+  out << "\"threads\":" << sweep.threads
+      << ",\"wall_seconds\":" << sweep.wall_seconds << ",\"cells\":[";
+  bool first = true;
+  for (const SweepCellResult& cell : sweep.cells) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"policy\":\"" << cell.policy << "\",\"trace\":\""
+        << cell.trace_label << "\",\"events\":" << cell.run.num_events
+        << ",\"wall_seconds\":" << cell.wall_seconds
+        << ",\"events_per_second\":" << cell.events_per_second << "}";
+  }
+  out << "]}\n";
+}
+
 void write_normalized_cct_csv(
     std::ostream& out, const std::map<std::string, RunResult>& runs,
     const RunResult& baseline) {

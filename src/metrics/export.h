@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "metrics/perf.h"
+#include "runner/sweep.h"
 #include "sim/sim.h"
 
 namespace ncdrf {
@@ -39,5 +40,13 @@ void write_normalized_cct_csv(
 void write_perf_json(std::ostream& out, const SchedPerf& perf,
                      const std::string& scheduler = "",
                      const std::string& label = "");
+
+// A sweep's perf trajectory as one JSON object, newline-terminated:
+// thread count, whole-sweep wall time, and one entry per grid cell with
+// its policy, trace label, event count, wall time and events/sec. `label`
+// is attached as a string field when non-empty. Cells appear in grid
+// order, so outputs diff cleanly between runs.
+void write_sweep_json(std::ostream& out, const SweepResult& sweep,
+                      const std::string& label = "");
 
 }  // namespace ncdrf

@@ -1,0 +1,67 @@
+#include "runner/sweep.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "core/registry.h"
+#include "runner/thread_pool.h"
+
+namespace ncdrf {
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  NCDRF_CHECK(!spec.policies.empty(), "sweep needs at least one policy");
+  NCDRF_CHECK(!spec.traces.empty(), "sweep needs at least one trace");
+  NCDRF_CHECK(spec.threads >= 1, "sweep needs at least one thread");
+  // Fail on unknown policy names before spawning anything.
+  for (const std::string& name : spec.policies) make_scheduler(name);
+
+  const std::size_t num_traces = spec.traces.size();
+  const int num_cells =
+      static_cast<int>(spec.policies.size() * num_traces);
+
+  SweepResult result;
+  result.threads = spec.threads;
+  result.cells.resize(static_cast<std::size_t>(num_cells));
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  // Each cell builds its own fabric copy and scheduler instance: nothing
+  // mutable crosses cell boundaries, so any thread may run any index.
+  const auto run_cell = [&](int index) {
+    const auto idx = static_cast<std::size_t>(index);
+    const std::size_t p = idx / num_traces;
+    const std::size_t t = idx % num_traces;
+    SweepCellResult& cell = result.cells[idx];
+    cell.policy = spec.policies[p];
+    cell.trace_label = spec.traces[t].label;
+
+    const Fabric fabric = spec.fabric;
+    const std::unique_ptr<Scheduler> scheduler =
+        make_scheduler(cell.policy);
+    const auto cell_start = std::chrono::steady_clock::now();
+    cell.run = simulate(fabric, spec.traces[t].trace, *scheduler, spec.sim);
+    cell.wall_seconds = seconds_since(cell_start);
+    cell.events_per_second =
+        cell.wall_seconds > 0.0
+            ? static_cast<double>(cell.run.num_events) / cell.wall_seconds
+            : 0.0;
+  };
+
+  ThreadPool pool(spec.threads);
+  pool.run(num_cells, run_cell);
+  result.wall_seconds = seconds_since(sweep_start);
+  return result;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,63 @@
+// Declarative {policy × trace} sweep runner: the parallel counterpart of
+// the serial "for each policy: simulate" loops in the figure benches.
+//
+// A sweep is a grid: every registered policy name in `policies` crossed
+// with every trace case in `traces`, all replayed on copies of the same
+// fabric. Each cell owns its entire world — a Fabric copy, a scheduler
+// built fresh from the registry, and a simulator run — so cells share no
+// mutable state and can execute on any thread. Results land in per-cell
+// slots indexed by grid position (policy-major, trace-minor), which makes
+// the aggregated output *bit-identical* regardless of thread count or
+// scheduling order: runner_test.cc pins that property for every policy in
+// the registry.
+//
+// Per-cell wall time and simulated events/sec ride along for the perf
+// trajectory (metrics/export.h:write_sweep_json, archived by CI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "sim/sim.h"
+#include "trace/trace.h"
+
+namespace ncdrf {
+
+// One trace axis entry: the label names the workload in results/JSON
+// (e.g. "seed42"). Traces are shared read-only across cells.
+struct SweepCase {
+  std::string label;
+  Trace trace;
+};
+
+struct SweepSpec {
+  Fabric fabric{1, 1.0};
+  std::vector<std::string> policies;  // registry names (make_scheduler)
+  std::vector<SweepCase> traces;
+  SimOptions sim;       // applied to every cell
+  int threads = 1;      // >= 1; 1 reproduces the serial figure-bench loop
+};
+
+// One grid cell's outcome.
+struct SweepCellResult {
+  std::string policy;
+  std::string trace_label;
+  RunResult run;
+  double wall_seconds = 0.0;       // this cell's simulate() wall time
+  double events_per_second = 0.0;  // run.num_events / wall_seconds
+};
+
+struct SweepResult {
+  // Grid order: cells[p * traces.size() + t] is policies[p] × traces[t].
+  std::vector<SweepCellResult> cells;
+  double wall_seconds = 0.0;  // whole-sweep wall time
+  int threads = 1;
+};
+
+// Runs the full grid. Throws CheckError on an empty grid axis or an
+// unknown policy name; exceptions from inside a cell propagate after the
+// remaining cells finish.
+SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace ncdrf

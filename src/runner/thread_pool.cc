@@ -1,0 +1,62 @@
+#include "runner/thread_pool.h"
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+ThreadPool::ThreadPool(int num_threads) {
+  NCDRF_CHECK(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
+  NCDRF_CHECK(num_tasks >= 0, "task count must be non-negative");
+  if (num_tasks == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  NCDRF_CHECK(task_ == nullptr, "ThreadPool::run is not reentrant");
+  task_ = &task;
+  next_index_ = 0;
+  num_tasks_ = num_tasks;
+  remaining_ = num_tasks;
+  first_error_ = nullptr;
+  work_ready_.notify_all();
+  batch_done_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this] {
+      return stop_ || (task_ != nullptr && next_index_ < num_tasks_);
+    });
+    if (stop_) return;
+    const int index = next_index_++;
+    const std::function<void(int)>* task = task_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*task)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !first_error_) first_error_ = error;
+    if (--remaining_ == 0) batch_done_.notify_all();
+  }
+}
+
+}  // namespace ncdrf

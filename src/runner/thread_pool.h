@@ -1,0 +1,53 @@
+// Fixed-size thread pool for embarrassingly parallel sweeps (no work
+// stealing, no task graph). Workers claim task indices from a shared
+// atomic-style cursor under a mutex; which worker runs which index is
+// nondeterministic, so callers must write results into per-index slots —
+// that is what makes sweep aggregation deterministic regardless of thread
+// count (see runner/sweep.h).
+//
+// One batch at a time: run() dispatches indices [0, num_tasks) to the
+// workers, blocks until every task finished, and rethrows the first task
+// exception (remaining tasks still run to completion so the pool stays
+// consistent). run() itself is not thread-safe — one dispatching thread.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ncdrf {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` persistent workers. Requires num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs task(0) ... task(num_tasks - 1) across the workers and blocks
+  // until all have finished. Tasks must not call run() reentrantly.
+  void run(int num_tasks, const std::function<void(int)>& task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(int)>* task_ = nullptr;  // non-null while dispatching
+  int next_index_ = 0;
+  int num_tasks_ = 0;
+  int remaining_ = 0;  // tasks not yet finished in the current batch
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ncdrf

@@ -8,46 +8,6 @@
 
 namespace ncdrf {
 
-double& Allocation::slot(FlowId flow) {
-  NCDRF_CHECK(flow >= 0, "flow ids must be non-negative");
-  const auto idx = static_cast<std::size_t>(flow);
-  if (idx >= rates_.size()) rates_.resize(idx + 1, kAbsent);
-  return rates_[idx];
-}
-
-void Allocation::set_rate(FlowId flow, double rate_bps) {
-  NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
-              "flow rate must be finite and non-negative");
-  double& entry = slot(flow);
-  if (entry == kAbsent) ++num_flows_;
-  entry = rate_bps;
-}
-
-void Allocation::add_rate(FlowId flow, double rate_bps) {
-  NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
-              "flow rate increment must be finite and non-negative");
-  double& entry = slot(flow);
-  if (entry == kAbsent) {
-    entry = rate_bps;
-    ++num_flows_;
-  } else {
-    entry += rate_bps;
-  }
-}
-
-double Allocation::rate(FlowId flow) const {
-  if (flow < 0) return 0.0;
-  const auto idx = static_cast<std::size_t>(flow);
-  if (idx >= rates_.size() || rates_[idx] == kAbsent) return 0.0;
-  return rates_[idx];
-}
-
-bool Allocation::has_rate(FlowId flow) const {
-  if (flow < 0) return false;
-  const auto idx = static_cast<std::size_t>(flow);
-  return idx < rates_.size() && rates_[idx] != kAbsent;
-}
-
 double Allocation::total_rate() const {
   double total = 0.0;
   for (const double rate : rates_) {
@@ -56,18 +16,23 @@ double Allocation::total_rate() const {
   return total;
 }
 
-std::vector<double> link_usage(const ScheduleInput& input,
-                               const Allocation& alloc) {
+void link_usage(const ScheduleInput& input, const Allocation& alloc,
+                std::vector<double>& out) {
   const Fabric& fabric = *input.fabric;
-  std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
-                            0.0);
+  out.assign(static_cast<std::size_t>(fabric.num_links()), 0.0);
   for (const ActiveCoflow& coflow : input.coflows) {
     for (const ActiveFlow& flow : coflow.flows) {
       const double r = alloc.rate(flow.id);
-      usage[static_cast<std::size_t>(fabric.uplink(flow.src))] += r;
-      usage[static_cast<std::size_t>(fabric.downlink(flow.dst))] += r;
+      out[static_cast<std::size_t>(fabric.uplink(flow.src))] += r;
+      out[static_cast<std::size_t>(fabric.downlink(flow.dst))] += r;
     }
   }
+}
+
+std::vector<double> link_usage(const ScheduleInput& input,
+                               const Allocation& alloc) {
+  std::vector<double> usage;
+  link_usage(input, alloc, usage);
   return usage;
 }
 
@@ -87,27 +52,38 @@ void check_capacity(const ScheduleInput& input, const Allocation& alloc,
   }
 }
 
-void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc) {
+void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc,
+                       std::vector<double>& scratch) {
   const Fabric& fabric = *input.fabric;
-  std::vector<double> usage = link_usage(input, alloc);
-  std::vector<double> scale(static_cast<std::size_t>(fabric.num_links()),
-                            1.0);
+  link_usage(input, alloc, scratch);
+  // Turn the usage vector into a scale vector in place; skip the per-flow
+  // rescale pass when every link is already feasible.
+  bool any_over = false;
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
     const auto idx = static_cast<std::size_t>(i);
-    if (usage[idx] > fabric.capacity(i)) {
-      scale[idx] = fabric.capacity(i) / usage[idx];
+    if (scratch[idx] > fabric.capacity(i)) {
+      scratch[idx] = fabric.capacity(i) / scratch[idx];
+      any_over = true;
+    } else {
+      scratch[idx] = 1.0;
     }
   }
+  if (!any_over) return;
   for (const ActiveCoflow& coflow : input.coflows) {
     for (const ActiveFlow& flow : coflow.flows) {
       const double r = alloc.rate(flow.id);
       if (r <= 0.0) continue;
       const double s = std::min(
-          scale[static_cast<std::size_t>(fabric.uplink(flow.src))],
-          scale[static_cast<std::size_t>(fabric.downlink(flow.dst))]);
+          scratch[static_cast<std::size_t>(fabric.uplink(flow.src))],
+          scratch[static_cast<std::size_t>(fabric.downlink(flow.dst))]);
       if (s < 1.0) alloc.set_rate(flow.id, r * s);
     }
   }
+}
+
+void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc) {
+  std::vector<double> scratch;
+  clamp_to_capacity(input, alloc, scratch);
 }
 
 }  // namespace ncdrf

@@ -3,10 +3,12 @@
 // (capacity feasibility on all 2m links).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include "coflow/flow.h"
+#include "common/check.h"
 #include "fabric/fabric.h"
 
 namespace ncdrf {
@@ -19,24 +21,54 @@ struct ScheduleInput;
 // allocate() hot path (one store per flow instead of one hash insert).
 // Sparse or out-of-range ids still work — the table grows on demand — and
 // "never mentioned" stays distinct from "explicitly rate 0".
+//
+// The accessors are defined inline: every policy's allocate(), the
+// backfilling stages and the simulator engine each make one call per flow
+// per event, so out-of-line call overhead here is measurable at trace
+// scale (it showed up as ~20% of the engine replay profile).
 class Allocation {
  public:
   // Sets the rate for a flow (replacing any previous value). Rates must be
   // non-negative and finite.
-  void set_rate(FlowId flow, double rate_bps);
+  void set_rate(FlowId flow, double rate_bps) {
+    NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
+                "flow rate must be finite and non-negative");
+    double& entry = slot(flow);
+    if (entry == kAbsent) ++num_flows_;
+    entry = rate_bps;
+  }
 
   // Adds to the flow's current rate (used by backfilling stages).
-  void add_rate(FlowId flow, double rate_bps);
+  void add_rate(FlowId flow, double rate_bps) {
+    NCDRF_CHECK(std::isfinite(rate_bps) && rate_bps >= 0.0,
+                "flow rate increment must be finite and non-negative");
+    double& entry = slot(flow);
+    if (entry == kAbsent) {
+      entry = rate_bps;
+      ++num_flows_;
+    } else {
+      entry += rate_bps;
+    }
+  }
 
   // Pre-sizes the table for flow ids in [0, num_flows) so the bulk
   // set_rate pass in allocate() never reallocates mid-flight.
   void reserve(std::size_t num_flows) { rates_.reserve(num_flows); }
 
   // Rate for a flow; 0 for flows never mentioned.
-  double rate(FlowId flow) const;
+  double rate(FlowId flow) const {
+    if (flow < 0) return 0.0;
+    const auto idx = static_cast<std::size_t>(flow);
+    if (idx >= rates_.size() || rates_[idx] == kAbsent) return 0.0;
+    return rates_[idx];
+  }
 
   // True once set_rate/add_rate has been called for the flow, even with 0.
-  bool has_rate(FlowId flow) const;
+  bool has_rate(FlowId flow) const {
+    if (flow < 0) return false;
+    const auto idx = static_cast<std::size_t>(flow);
+    return idx < rates_.size() && rates_[idx] != kAbsent;
+  }
 
   // Number of flows with an assigned rate.
   std::size_t num_flows() const { return num_flows_; }
@@ -50,7 +82,12 @@ class Allocation {
   static constexpr double kAbsent = -1.0;
 
   // Grows the table (filled with kAbsent) to cover `flow`; returns its slot.
-  double& slot(FlowId flow);
+  double& slot(FlowId flow) {
+    NCDRF_CHECK(flow >= 0, "flow ids must be non-negative");
+    const auto idx = static_cast<std::size_t>(flow);
+    if (idx >= rates_.size()) rates_.resize(idx + 1, kAbsent);
+    return rates_[idx];
+  }
 
   std::vector<double> rates_;  // indexed by FlowId; kAbsent = unassigned
   std::size_t num_flows_ = 0;
@@ -61,6 +98,11 @@ class Allocation {
 std::vector<double> link_usage(const ScheduleInput& input,
                                const Allocation& alloc);
 
+// As above but accumulates into `out` (resized/zeroed), so per-event
+// callers can reuse one buffer instead of allocating per call.
+void link_usage(const ScheduleInput& input, const Allocation& alloc,
+                std::vector<double>& out);
+
 // Throws CheckError if any link's usage exceeds its capacity beyond a
 // relative tolerance. Call after every allocate() in debug paths and tests.
 void check_capacity(const ScheduleInput& input, const Allocation& alloc,
@@ -70,5 +112,12 @@ void check_capacity(const ScheduleInput& input, const Allocation& alloc,
 // rate is multiplied by min over its two links of (capacity / usage, 1).
 // Used to make numerically borderline allocations exactly feasible.
 void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc);
+
+// As above with a caller-owned scratch buffer for the usage/scale vector.
+// When every link is within capacity (the common case for well-behaved
+// policies) this is one accumulation pass and an O(links) check — the
+// per-flow rescale pass is skipped entirely.
+void clamp_to_capacity(const ScheduleInput& input, Allocation& alloc,
+                       std::vector<double>& scratch);
 
 }  // namespace ncdrf

@@ -9,20 +9,22 @@ namespace {
 
 // One even-share round: share_i = max(residual_i, 0) / counts_i, each flow
 // gaining min(share_up, share_down). Returns false when no link had both
-// spare capacity and flows to give it to (callers stop iterating).
+// spare capacity and flows to give it to (callers stop iterating). `share`
+// holds per-link residuals on entry and is converted to shares in place —
+// no allocation on the per-event path.
 bool backfill_round(const ScheduleInput& input, Allocation& alloc,
                     const std::vector<int>& counts,
-                    const std::vector<double>& residual) {
+                    std::vector<double>& share) {
   const Fabric& fabric = *input.fabric;
-  std::vector<double> share(static_cast<std::size_t>(fabric.num_links()),
-                            0.0);
   bool any_spare = false;
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
     const auto idx = static_cast<std::size_t>(i);
-    const double unused = std::max(residual[idx], 0.0);
+    const double unused = std::max(share[idx], 0.0);
     if (counts[idx] > 0 && unused > 0.0) {
       share[idx] = unused / counts[idx];
       any_spare = true;
+    } else {
+      share[idx] = 0.0;
     }
   }
   if (!any_spare) return false;
@@ -57,17 +59,16 @@ void even_backfill(const ScheduleInput& input, Allocation& alloc,
   NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
   if (rounds == 0) return;
   const std::vector<int> counts = link_flow_counts(input);
+  std::vector<double> scratch;
   for (int round = 0; round < rounds; ++round) {
-    if (!backfill_round(input, alloc, counts,
-                        residual_from_usage(input, alloc))) {
-      return;
-    }
+    scratch = residual_from_usage(input, alloc);
+    if (!backfill_round(input, alloc, counts, scratch)) return;
   }
 }
 
 void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
                           int rounds, const std::vector<int>& live_counts,
-                          const std::vector<double>& residual) {
+                          std::vector<double>& residual) {
   NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
   if (rounds == 0) return;
   const auto links =
@@ -76,10 +77,8 @@ void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
               "cached backfill vectors must cover all links");
   if (!backfill_round(input, alloc, live_counts, residual)) return;
   for (int round = 1; round < rounds; ++round) {
-    if (!backfill_round(input, alloc, live_counts,
-                        residual_from_usage(input, alloc))) {
-      return;
-    }
+    residual = residual_from_usage(input, alloc);
+    if (!backfill_round(input, alloc, live_counts, residual)) return;
   }
 }
 

@@ -29,9 +29,11 @@ void even_backfill(const ScheduleInput& input, Allocation& alloc,
 // after the base allocation (capacity − usage, unclamped; negative values
 // are treated as no spare). Skips the first round's O(flows) rescan;
 // rounds beyond the first recompute usage from `alloc` as usual. Both
-// vectors must be sized to fabric.num_links().
+// vectors must be sized to fabric.num_links(). `residual` is consumed as
+// scratch (overwritten with per-link shares) so the per-event path
+// allocates nothing.
 void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
                           int rounds, const std::vector<int>& live_counts,
-                          const std::vector<double>& residual);
+                          std::vector<double>& residual);
 
 }  // namespace ncdrf

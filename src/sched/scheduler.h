@@ -68,6 +68,13 @@ class ClairvoyantInfo {
 };
 
 // Snapshot handed to Scheduler::allocate at every scheduling event.
+//
+// Drivers may maintain the snapshot incrementally and hand the *same*
+// object (with views updated in place) to consecutive allocate() calls —
+// the simulator engine does. Schedulers must treat it as read-only and
+// must not retain pointers/references into it across calls; anything
+// worth keeping between events belongs in scheduler-owned state (see the
+// event interface below).
 struct ScheduleInput {
   const Fabric* fabric = nullptr;
   double now = 0.0;

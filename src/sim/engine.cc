@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "coflow/coflow.h"
@@ -13,6 +14,7 @@ namespace ncdrf {
 namespace {
 
 constexpr double kTimeTolerance = 1e-9;
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
@@ -26,7 +28,13 @@ struct DynamicSimulator::Impl {
     std::vector<const Flow*> unfinished;
     std::vector<const Flow*> finished;
     std::vector<double> correlation;  // c_k from original demand (Eq. 1)
-    double attained_bits = 0.0;
+    // The entry's ActiveCoflow view in `input` (same index as in `active`)
+    // no longer matches unfinished/finished and must be re-filled before
+    // the next allocate(). Views of clean entries are reused as-is.
+    bool dirty = false;
+    // Some flow of this entry has remaining ≤ epsilon — the retire phase
+    // only scans flagged entries instead of rescanning every flow.
+    bool finish_pending = false;
   };
 
   struct PendingLater {
@@ -39,10 +47,27 @@ struct DynamicSimulator::Impl {
     }
   };
 
+  // One candidate flow-completion event: `time` is the absolute finish
+  // time the flow had when its rate was last set. Entries are never
+  // removed in place — they go stale when the flow's rate changes or the
+  // flow finishes (lazy invalidation: an entry is live iff it equals
+  // finish_time_of[flow]).
+  struct FinishEvent {
+    double time;
+    FlowId flow;
+  };
+  struct FinishLater {
+    bool operator()(const FinishEvent& a, const FinishEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.flow > b.flow;
+    }
+  };
+
   Impl(const Fabric& fabric_in, Scheduler& scheduler_in, SimOptions opts)
       : fabric(fabric_in), scheduler(scheduler_in), options(opts) {
     NCDRF_CHECK(options.completion_epsilon_bits > 0.0,
                 "completion epsilon must be positive");
+    input.fabric = &fabric;
   }
 
   const Fabric& fabric;
@@ -58,10 +83,36 @@ struct DynamicSimulator::Impl {
   RunResult result;
   std::vector<double> remaining;  // indexed by FlowId, grown on submit
   std::vector<std::unique_ptr<ActiveEntry>> active;
+  // The scheduler snapshot, maintained incrementally: input.coflows[a] is
+  // the view of active[a] and follows its swap-pop moves. Views are
+  // re-filled only for dirty entries; attained_bits is bumped in place
+  // during the advance step.
+  ScheduleInput input;
   std::priority_queue<std::unique_ptr<ActiveEntry>,
                       std::vector<std::unique_ptr<ActiveEntry>>, PendingLater>
       pending;
   std::unordered_set<CoflowId> seen_coflows;
+  // result.coflows slot by coflow id — O(1) departure bookkeeping. Valid
+  // during run() only (take_result re-sorts the records).
+  std::unordered_map<CoflowId, std::size_t> record_index;
+
+  // Next-completion min-heap with lazy invalidation. last_rate / finish_at
+  // are indexed by FlowId alongside `remaining`; a heap entry is live iff
+  // its time equals finish_at[flow]. While a flow's rate is unchanged its
+  // absolute finish time is invariant, so steady flows cost nothing per
+  // event — only flows whose rate changed pay an O(log n) push.
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>, FinishLater>
+      completions;
+  std::vector<double> last_rate;  // rate the heap entry was computed with
+  std::vector<double> finish_at;  // canonical finish time; inf = no event
+  std::size_t unfinished_flows = 0;
+
+  // Scratch buffers for progress_of and clamp_and_update_completions
+  // (hoisted out of the per-call path).
+  std::vector<double> scratch_link_alloc;
+  std::vector<char> scratch_live;
+  std::vector<double> scratch_clamp;
+  std::vector<std::pair<FlowId, double>> scratch_changed;
 
   double& remaining_of(const Flow& f) {
     return remaining[static_cast<std::size_t>(f.id)];
@@ -85,15 +136,21 @@ struct DynamicSimulator::Impl {
       rec.min_cct = std::max(rec.min_cct,
                              d.demand[idx] / fabric.capacity(i));
     }
+    record_index.emplace(rec.id, result.coflows.size());
     result.coflows.push_back(rec);
 
     auto entry = std::make_unique<ActiveEntry>(std::move(coflow));
     entry->correlation = d.correlation();
+    FlowId max_flow_id = -1;
     for (const Flow& f : entry->coflow.flows()) {
       NCDRF_CHECK(f.id >= 0, "flow ids must be non-negative");
-      if (static_cast<std::size_t>(f.id) >= remaining.size()) {
-        remaining.resize(static_cast<std::size_t>(f.id) + 1, 0.0);
-      }
+      max_flow_id = std::max(max_flow_id, f.id);
+    }
+    if (static_cast<std::size_t>(max_flow_id) >= remaining.size()) {
+      const auto size = static_cast<std::size_t>(max_flow_id) + 1;
+      remaining.resize(size, 0.0);
+      last_rate.resize(size, 0.0);
+      finish_at.resize(size, kInfinity);
     }
     pending.push(std::move(entry));
   }
@@ -108,44 +165,222 @@ struct DynamicSimulator::Impl {
       for (const Flow& f : entry->coflow.flows()) {
         remaining_of(f) = f.size_bits;
         entry->unfinished.push_back(&f);
-      }
-      if (deliver_events) {
-        ActiveCoflow view;
-        view.id = entry->coflow.id();
-        view.arrival_time = entry->coflow.arrival_time();
-        view.weight = entry->coflow.weight();
-        view.flows.reserve(entry->unfinished.size());
-        for (const Flow* f : entry->unfinished) {
-          view.flows.push_back(ActiveFlow{f->id, f->coflow, f->src, f->dst});
+        ++unfinished_flows;
+        if (f.size_bits <= options.completion_epsilon_bits) {
+          entry->finish_pending = true;  // zero-size flow: retire at once
         }
-        scheduler.on_coflow_arrival(view);
+      }
+      ActiveCoflow view;
+      view.id = entry->coflow.id();
+      view.arrival_time = entry->coflow.arrival_time();
+      view.weight = entry->coflow.weight();
+      view.flows.reserve(entry->unfinished.size());
+      for (const Flow* f : entry->unfinished) {
+        view.flows.push_back(ActiveFlow{f->id, f->coflow, f->src, f->dst});
+      }
+      input.coflows.push_back(std::move(view));
+      if (deliver_events) {
+        scheduler.on_coflow_arrival(input.coflows.back());
       }
       active.push_back(std::move(entry));
+    }
+  }
+
+  // Re-fills the views of dirty entries from their unfinished/finished
+  // lists; clean views are reused untouched.
+  void refresh_views() {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      ActiveEntry& entry = *active[a];
+      if (!entry.dirty) continue;
+      ActiveCoflow& view = input.coflows[a];
+      view.flows.clear();
+      view.flows.reserve(entry.unfinished.size());
+      for (const Flow* f : entry.unfinished) {
+        view.flows.push_back(ActiveFlow{f->id, f->coflow, f->src, f->dst});
+      }
+      view.finished_flows.clear();
+      view.finished_flows.reserve(entry.finished.size());
+      for (const Flow* f : entry.finished) {
+        view.finished_flows.push_back(
+            ActiveFlow{f->id, f->coflow, f->src, f->dst});
+      }
+      entry.dirty = false;
+    }
+  }
+
+  // Debug oracle for the incremental snapshot: every view must equal a
+  // from-scratch rebuild of the entry it mirrors (structure exactly;
+  // attained_bits is maintained in place and checked for finiteness).
+  void check_snapshot_consistent() const {
+    NCDRF_CHECK(input.coflows.size() == active.size(),
+                "snapshot/active size mismatch");
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const ActiveEntry& entry = *active[a];
+      const ActiveCoflow& view = input.coflows[a];
+      NCDRF_CHECK(!entry.dirty, "dirty view reached the scheduler");
+      NCDRF_CHECK(view.id == entry.coflow.id(), "snapshot id mismatch");
+      NCDRF_CHECK(view.arrival_time == entry.coflow.arrival_time(),
+                  "snapshot arrival mismatch");
+      NCDRF_CHECK(view.weight == entry.coflow.weight(),
+                  "snapshot weight mismatch");
+      NCDRF_CHECK(std::isfinite(view.attained_bits) &&
+                      view.attained_bits >= 0.0,
+                  "snapshot attained_bits invalid");
+      NCDRF_CHECK(view.flows.size() == entry.unfinished.size(),
+                  "snapshot live-flow count mismatch");
+      for (std::size_t i = 0; i < entry.unfinished.size(); ++i) {
+        const Flow& f = *entry.unfinished[i];
+        const ActiveFlow& v = view.flows[i];
+        NCDRF_CHECK(v.id == f.id && v.coflow == f.coflow && v.src == f.src &&
+                        v.dst == f.dst,
+                    "snapshot live flow mismatch");
+      }
+      NCDRF_CHECK(view.finished_flows.size() == entry.finished.size(),
+                  "snapshot finished-flow count mismatch");
+      for (std::size_t i = 0; i < entry.finished.size(); ++i) {
+        const Flow& f = *entry.finished[i];
+        const ActiveFlow& v = view.finished_flows[i];
+        NCDRF_CHECK(v.id == f.id && v.coflow == f.coflow && v.src == f.src &&
+                        v.dst == f.dst,
+                    "snapshot finished flow mismatch");
+      }
     }
   }
 
   // Progress of one active coflow (Eq. 1) against its original
   // correlation, over links it still has data on.
   double progress_of(const ActiveEntry& entry, const Allocation& alloc) {
-    std::vector<double> link_alloc(
-        static_cast<std::size_t>(fabric.num_links()), 0.0);
-    std::vector<char> live(static_cast<std::size_t>(fabric.num_links()), 0);
+    scratch_link_alloc.assign(static_cast<std::size_t>(fabric.num_links()),
+                              0.0);
+    scratch_live.assign(static_cast<std::size_t>(fabric.num_links()), 0);
     for (const Flow* f : entry.unfinished) {
       const auto up = static_cast<std::size_t>(fabric.uplink(f->src));
       const auto down = static_cast<std::size_t>(fabric.downlink(f->dst));
       const double r = alloc.rate(f->id);
-      link_alloc[up] += r;
-      link_alloc[down] += r;
-      live[up] = 1;
-      live[down] = 1;
+      scratch_link_alloc[up] += r;
+      scratch_link_alloc[down] += r;
+      scratch_live[up] = 1;
+      scratch_live[down] = 1;
     }
-    double progress = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < link_alloc.size(); ++i) {
-      if (live[i] && entry.correlation[i] > 0.0) {
-        progress = std::min(progress, link_alloc[i] / entry.correlation[i]);
+    double progress = kInfinity;
+    for (std::size_t i = 0; i < scratch_link_alloc.size(); ++i) {
+      if (scratch_live[i] && entry.correlation[i] > 0.0) {
+        progress =
+            std::min(progress, scratch_link_alloc[i] / entry.correlation[i]);
       }
     }
     return std::isfinite(progress) ? progress : 0.0;
+  }
+
+  // Folds one flow's (possibly new) rate into the completion heap: flows
+  // whose rate is unchanged keep their live entry (absolute finish time is
+  // invariant under a constant rate); changed flows get a fresh canonical
+  // entry.
+  void update_flow_completion(FlowId flow, double r) {
+    const auto idx = static_cast<std::size_t>(flow);
+    if (r == last_rate[idx] && (r <= 0.0 || finish_at[idx] < kInfinity)) {
+      return;
+    }
+    last_rate[idx] = r;
+    if (r > 0.0) {
+      const double t = now + remaining[idx] / r;
+      finish_at[idx] = t;
+      completions.push(FinishEvent{t, flow});
+    } else {
+      finish_at[idx] = kInfinity;
+    }
+  }
+
+  // One pass over the active flows doing the work of clamp_to_capacity's
+  // usage accumulation AND the completion-heap refresh — the two dominant
+  // per-event O(flows) scans share their loads. Because clamping may still
+  // rescale the rates, the shared pass only *collects* the flows whose
+  // rate changed; heap entries are pushed after the feasibility check, from
+  // the (usually short) changed list on the feasible path or from the
+  // rescale pass otherwise. Pushing pre-clamp rates up front would flood
+  // the heap with stale entries whenever a link overshoots by ulps — which
+  // the DRF stage does routinely, since it saturates the bottleneck
+  // exactly.
+  void clamp_and_update_completions(Allocation& alloc) {
+    const auto links = static_cast<std::size_t>(fabric.num_links());
+    scratch_clamp.assign(links, 0.0);
+    scratch_changed.clear();
+    for (const auto& entry : active) {
+      for (const Flow* f : entry->unfinished) {
+        const double r = alloc.rate(f->id);
+        scratch_clamp[static_cast<std::size_t>(fabric.uplink(f->src))] += r;
+        scratch_clamp[static_cast<std::size_t>(fabric.downlink(f->dst))] += r;
+        const auto idx = static_cast<std::size_t>(f->id);
+        if (!(r == last_rate[idx] &&
+              (r <= 0.0 || finish_at[idx] < kInfinity))) {
+          scratch_changed.emplace_back(f->id, r);
+        }
+      }
+    }
+    bool any_over = false;
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (scratch_clamp[idx] > fabric.capacity(i)) {
+        scratch_clamp[idx] = fabric.capacity(i) / scratch_clamp[idx];
+        any_over = true;
+      } else {
+        scratch_clamp[idx] = 1.0;
+      }
+    }
+    if (!any_over) {
+      for (const auto& [flow, r] : scratch_changed) {
+        update_flow_completion(flow, r);
+      }
+    } else {
+      // Rescale pass: every flow needs a heap refresh against its final
+      // rate (including flows that dropped to zero — their canonical
+      // finish time must become infinity).
+      for (const auto& entry : active) {
+        for (const Flow* f : entry->unfinished) {
+          double r = alloc.rate(f->id);
+          if (r > 0.0) {
+            const double s = std::min(
+                scratch_clamp[static_cast<std::size_t>(fabric.uplink(f->src))],
+                scratch_clamp[static_cast<std::size_t>(
+                    fabric.downlink(f->dst))]);
+            if (s < 1.0) {
+              r *= s;
+              alloc.set_rate(f->id, r);
+            }
+          }
+          update_flow_completion(f->id, r);
+        }
+      }
+    }
+    // Stale entries accumulate under heavy rate churn; rebuild from the
+    // canonical finish times once they dominate, bounding heap memory at
+    // O(unfinished flows) amortized.
+    if (completions.size() > 64 &&
+        completions.size() > 4 * unfinished_flows) {
+      std::vector<FinishEvent> live;
+      live.reserve(unfinished_flows);
+      for (const auto& entry : active) {
+        for (const Flow* f : entry->unfinished) {
+          const double t = finish_at[static_cast<std::size_t>(f->id)];
+          if (t < kInfinity) live.push_back(FinishEvent{t, f->id});
+        }
+      }
+      completions = std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                                        FinishLater>(FinishLater{},
+                                                     std::move(live));
+    }
+  }
+
+  // Earliest live flow-completion time, discarding stale heap entries.
+  double next_completion_time() {
+    while (!completions.empty()) {
+      const FinishEvent top = completions.top();
+      if (finish_at[static_cast<std::size_t>(top.flow)] == top.time) {
+        return top.time;
+      }
+      completions.pop();
+    }
+    return kInfinity;
   }
 
   void run() {
@@ -153,6 +388,7 @@ struct DynamicSimulator::Impl {
     const bool clairvoyant = scheduler.clairvoyant();
     deliver_events = scheduler.wants_events();
     if (deliver_events) scheduler.on_reset(fabric);
+    input.clairvoyant = clairvoyant ? &clairvoyant_info : nullptr;
 
     admit_due();
     while (!active.empty() || !pending.empty()) {
@@ -164,43 +400,18 @@ struct DynamicSimulator::Impl {
         continue;
       }
 
-      // Snapshot for the scheduler.
-      ScheduleInput input;
-      input.fabric = &fabric;
+      // Bring the persistent snapshot up to date for the scheduler.
+      refresh_views();
       input.now = now;
-      input.clairvoyant = clairvoyant ? &clairvoyant_info : nullptr;
-      input.coflows.reserve(active.size());
-      for (const auto& entry : active) {
-        ActiveCoflow view;
-        view.id = entry->coflow.id();
-        view.arrival_time = entry->coflow.arrival_time();
-        view.weight = entry->coflow.weight();
-        view.attained_bits = entry->attained_bits;
-        view.flows.reserve(entry->unfinished.size());
-        for (const Flow* f : entry->unfinished) {
-          view.flows.push_back(ActiveFlow{f->id, f->coflow, f->src, f->dst});
-        }
-        view.finished_flows.reserve(entry->finished.size());
-        for (const Flow* f : entry->finished) {
-          view.finished_flows.push_back(
-              ActiveFlow{f->id, f->coflow, f->src, f->dst});
-        }
-        input.coflows.push_back(std::move(view));
-      }
+      if (options.verify_snapshot) check_snapshot_consistent();
 
       Allocation alloc = scheduler.allocate(input);
-      clamp_to_capacity(input, alloc);
+      clamp_and_update_completions(alloc);
       if (options.validate_allocations) check_capacity(input, alloc);
       ++result.num_allocations;
 
       // Next event time.
-      double dt = std::numeric_limits<double>::infinity();
-      for (const auto& entry : active) {
-        for (const Flow* f : entry->unfinished) {
-          const double r = alloc.rate(f->id);
-          if (r > 0.0) dt = std::min(dt, remaining_of(*f) / r);
-        }
-      }
+      double dt = next_completion_time() - now;
       if (!pending.empty()) {
         dt = std::min(dt, pending.top()->coflow.arrival_time() - now);
       }
@@ -218,7 +429,7 @@ struct DynamicSimulator::Impl {
       // Time-weighted metrics over [now, now + dt).
       if (dt > 0.0 &&
           (options.record_intervals || options.record_progress_timeseries)) {
-        double min_p = std::numeric_limits<double>::infinity();
+        double min_p = kInfinity;
         double max_p = 0.0;
         for (const auto& entry : active) {
           const double p = progress_of(*entry, alloc);
@@ -241,16 +452,25 @@ struct DynamicSimulator::Impl {
         }
       }
 
-      // Advance the fluid state.
-      for (const auto& entry : active) {
-        for (const Flow* f : entry->unfinished) {
+      // Advance the fluid state, flagging entries with flows at (or below)
+      // the completion epsilon so the retire phase can skip the rest.
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        ActiveEntry& entry = *active[a];
+        double delivered_total = 0.0;
+        for (const Flow* f : entry.unfinished) {
+          double& rem = remaining_of(*f);
           const double r = alloc.rate(f->id);
-          if (r <= 0.0) continue;
-          const double delivered = std::min(r * dt, remaining_of(*f));
-          remaining_of(*f) -= delivered;
-          entry->attained_bits += delivered;
-          result.total_bits_delivered += delivered;
+          if (r > 0.0) {
+            const double delivered = std::min(r * dt, rem);
+            rem -= delivered;
+            delivered_total += delivered;
+          }
+          if (rem <= options.completion_epsilon_bits) {
+            entry.finish_pending = true;
+          }
         }
+        input.coflows[a].attained_bits += delivered_total;
+        result.total_bits_delivered += delivered_total;
       }
       now += dt;
       ++result.num_events;
@@ -259,31 +479,47 @@ struct DynamicSimulator::Impl {
       // coflows through the callback.
       for (std::size_t a = 0; a < active.size();) {
         ActiveEntry& entry = *active[a];
-        for (const Flow* f : entry.unfinished) {
+        if (!entry.finish_pending) {
+          ++a;
+          continue;
+        }
+        entry.finish_pending = false;
+        // One pass: fire finish hooks and compact `unfinished` in place.
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < entry.unfinished.size(); ++i) {
+          const Flow* f = entry.unfinished[i];
           if (remaining_of(*f) <= options.completion_epsilon_bits) {
             entry.finished.push_back(f);
+            entry.dirty = true;
+            const auto idx = static_cast<std::size_t>(f->id);
+            finish_at[idx] = kInfinity;
+            last_rate[idx] = 0.0;
+            --unfinished_flows;
             if (deliver_events) {
               scheduler.on_flow_finish(
                   ActiveFlow{f->id, f->coflow, f->src, f->dst});
             }
+          } else {
+            entry.unfinished[kept++] = f;
           }
         }
-        std::erase_if(entry.unfinished, [&](const Flow* f) {
-          return remaining_of(*f) <= options.completion_epsilon_bits;
-        });
+        entry.unfinished.resize(kept);
         if (entry.unfinished.empty()) {
           const CoflowId id = entry.coflow.id();
           if (deliver_events) scheduler.on_coflow_departure(id);
-          CoflowRecord* rec = nullptr;
-          for (CoflowRecord& r : result.coflows) {
-            if (r.id == id) rec = &r;
+          const auto rec_it = record_index.find(id);
+          NCDRF_CHECK(rec_it != record_index.end(),
+                      "missing record for coflow");
+          CoflowRecord& rec = result.coflows[rec_it->second];
+          rec.completion = now;
+          rec.cct = now - rec.arrival;
+          const CoflowRecord completed = rec;
+          if (a + 1 != active.size()) {
+            active[a] = std::move(active.back());
+            input.coflows[a] = std::move(input.coflows.back());
           }
-          NCDRF_CHECK(rec != nullptr, "missing record for coflow");
-          rec->completion = now;
-          rec->cct = now - rec->arrival;
-          const CoflowRecord completed = *rec;
-          active[a] = std::move(active.back());
           active.pop_back();
+          input.coflows.pop_back();
           if (on_complete) on_complete(completed);
         } else {
           ++a;
@@ -293,6 +529,7 @@ struct DynamicSimulator::Impl {
       admit_due();
     }
     result.makespan = std::max(result.makespan, now);
+    input.clairvoyant = nullptr;  // points at a local; run() may re-enter
   }
 };
 

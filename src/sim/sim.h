@@ -44,6 +44,11 @@ struct SimOptions {
   // Re-validate every allocation against link capacities (tests/debug).
   bool validate_allocations = false;
 
+  // Cross-check the engine's incrementally maintained ScheduleInput views
+  // against a from-scratch rebuild before every allocate (tests/debug;
+  // O(active flows) per event).
+  bool verify_snapshot = false;
+
   // Hard safety limits; exceeding either throws (misbehaving scheduler).
   double max_time_s = 1e9;
   long long max_events = 100'000'000;

@@ -1,0 +1,191 @@
+// Tests for the parallel sweep runner (runner/): the fixed thread pool's
+// dispatch contract and the sweep's headline guarantee — aggregated
+// results are *bit-identical* to a serial run for every registered policy,
+// whatever the thread count.
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/registry.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+#include "trace/synthetic_fb.h"
+
+namespace ncdrf {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.run(batch % 7, [&](int) { total++; });
+  }
+  int expected = 0;
+  for (int batch = 0; batch < 50; ++batch) expected += batch % 7;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, SingleThreadRunsAllTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.run(37, [&](int) { total++; });
+  EXPECT_EQ(total.load(), 37);
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(20,
+               [&](int i) {
+                 if (i == 5) throw std::runtime_error("task 5 failed");
+                 completed++;
+               }),
+      std::runtime_error);
+  // The failing batch still ran the other tasks to completion.
+  EXPECT_EQ(completed.load(), 19);
+  // The pool survives a failed batch.
+  pool.run(4, [&](int) { completed++; });
+  EXPECT_EQ(completed.load(), 23);
+}
+
+TEST(ThreadPool, RejectsInvalidConfig) {
+  EXPECT_ANY_THROW(ThreadPool(0));
+  ThreadPool pool(1);
+  EXPECT_ANY_THROW(pool.run(-1, [](int) {}));
+}
+
+// --- Sweep determinism ----------------------------------------------------
+
+bool identical_runs(const RunResult& a, const RunResult& b) {
+  if (a.coflows.size() != b.coflows.size() ||
+      a.intervals.size() != b.intervals.size() ||
+      a.progress.size() != b.progress.size() ||
+      a.num_events != b.num_events ||
+      a.num_allocations != b.num_allocations ||
+      a.makespan != b.makespan ||
+      a.total_bits_delivered != b.total_bits_delivered) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    const CoflowRecord& x = a.coflows[i];
+    const CoflowRecord& y = b.coflows[i];
+    if (x.id != y.id || x.arrival != y.arrival ||
+        x.completion != y.completion || x.cct != y.cct ||
+        x.min_cct != y.min_cct || x.width != y.width ||
+        x.max_flow_bits != y.max_flow_bits ||
+        x.total_bits != y.total_bits) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.progress.size(); ++i) {
+    const ProgressSample& x = a.progress[i];
+    const ProgressSample& y = b.progress[i];
+    if (x.t0 != y.t0 || x.t1 != y.t1 || x.coflow != y.coflow ||
+        x.progress != y.progress) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    const IntervalRecord& x = a.intervals[i];
+    const IntervalRecord& y = b.intervals[i];
+    if (x.t0 != y.t0 || x.t1 != y.t1 ||
+        x.active_coflows != y.active_coflows ||
+        x.link_usage_bps != y.link_usage_bps ||
+        x.min_progress != y.min_progress ||
+        x.max_progress != y.max_progress) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SweepSpec small_grid(const std::vector<std::string>& policies, int threads) {
+  SweepSpec spec;
+  spec.fabric = Fabric(16, gbps(1.0));
+  spec.policies = policies;
+  for (unsigned long long seed : {11ull, 23ull}) {
+    SyntheticFbOptions options;
+    options.seed = seed;
+    options.num_coflows = 12;
+    options.num_racks = 16;
+    options.duration_s = 30.0;
+    options.max_flows_per_coflow = 50;  // generator minimum
+    spec.traces.push_back(SweepCase{"seed" + std::to_string(seed),
+                                    generate_synthetic_fb(options)});
+  }
+  spec.sim.record_progress_timeseries = true;
+  spec.threads = threads;
+  return spec;
+}
+
+// The headline guarantee: for EVERY registered policy, a parallel sweep
+// aggregates to exactly the same bits (CCTs, progress samples, interval
+// samples, event counts) as the serial sweep.
+TEST(Sweep, ParallelBitIdenticalToSerialForEveryPolicy) {
+  const std::vector<std::string> policies = scheduler_names();
+  ASSERT_FALSE(policies.empty());
+  const SweepResult serial = run_sweep(small_grid(policies, 1));
+  const SweepResult parallel = run_sweep(small_grid(policies, 4));
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  ASSERT_EQ(serial.cells.size(), policies.size() * 2);
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].policy, parallel.cells[i].policy);
+    EXPECT_EQ(serial.cells[i].trace_label, parallel.cells[i].trace_label);
+    EXPECT_TRUE(identical_runs(serial.cells[i].run, parallel.cells[i].run))
+        << "cell " << i << " (" << serial.cells[i].policy << " × "
+        << serial.cells[i].trace_label
+        << ") diverged between 1 and 4 threads";
+  }
+}
+
+TEST(Sweep, GridOrderIsPolicyMajor) {
+  const SweepResult sweep = run_sweep(small_grid({"ncdrf", "tcp"}, 2));
+  ASSERT_EQ(sweep.cells.size(), 4u);
+  EXPECT_EQ(sweep.cells[0].policy, "ncdrf");
+  EXPECT_EQ(sweep.cells[0].trace_label, "seed11");
+  EXPECT_EQ(sweep.cells[1].policy, "ncdrf");
+  EXPECT_EQ(sweep.cells[1].trace_label, "seed23");
+  EXPECT_EQ(sweep.cells[2].policy, "tcp");
+  EXPECT_EQ(sweep.cells[3].policy, "tcp");
+  EXPECT_EQ(sweep.threads, 2);
+  for (const SweepCellResult& cell : sweep.cells) {
+    EXPECT_GT(cell.run.num_events, 0);
+    EXPECT_GE(cell.wall_seconds, 0.0);
+    EXPECT_GT(cell.events_per_second, 0.0);
+  }
+}
+
+TEST(Sweep, RejectsBadSpecs) {
+  SweepSpec empty_policies = small_grid({}, 1);
+  EXPECT_ANY_THROW(run_sweep(empty_policies));
+
+  SweepSpec no_traces = small_grid({"ncdrf"}, 1);
+  no_traces.traces.clear();
+  EXPECT_ANY_THROW(run_sweep(no_traces));
+
+  SweepSpec unknown = small_grid({"no-such-policy"}, 1);
+  EXPECT_ANY_THROW(run_sweep(unknown));
+
+  SweepSpec bad_threads = small_grid({"ncdrf"}, 0);
+  EXPECT_ANY_THROW(run_sweep(bad_threads));
+}
+
+}  // namespace
+}  // namespace ncdrf
