@@ -26,6 +26,36 @@ bool SimBus::send_unreliable(double now, Address to,
   return true;
 }
 
+bool SimBus::send_with_retry(double now, Address to, MessagePayload payload,
+                             const RetryPolicy& policy) {
+  NCDRF_CHECK(policy.max_attempts >= 1, "retry needs at least one attempt");
+  NCDRF_CHECK(policy.backoff_s >= 0.0 && policy.multiplier >= 1.0,
+              "retry backoff must be non-negative and non-shrinking");
+  // All attempts are drawn up front (the outcome is deterministic in the
+  // seed either way); the first surviving attempt is the one transmitted.
+  double send_time = now;
+  double backoff = policy.backoff_s;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      send_time += backoff;
+      backoff *= policy.multiplier;
+      ++retries_;
+    }
+    if (loss_probability_ <= 0.0 || !rng_.bernoulli(loss_probability_)) {
+      send(send_time, to, std::move(payload));
+      return true;
+    }
+    ++dropped_;
+  }
+  return false;
+}
+
+void SimBus::set_loss_probability(double loss_probability) {
+  NCDRF_CHECK(loss_probability >= 0.0 && loss_probability < 1.0,
+              "loss probability must be in [0, 1)");
+  loss_probability_ = loss_probability;
+}
+
 std::vector<SimBus::Delivery> SimBus::deliver_due(double now) {
   std::vector<Delivery> due;
   auto it = queue_.begin();

@@ -16,6 +16,16 @@
 
 namespace ncdrf {
 
+// Retransmission policy for send_with_retry: up to `max_attempts` total
+// transmissions, the i-th retry delayed by backoff_s * multiplier^(i-1)
+// after the previous attempt — the client-side repair loop of the
+// prototype's best-effort reports.
+struct RetryPolicy {
+  int max_attempts = 1;     // total transmission attempts; >= 1
+  double backoff_s = 0.05;  // delay before the first retransmission
+  double multiplier = 2.0;  // backoff growth per retry; >= 1
+};
+
 class SimBus {
  public:
   // `loss_probability` applies to send_unreliable only; requires a value
@@ -30,6 +40,20 @@ class SimBus {
   // probability. Returns false when dropped.
   bool send_unreliable(double now, Address to, MessagePayload payload);
 
+  // Like send_unreliable, but each dropped transmission is retried with
+  // exponential backoff until one gets through or `policy.max_attempts`
+  // transmissions have been spent. Loss is drawn independently per
+  // attempt; the surviving attempt is delivered at its retry time +
+  // latency, so a retried message arrives late, never early. Returns
+  // false when every attempt was lost.
+  bool send_with_retry(double now, Address to, MessagePayload payload,
+                       const RetryPolicy& policy);
+
+  // Adjusts the loss probability mid-run (fault injection: loss bursts).
+  // Requires a value in [0, 1).
+  void set_loss_probability(double loss_probability);
+  double loss_probability() const { return loss_probability_; }
+
   // Pops every message deliverable at or before `now`, in delivery order.
   struct Delivery {
     Address to;
@@ -41,6 +65,7 @@ class SimBus {
   bool empty() const { return queue_.empty(); }
   long long total_sent() const { return seq_; }
   long long total_dropped() const { return dropped_; }
+  long long total_retries() const { return retries_; }
 
  private:
   struct Envelope {
@@ -53,6 +78,7 @@ class SimBus {
   Rng rng_;
   long long seq_ = 0;
   long long dropped_ = 0;
+  long long retries_ = 0;
   // Ordered by (deliver_time, send sequence): earliest first, FIFO within
   // an instant.
   std::map<std::pair<double, long long>, Envelope> queue_;

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "coflow/coflow.h"
 #include "common/check.h"
@@ -15,9 +16,30 @@ namespace {
 struct TruthCoflow {
   const Coflow* coflow = nullptr;
   int unfinished = 0;
-  bool registered = false;
+  bool arrived = false;
   std::vector<double> correlation;  // c_k from original demand (Eq. 1)
 };
+
+// Composes a registration message for the master: sizes withheld from
+// non-clairvoyant schedulers, finished flows (master-restart resync only)
+// always carrying their observable sizes.
+RegisterCoflowMsg make_registration(const Coflow& coflow, bool sizes_known,
+                                    const std::vector<char>& flow_done) {
+  RegisterCoflowMsg msg;
+  msg.coflow = coflow.id();
+  msg.arrival_time = coflow.arrival_time();
+  msg.weight = coflow.weight();
+  msg.sizes_known = sizes_known;
+  for (const Flow& f : coflow.flows()) {
+    if (flow_done[static_cast<std::size_t>(f.id)]) {
+      msg.finished_flows.push_back(f);
+    } else {
+      msg.flows.push_back(f);
+      if (!sizes_known) msg.flows.back().size_bits = 0.0;
+    }
+  }
+  return msg;
+}
 
 }  // namespace
 
@@ -30,14 +52,27 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
 
   SimBus bus(options.control_latency_s, options.control_loss_probability,
              options.loss_seed);
-  Master master(fabric, scheduler);
+  MasterOptions master_options;
+  if (options.heartbeat_timeout_beats > 0) {
+    master_options.heartbeat_timeout_s =
+        options.heartbeat_timeout_beats * options.heartbeat_period_s;
+  }
+  auto master = std::make_unique<Master>(fabric, scheduler, master_options);
+  bool master_up = true;
   std::vector<Slave> slaves;
   slaves.reserve(static_cast<std::size_t>(fabric.num_machines()));
   for (MachineId m = 0; m < fabric.num_machines(); ++m) {
     slaves.emplace_back(m, options.heartbeat_period_s);
   }
+  const auto num_machines = static_cast<std::size_t>(fabric.num_machines());
+  std::vector<char> slave_up(num_machines, 1);
+  std::vector<char> partitioned(num_machines, 0);
+  // Fault time each endpoint last recovered at, or a negative sentinel;
+  // cleared (and a latency recorded) by the next RateUpdate delivery.
+  std::vector<double> pending_recovery(num_machines, -1.0);
 
   DeploymentResult result;
+  FaultCounters& fc = result.fault_counters;
   result.coflows.resize(trace.coflows.size());
   std::vector<TruthCoflow> truth(trace.coflows.size());
   for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
@@ -59,14 +94,124 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     }
   }
 
-  // Flow lookup for receiver-side bookkeeping.
+  // Flow lookup plus per-flow ground truth (survives slave crashes — the
+  // stand-in for the data actually moved on the wire).
   std::vector<const Flow*> flow_by_id(
       static_cast<std::size_t>(trace.total_flows), nullptr);
+  std::vector<double> truth_remaining(flow_by_id.size(), 0.0);
+  std::vector<double> truth_attained(flow_by_id.size(), 0.0);
+  std::vector<char> flow_done(flow_by_id.size(), 0);
   for (const Coflow& coflow : trace.coflows) {
     for (const Flow& f : coflow.flows()) {
       flow_by_id[static_cast<std::size_t>(f.id)] = &f;
+      truth_remaining[static_cast<std::size_t>(f.id)] = f.size_bits;
     }
   }
+
+  FaultPlan faults = options.faults;  // consumable copy
+  const double base_loss = options.control_loss_probability;
+
+  // Resyncs one restarted slave from ground truth; returns flows restored.
+  const auto resync_slave = [&](MachineId m, double now) {
+    auto& slave = slaves[static_cast<std::size_t>(m)];
+    long long restored = 0;
+    bool any_unfinished = false;
+    for (const TruthCoflow& t : truth) {
+      if (!t.arrived) continue;
+      for (const Flow& f : t.coflow->flows()) {
+        if (f.src != m) continue;
+        const auto idx = static_cast<std::size_t>(f.id);
+        if (flow_done[idx]) {
+          slave.note_finished(f.id);
+        } else {
+          slave.restore_flow(f, truth_remaining[idx], truth_attained[idx]);
+          ++restored;
+          any_unfinished = true;
+        }
+      }
+    }
+    // Announce the comeback: the heartbeat revives the master's dead
+    // marking and repairs any finish reports lost while down.
+    slave.heartbeat_now(now, bus);
+    if (any_unfinished) pending_recovery[static_cast<std::size_t>(m)] = now;
+    return restored;
+  };
+
+  const auto apply_fault = [&](const FaultEvent& e, double now) {
+    const auto m = static_cast<std::size_t>(std::max<MachineId>(e.machine, 0));
+    switch (e.kind) {
+      case FaultKind::kSlaveCrash:
+        NCDRF_CHECK(e.machine >= 0 && m < num_machines && slave_up[m],
+                    "slave crash needs a live slave");
+        slaves[m].crash();
+        slave_up[m] = 0;
+        ++fc.slave_crashes;
+        break;
+      case FaultKind::kSlaveRestart:
+        NCDRF_CHECK(e.machine >= 0 && m < num_machines && !slave_up[m],
+                    "slave restart needs a crashed slave");
+        slave_up[m] = 1;
+        fc.flows_resynced += resync_slave(e.machine, now);
+        ++fc.slave_restarts;
+        break;
+      case FaultKind::kMasterCrash:
+        NCDRF_CHECK(master_up, "master crash needs a live master");
+        fc.slaves_declared_dead += master->slaves_declared_dead();
+        fc.slaves_revived += master->slaves_revived();
+        fc.flows_quarantined += master->flows_quarantined();
+        master.reset();
+        master_up = false;
+        ++fc.master_crashes;
+        break;
+      case FaultKind::kMasterRestart: {
+        NCDRF_CHECK(!master_up, "master restart needs a crashed master");
+        master =
+            std::make_unique<Master>(fabric, scheduler, master_options, now);
+        master_up = true;
+        ++fc.master_restarts;
+        // Clients re-register every arrived, unfinished coflow (the
+        // prototype's RPC retry after a connection reset); slaves
+        // re-announce so attained service resyncs from heartbeats.
+        for (const TruthCoflow& t : truth) {
+          if (!t.arrived || t.unfinished == 0) continue;
+          bus.send(now, master_address(),
+                   make_registration(*t.coflow, scheduler.clairvoyant(),
+                                     flow_done));
+          ++fc.coflows_reregistered;
+        }
+        for (std::size_t s = 0; s < num_machines; ++s) {
+          if (slave_up[s] && slaves[s].live_flows() > 0) {
+            slaves[s].heartbeat_now(now, bus);
+            pending_recovery[s] = now;
+          }
+        }
+        break;
+      }
+      case FaultKind::kPartitionStart:
+        NCDRF_CHECK(e.machine >= 0 && m < num_machines && !partitioned[m],
+                    "partition start needs a connected machine");
+        partitioned[m] = 1;
+        ++fc.partitions_started;
+        break;
+      case FaultKind::kPartitionHeal:
+        NCDRF_CHECK(e.machine >= 0 && m < num_machines && partitioned[m],
+                    "partition heal needs a partitioned machine");
+        partitioned[m] = 0;
+        ++fc.partitions_healed;
+        if (slave_up[m]) {
+          slaves[m].heartbeat_now(now, bus);
+          if (slaves[m].live_flows() > 0) pending_recovery[m] = now;
+        }
+        break;
+      case FaultKind::kLossBurstStart:
+        bus.set_loss_probability(e.loss_probability);
+        ++fc.loss_bursts;
+        break;
+      case FaultKind::kLossBurstEnd:
+        bus.set_loss_probability(base_loss);
+        break;
+    }
+  };
 
   std::size_t next_arrival = 0;
   int coflows_remaining = static_cast<int>(trace.coflows.size());
@@ -78,63 +223,98 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     NCDRF_CHECK(now <= options.max_time_s,
                 "deployment time limit exceeded under " + scheduler.name());
 
-    // 1. Register due coflows (client → master over the bus).
+    // 0. Scripted faults fire first: a crash at t kills the daemon before
+    // anything else happens in tick t.
+    for (const FaultEvent& e : faults.due(now)) apply_fault(e, now);
+
+    // 1. Register due coflows (client → master over the bus). While the
+    // master is down the client's RPC fails; the master-restart handler
+    // re-registers every arrived coflow, covering the gap.
     while (next_arrival < trace.coflows.size() &&
            trace.coflows[next_arrival].arrival_time() <= now + 1e-12) {
       const Coflow& coflow = trace.coflows[next_arrival];
-      RegisterCoflowMsg msg;
-      msg.coflow = coflow.id();
-      msg.arrival_time = coflow.arrival_time();
-      msg.weight = coflow.weight();
-      msg.sizes_known = scheduler.clairvoyant();
-      msg.flows = coflow.flows();
-      if (!msg.sizes_known) {
-        for (Flow& f : msg.flows) f.size_bits = 0.0;  // sizes withheld
+      truth[static_cast<std::size_t>(coflow.id())].arrived = true;
+      if (master_up) {
+        bus.send(now, master_address(),
+                 make_registration(coflow, scheduler.clairvoyant(),
+                                   flow_done));
       }
-      bus.send(now, master_address(), std::move(msg));
       // Slaves start tracking their local flows immediately (the daemon
-      // sits next to the application), but send nothing until rated.
+      // sits next to the application), but send nothing until rated. A
+      // crashed slave picks its flows up from ground truth on restart.
       for (const Flow& f : coflow.flows()) {
-        slaves[static_cast<std::size_t>(f.src)].add_flow(f);
+        if (slave_up[static_cast<std::size_t>(f.src)]) {
+          slaves[static_cast<std::size_t>(f.src)].add_flow(f);
+        }
       }
-      truth[static_cast<std::size_t>(coflow.id())].registered = true;
       ++next_arrival;
     }
 
-    // 2. Deliver due control messages.
+    // 2. Deliver due control messages, dropping any whose endpoint is
+    // down or whose path is partitioned at delivery time.
     for (SimBus::Delivery& d : bus.deliver_due(now)) {
       if (d.to.is_master) {
+        MachineId origin = -1;
+        if (const auto* hb = std::get_if<HeartbeatMsg>(&d.payload)) {
+          origin = hb->machine;
+        } else if (const auto* fin =
+                       std::get_if<FlowFinishedMsg>(&d.payload)) {
+          origin = flow_by_id[static_cast<std::size_t>(fin->flow)]->src;
+        }
+        const bool cut =
+            origin >= 0 && partitioned[static_cast<std::size_t>(origin)];
+        if (!master_up || cut) {
+          ++fc.messages_dropped_at_down_endpoint;
+          continue;
+        }
         if (auto* reg = std::get_if<RegisterCoflowMsg>(&d.payload)) {
-          master.on_register(*reg);
+          master->on_register(*reg);
         } else if (auto* fin = std::get_if<FlowFinishedMsg>(&d.payload)) {
-          master.on_flow_finished(*fin);
+          master->on_flow_finished(*fin);
         } else if (auto* hb = std::get_if<HeartbeatMsg>(&d.payload)) {
-          master.on_heartbeat(*hb);
+          master->on_heartbeat(*hb, d.deliver_time);
         }
       } else {
+        const auto m = static_cast<std::size_t>(d.to.machine);
+        if (!slave_up[m] || partitioned[m]) {
+          ++fc.messages_dropped_at_down_endpoint;
+          continue;
+        }
         if (auto* rates = std::get_if<RateUpdateMsg>(&d.payload)) {
-          slaves[static_cast<std::size_t>(d.to.machine)].on_rate_update(
-              *rates);
+          slaves[m].on_rate_update(*rates);
+          if (pending_recovery[m] >= 0.0) {
+            result.recovery_latencies_s.push_back(d.deliver_time -
+                                                  pending_recovery[m]);
+            pending_recovery[m] = -1.0;
+          }
         }
       }
     }
 
-    // 3. Master reallocates when its view changed, or on the periodic
-    // refresh that re-pushes rates lost to control-plane failures.
-    if (master.dirty() ||
-        (options.reallocation_refresh_period_s > 0.0 &&
-         now + 1e-12 >= next_refresh && master.active_coflows() > 0)) {
-      master.reallocate(now, bus);
-      ++result.num_reallocations;
-      next_refresh = now + options.reallocation_refresh_period_s;
+    // 3. Master declares silent slaves dead, then reallocates when its
+    // view changed or on the periodic refresh that re-pushes rates lost
+    // to control-plane failures. While down it does neither; slaves keep
+    // enforcing their last rates (graceful degradation).
+    if (master_up) {
+      master->check_liveness(now);
+      if (master->dirty() ||
+          (options.reallocation_refresh_period_s > 0.0 &&
+           now + 1e-12 >= next_refresh && master->active_coflows() > 0)) {
+        master->reallocate(now, bus);
+        ++result.num_reallocations;
+        next_refresh = now + options.reallocation_refresh_period_s;
+      }
     }
 
     // 4. Data plane: desired rates → physical contention → transfer.
+    // Crashed slaves send nothing; partitioned slaves keep sending at
+    // their last rates (the partition cuts control, not data).
     std::vector<double> link_demand(
         static_cast<std::size_t>(fabric.num_links()), 0.0);
     std::vector<std::pair<FlowId, double>> sends;  // (flow, desired rate)
-    for (const Slave& slave : slaves) {
-      for (const auto& [flow_id, rate] : slave.desired_rates()) {
+    for (std::size_t s = 0; s < num_machines; ++s) {
+      if (!slave_up[s]) continue;
+      for (const auto& [flow_id, rate] : slaves[s].desired_rates()) {
         if (rate <= 0.0) continue;
         const Flow* f = flow_by_id[static_cast<std::size_t>(flow_id)];
         link_demand[static_cast<std::size_t>(fabric.uplink(f->src))] += rate;
@@ -164,10 +344,12 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     }
 
     // 5. Progress sampling (Fig. 8), before committing the transfer.
+    // Remaining demand comes from ground truth so flows stranded on a
+    // crashed slave still count as pending.
     if (options.record_progress && now + 1e-12 >= next_progress_sample) {
       next_progress_sample = now + options.progress_sample_period_s;
       for (std::size_t k = 0; k < truth.size(); ++k) {
-        if (!truth[k].registered || truth[k].unfinished == 0) continue;
+        if (!truth[k].arrived || truth[k].unfinished == 0) continue;
         // Realized per-link allocation for this coflow, its remaining
         // per-link demand, and Eq. 1 under the configured normalization.
         std::vector<double> link_alloc(
@@ -176,9 +358,10 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
             static_cast<std::size_t>(fabric.num_links()), 0.0);
         double rem_bottleneck = 0.0;
         for (const Flow& f : truth[k].coflow->flows()) {
-          const double rem =
-              slaves[static_cast<std::size_t>(f.src)].remaining_bits(f.id);
-          if (rem <= 0.0) continue;
+          const double rem = truth_remaining[static_cast<std::size_t>(f.id)];
+          if (rem <= 0.0 || flow_done[static_cast<std::size_t>(f.id)]) {
+            continue;
+          }
           rem_demand[static_cast<std::size_t>(fabric.uplink(f.src))] += rem;
           rem_demand[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
               rem;
@@ -213,12 +396,18 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
 
     for (const auto& [f, rate] : realized) {
       Slave& slave = slaves[static_cast<std::size_t>(f->src)];
-      if (slave.commit_transfer(f->id, rate * options.tick_s)) {
+      const double bits = rate * options.tick_s;
+      const auto idx = static_cast<std::size_t>(f->id);
+      truth_attained[idx] += bits;
+      truth_remaining[idx] = std::max(truth_remaining[idx] - bits, 0.0);
+      if (slave.commit_transfer(f->id, bits)) {
+        flow_done[idx] = 1;
         const double finish_time = now + options.tick_s;
-        // Best-effort: a lost finish report is repaired by the refresh
-        // (a finished flow a stale master still rates simply sends 0).
-        bus.send_unreliable(finish_time, master_address(),
-                            FlowFinishedMsg{f->id, f->coflow, finish_time});
+        // Best-effort with retry; the heartbeat finished-flow list and
+        // the periodic refresh are the backstops past the last attempt.
+        bus.send_with_retry(finish_time, master_address(),
+                            FlowFinishedMsg{f->id, f->coflow, finish_time},
+                            options.finish_report_retry);
         TruthCoflow& t = truth[static_cast<std::size_t>(f->coflow)];
         if (--t.unfinished == 0) {
           CoflowRecord& rec =
@@ -230,14 +419,24 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
       }
     }
 
-    // 6. Heartbeats.
-    for (Slave& slave : slaves) slave.maybe_heartbeat(now, bus);
+    // 6. Heartbeats (crashed slaves are silent; a partitioned slave's
+    // heartbeat is sent but dropped at delivery).
+    for (std::size_t s = 0; s < num_machines; ++s) {
+      if (slave_up[s]) slaves[s].maybe_heartbeat(now, bus);
+    }
 
     now += options.tick_s;
   }
 
   result.makespan = now;
   result.messages_sent = bus.total_sent();
+  result.messages_dropped = bus.total_dropped();
+  fc.bus_retries = bus.total_retries();
+  if (master_up) {
+    fc.slaves_declared_dead += master->slaves_declared_dead();
+    fc.slaves_revived += master->slaves_revived();
+    fc.flows_quarantined += master->flows_quarantined();
+  }
   return result;
 }
 

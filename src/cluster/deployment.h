@@ -17,6 +17,7 @@
 #pragma once
 
 #include "cluster/bus.h"
+#include "cluster/faults.h"
 #include "cluster/master.h"
 #include "cluster/slave.h"
 #include "sim/sim.h"
@@ -55,6 +56,18 @@ struct DeploymentOptions {
   // which bounds the damage of any lost rate update or finish report
   // (the prototype's heartbeat-driven refresh). 0 disables.
   double reallocation_refresh_period_s = 1.0;
+
+  // Liveness tracking: a slave silent for this many heartbeat periods is
+  // declared dead and its flows quarantined. <= 0 disables.
+  int heartbeat_timeout_beats = 3;
+
+  // Flow-finished reports retransmit with this policy when lost (the
+  // heartbeat finished-flow list is the backstop beyond the last retry).
+  RetryPolicy finish_report_retry{3, 0.02, 2.0};
+
+  // Timed fault script consumed as simulated time advances; empty by
+  // default (no faults — byte-identical behaviour to the pre-fault loop).
+  FaultPlan faults;
 };
 
 struct DeploymentResult {
@@ -63,6 +76,12 @@ struct DeploymentResult {
   double makespan = 0.0;
   long long num_reallocations = 0;
   long long messages_sent = 0;
+  long long messages_dropped = 0;  // random bus loss, incl. lost retries
+  FaultCounters fault_counters;
+  // Fault-to-repair reallocation latency: time from a slave restart,
+  // partition heal, or master restart until the affected slave receives
+  // its next RateUpdate. One entry per recovered endpoint.
+  std::vector<double> recovery_latencies_s;
 };
 
 // Runs `trace` on an emulated cluster of fabric.num_machines() machines

@@ -1,0 +1,147 @@
+#include "cluster/faults.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ncdrf {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSlaveCrash:
+      return "slave_crash";
+    case FaultKind::kSlaveRestart:
+      return "slave_restart";
+    case FaultKind::kMasterCrash:
+      return "master_crash";
+    case FaultKind::kMasterRestart:
+      return "master_restart";
+    case FaultKind::kPartitionStart:
+      return "partition_start";
+    case FaultKind::kPartitionHeal:
+      return "partition_heal";
+    case FaultKind::kLossBurstStart:
+      return "loss_burst_start";
+    case FaultKind::kLossBurstEnd:
+      return "loss_burst_end";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(const FaultEvent& event) {
+  NCDRF_CHECK(next_ == 0, "cannot modify a fault plan being consumed");
+  NCDRF_CHECK(event.time >= 0.0, "fault event time must be non-negative");
+  // Insert after every event with time <= event.time: the plan stays
+  // sorted and same-instant events keep their insertion order (a crash
+  // scripted before a restart stays before it).
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  events_.insert(pos, event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_slave(double time, MachineId machine) {
+  NCDRF_CHECK(machine >= 0, "slave fault needs a machine id");
+  return add(FaultEvent{time, FaultKind::kSlaveCrash, machine, 0.0});
+}
+
+FaultPlan& FaultPlan::restart_slave(double time, MachineId machine) {
+  NCDRF_CHECK(machine >= 0, "slave fault needs a machine id");
+  return add(FaultEvent{time, FaultKind::kSlaveRestart, machine, 0.0});
+}
+
+FaultPlan& FaultPlan::crash_master(double time) {
+  return add(FaultEvent{time, FaultKind::kMasterCrash, -1, 0.0});
+}
+
+FaultPlan& FaultPlan::restart_master(double time) {
+  return add(FaultEvent{time, FaultKind::kMasterRestart, -1, 0.0});
+}
+
+FaultPlan& FaultPlan::partition(double start, double heal, MachineId machine) {
+  NCDRF_CHECK(machine >= 0, "partition needs a machine id");
+  NCDRF_CHECK(heal > start, "partition must heal after it starts");
+  add(FaultEvent{start, FaultKind::kPartitionStart, machine, 0.0});
+  return add(FaultEvent{heal, FaultKind::kPartitionHeal, machine, 0.0});
+}
+
+FaultPlan& FaultPlan::loss_burst(double start, double end,
+                                 double loss_probability) {
+  NCDRF_CHECK(end > start, "loss burst must end after it starts");
+  NCDRF_CHECK(loss_probability >= 0.0 && loss_probability < 1.0,
+              "burst loss probability must be in [0, 1)");
+  add(FaultEvent{start, FaultKind::kLossBurstStart, -1, loss_probability});
+  return add(FaultEvent{end, FaultKind::kLossBurstEnd, -1, 0.0});
+}
+
+std::vector<FaultEvent> FaultPlan::due(double now) {
+  std::vector<FaultEvent> out;
+  while (next_ < events_.size() && events_[next_].time <= now + 1e-12) {
+    out.push_back(events_[next_]);
+    ++next_;
+  }
+  return out;
+}
+
+FaultPlan random_churn_plan(std::uint64_t seed, int machines,
+                            const ChurnOptions& options) {
+  NCDRF_CHECK(machines >= 1, "churn plan needs at least one machine");
+  NCDRF_CHECK(options.horizon_s >= options.start_s,
+              "churn horizon must not precede its start");
+  NCDRF_CHECK(options.mean_gap_s > 0.0, "churn mean gap must be positive");
+  NCDRF_CHECK(
+      options.min_downtime_s > 0.0 &&
+          options.max_downtime_s >= options.min_downtime_s,
+      "churn downtime range must be positive and ordered");
+  const double mix = options.master_crash_fraction +
+                     options.partition_fraction + options.loss_burst_fraction;
+  NCDRF_CHECK(options.master_crash_fraction >= 0.0 &&
+                  options.partition_fraction >= 0.0 &&
+                  options.loss_burst_fraction >= 0.0 && mix <= 1.0,
+              "churn fault-mix fractions must be non-negative and sum <= 1");
+
+  Rng rng(seed);
+  FaultPlan plan;
+  // Earliest time each target may be hit again (its last repair time), so
+  // cycles on the same target never overlap.
+  std::vector<double> machine_free(static_cast<std::size_t>(machines), 0.0);
+  double master_free = 0.0;
+  double burst_free = 0.0;
+
+  double t = options.start_s + rng.exponential(1.0 / options.mean_gap_s);
+  while (t < options.horizon_s) {
+    const double down =
+        rng.uniform(options.min_downtime_s, options.max_downtime_s);
+    const double pick = rng.uniform();
+    if (pick < options.master_crash_fraction) {
+      if (master_free <= t) {
+        plan.crash_master(t).restart_master(t + down);
+        master_free = t + down;
+      }
+    } else if (pick < options.master_crash_fraction +
+                          options.partition_fraction) {
+      const auto m = static_cast<MachineId>(rng.uniform_int(0, machines - 1));
+      if (machine_free[static_cast<std::size_t>(m)] <= t) {
+        plan.partition(t, t + down, m);
+        machine_free[static_cast<std::size_t>(m)] = t + down;
+      }
+    } else if (pick < mix) {
+      if (burst_free <= t) {
+        plan.loss_burst(t, t + down, options.burst_loss_probability);
+        burst_free = t + down;
+      }
+    } else {
+      const auto m = static_cast<MachineId>(rng.uniform_int(0, machines - 1));
+      if (machine_free[static_cast<std::size_t>(m)] <= t) {
+        plan.crash_slave(t, m).restart_slave(t + down, m);
+        machine_free[static_cast<std::size_t>(m)] = t + down;
+      }
+    }
+    t += rng.exponential(1.0 / options.mean_gap_s);
+  }
+  return plan;
+}
+
+}  // namespace ncdrf

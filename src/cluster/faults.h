@@ -1,0 +1,121 @@
+// Deterministic fault injection for the cluster emulation — the robustness
+// analogue of the scheduler perf counters.
+//
+// A FaultPlan is a timed script of control-plane failures — slave
+// crash/restart, master crash/restart, master<->slave partitions and
+// bus-wide message-loss bursts — that run_deployment consumes as simulated
+// time advances. Plans are plain data, built either explicitly (unit tests
+// replay exact scenarios event by event) or by the seeded churn generator
+// (randomized stress that is still perfectly reproducible). Either way a
+// failure scenario is a replayable deterministic test, never a flaky
+// probabilistic one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.h"
+
+namespace ncdrf {
+
+enum class FaultKind {
+  kSlaveCrash,      // daemon dies: local enforcement state is lost
+  kSlaveRestart,    // daemon restarts: re-registers, flows are resynced
+  kMasterCrash,     // controller dies: its view is lost
+  kMasterRestart,   // controller restarts: view rebuilt from re-reports
+  kPartitionStart,  // master<->slave messages drop in both directions
+  kPartitionHeal,   // partition ends; heartbeats resume
+  kLossBurstStart,  // bus loss probability raised to `loss_probability`
+  kLossBurstEnd,    // bus loss probability restored to the base rate
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kSlaveCrash;
+  MachineId machine = -1;         // slave/partition events; -1 otherwise
+  double loss_probability = 0.0;  // kLossBurstStart only
+};
+
+// An ordered, consumable script of fault events. `due` hands out events in
+// time order exactly once, which is how run_deployment drives it.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Chainable scenario builders (times in seconds of simulated time).
+  FaultPlan& crash_slave(double time, MachineId machine);
+  FaultPlan& restart_slave(double time, MachineId machine);
+  FaultPlan& crash_master(double time);
+  FaultPlan& restart_master(double time);
+  // Partition machine <-> master over [start, heal).
+  FaultPlan& partition(double start, double heal, MachineId machine);
+  // Raise the bus loss probability to `loss_probability` over [start, end).
+  FaultPlan& loss_burst(double start, double end, double loss_probability);
+  // Generic insertion; keeps the plan sorted by (time, insertion order).
+  FaultPlan& add(const FaultEvent& event);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  bool exhausted() const { return next_ >= events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Pops every event due at or before `now`, in time order. `now` must be
+  // non-decreasing across calls; the plan must not be modified once
+  // consumption has begun.
+  std::vector<FaultEvent> due(double now);
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by (time, insertion order)
+  std::size_t next_ = 0;
+};
+
+// Knobs for the seeded churn generator. The defaults describe a cluster
+// where a fault cycle lands roughly once a second for ten seconds.
+struct ChurnOptions {
+  double start_s = 0.5;     // no faults before this (lets the run warm up)
+  double horizon_s = 10.0;  // no new faults after this (repairs may finish
+                            // later; every crash gets its restart and every
+                            // partition its heal)
+  double mean_gap_s = 1.0;  // exponential gap between fault cycles
+  double min_downtime_s = 0.1;
+  double max_downtime_s = 0.8;
+  // Per-cycle fault mix; the remainder (1 − sum) is a slave crash cycle.
+  double master_crash_fraction = 0.1;
+  double partition_fraction = 0.2;
+  double loss_burst_fraction = 0.15;
+  double burst_loss_probability = 0.6;
+};
+
+// Builds a valid churn plan (alternating crash/restart per target,
+// partitions always heal, bursts always end) deterministically from the
+// seed. Requires machines >= 1 and sane option ranges.
+FaultPlan random_churn_plan(std::uint64_t seed, int machines,
+                            const ChurnOptions& options = {});
+
+// Per-fault-event counters accumulated by run_deployment and exported into
+// the perf JSON (metrics/export.h:write_deployment_json).
+struct FaultCounters {
+  long long slave_crashes = 0;
+  long long slave_restarts = 0;
+  long long master_crashes = 0;
+  long long master_restarts = 0;
+  long long partitions_started = 0;
+  long long partitions_healed = 0;
+  long long loss_bursts = 0;
+  // Liveness-tracking outcomes (master-side).
+  long long slaves_declared_dead = 0;
+  long long slaves_revived = 0;
+  long long flows_quarantined = 0;
+  // Recovery work.
+  long long flows_resynced = 0;        // slave restarts reinstalling flows
+  long long coflows_reregistered = 0;  // client re-registration on master
+                                       // restart
+  // Messages dropped because their destination endpoint was down or
+  // partitioned (on top of random bus loss).
+  long long messages_dropped_at_down_endpoint = 0;
+  long long bus_retries = 0;  // retransmissions by send_with_retry
+};
+
+}  // namespace ncdrf

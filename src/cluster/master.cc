@@ -6,12 +6,31 @@
 
 namespace ncdrf {
 
-Master::Master(const Fabric& fabric, Scheduler& scheduler)
-    : fabric_(fabric), scheduler_(scheduler) {}
+Master::Master(const Fabric& fabric, Scheduler& scheduler,
+               MasterOptions options, double start_time)
+    : fabric_(fabric),
+      scheduler_(scheduler),
+      options_(options),
+      start_time_(start_time) {}
 
 void Master::on_register(const RegisterCoflowMsg& msg) {
   NCDRF_CHECK(msg.coflow >= 0, "registration with invalid coflow id");
-  NCDRF_CHECK(!msg.flows.empty(), "registration with no flows");
+  NCDRF_CHECK(!msg.flows.empty() || !msg.finished_flows.empty(),
+              "registration with no flows");
+  // Idempotent: a registration that raced a master restart may arrive
+  // twice (the original in flight on the bus plus the client's
+  // re-registration). The first one wins — even when the coflow already
+  // retired, which only its flow states remember.
+  const FlowId probe =
+      msg.flows.empty() ? msg.finished_flows.front().id : msg.flows.front().id;
+  const bool known =
+      flow_states_.contains(probe) ||
+      std::any_of(coflows_.begin(), coflows_.end(),
+                  [&](const CoflowState& c) { return c.id == msg.coflow; });
+  if (known) {
+    ++registrations_ignored_;
+    return;
+  }
   CoflowState state;
   state.id = msg.coflow;
   state.arrival_time = msg.arrival_time;
@@ -22,18 +41,28 @@ void Master::on_register(const RegisterCoflowMsg& msg) {
     flow_states_[f.id] = FlowState{f, false, 0.0};
     state.flows.push_back(f.id);
   }
+  for (const Flow& f : msg.finished_flows) {
+    NCDRF_CHECK(!flow_states_.contains(f.id), "duplicate flow registration");
+    // Already delivered in full: attained equals the (observable) size.
+    flow_states_[f.id] = FlowState{f, true, f.size_bits};
+    state.flows.push_back(f.id);
+  }
   coflows_.push_back(std::move(state));
   dirty_ = true;
 }
 
-void Master::on_flow_finished(const FlowFinishedMsg& msg) {
-  const auto it = flow_states_.find(msg.flow);
-  NCDRF_CHECK(it != flow_states_.end(), "finish report for unknown flow");
-  if (!it->second.finished) {
-    it->second.finished = true;
-    dirty_ = true;
-  }
-  // Drop coflows whose flows have all finished.
+bool Master::mark_finished(FlowId flow) {
+  const auto it = flow_states_.find(flow);
+  // Lenient: a stale finish report may reach a freshly restarted master
+  // before the coflow's re-registration does. It is repaired by the
+  // finished_flows list of that re-registration.
+  if (it == flow_states_.end() || it->second.finished) return false;
+  it->second.finished = true;
+  dirty_ = true;
+  return true;
+}
+
+void Master::retire_done_coflows() {
   std::erase_if(coflows_, [&](const CoflowState& c) {
     return std::all_of(c.flows.begin(), c.flows.end(), [&](FlowId f) {
       return flow_states_.at(f).finished;
@@ -41,13 +70,62 @@ void Master::on_flow_finished(const FlowFinishedMsg& msg) {
   });
 }
 
-void Master::on_heartbeat(const HeartbeatMsg& msg) {
+void Master::on_flow_finished(const FlowFinishedMsg& msg) {
+  const auto it = flow_states_.find(msg.flow);
+  if (it != flow_states_.end()) {
+    // A finish report is a sign of life from the flow's source machine.
+    note_alive(it->second.flow.src, msg.finish_time);
+  }
+  if (mark_finished(msg.flow)) retire_done_coflows();
+}
+
+void Master::on_heartbeat(const HeartbeatMsg& msg, double now) {
+  note_alive(msg.machine, now);
   // Heartbeats refine the clairvoyant remaining-size estimates; they do
   // not by themselves force a reallocation.
   for (const auto& [flow, attained] : msg.attained_bits) {
     const auto it = flow_states_.find(flow);
     if (it != flow_states_.end()) {
       it->second.attained_bits = std::max(it->second.attained_bits, attained);
+    }
+  }
+  // Repair channel for lost FlowFinished reports.
+  bool any_finished = false;
+  for (const FlowId f : msg.finished_flows) {
+    any_finished = mark_finished(f) || any_finished;
+  }
+  if (any_finished) retire_done_coflows();
+}
+
+void Master::note_alive(MachineId machine, double now) {
+  if (machine < 0) return;
+  auto [it, inserted] = last_alive_.try_emplace(machine, now);
+  if (!inserted) it->second = std::max(it->second, now);
+  if (dead_slaves_.erase(machine) > 0) {
+    ++slaves_revived_;
+    // The revived slave's flows rejoin the view; recompute their shares.
+    dirty_ = true;
+  }
+}
+
+void Master::check_liveness(double now) {
+  if (options_.heartbeat_timeout_s <= 0.0) return;
+  // Only machines expected to heartbeat — those originating at least one
+  // unfinished flow in the view — can be declared dead. Idle machines
+  // legitimately stay silent.
+  std::unordered_map<MachineId, long long> unfinished_per_machine;
+  for (const auto& [id, fs] : flow_states_) {
+    if (!fs.finished) ++unfinished_per_machine[fs.flow.src];
+  }
+  for (const auto& [machine, unfinished] : unfinished_per_machine) {
+    if (dead_slaves_.contains(machine)) continue;
+    const auto it = last_alive_.find(machine);
+    const double last = it != last_alive_.end() ? it->second : start_time_;
+    if (now - last > options_.heartbeat_timeout_s) {
+      dead_slaves_.insert(machine);
+      ++slaves_declared_dead_;
+      flows_quarantined_ += unfinished;
+      dirty_ = true;
     }
   }
 }
@@ -69,6 +147,12 @@ ScheduleInput Master::build_view(double now) const {
     for (const FlowId f : coflow.flows) {
       const FlowState& fs = flow_states_.at(f);
       attained += fs.attained_bits;
+      // Quarantine: flows originating at a dead slave are left out of the
+      // view entirely, releasing their port shares to the survivors. Their
+      // attained service still counts toward the coflow's progress.
+      const bool quarantined =
+          !fs.finished && dead_slaves_.contains(fs.flow.src);
+      if (quarantined) continue;
       auto& bucket = fs.finished ? view.finished_flows : view.flows;
       bucket.push_back(
           ActiveFlow{fs.flow.id, fs.flow.coflow, fs.flow.src, fs.flow.dst});

@@ -6,9 +6,17 @@
 // its current view, and emits per-slave RateUpdate messages. The master
 // only ever acts on its *view* — which lags reality by the bus latency —
 // so the deployment exercises the control-staleness the real system has.
+//
+// Fault tolerance: with a heartbeat timeout configured, a slave that stays
+// silent past the timeout is declared dead; its flows are quarantined
+// (excluded from the scheduling view, so their port shares flow back to
+// the surviving coflows) until any message from the machine revives it.
+// Registration is idempotent and finish reports are lenient, so replays
+// and stale messages around a master restart are harmless.
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/bus.h"
@@ -17,22 +25,47 @@
 
 namespace ncdrf {
 
+struct MasterOptions {
+  // A slave with unfinished flows whose last sign of life is older than
+  // this is declared dead by check_liveness. <= 0 disables liveness
+  // tracking (every slave is trusted forever — the pre-fault behaviour).
+  double heartbeat_timeout_s = 0.0;
+};
+
 class Master {
  public:
-  Master(const Fabric& fabric, Scheduler& scheduler);
+  Master(const Fabric& fabric, Scheduler& scheduler,
+         MasterOptions options = {}, double start_time = 0.0);
 
-  // Message intake. Each may mark the view dirty.
+  // Message intake. Each may mark the view dirty. Any message from a
+  // machine counts as a sign of life and revives it if declared dead.
   void on_register(const RegisterCoflowMsg& msg);
   void on_flow_finished(const FlowFinishedMsg& msg);
-  void on_heartbeat(const HeartbeatMsg& msg);
+  void on_heartbeat(const HeartbeatMsg& msg, double now);
 
   bool dirty() const { return dirty_; }
+
+  // Declares dead every slave with unfinished flows that has been silent
+  // past the heartbeat timeout. Quarantined flows leave the scheduling
+  // view, so the next reallocate releases their port shares. No-op when
+  // liveness tracking is disabled.
+  void check_liveness(double now);
 
   // Recomputes the allocation from the current view and enqueues one
   // RateUpdate per machine that originates flows. Clears the dirty flag.
   void reallocate(double now, SimBus& bus);
 
   int active_coflows() const;
+  bool slave_dead(MachineId machine) const {
+    return dead_slaves_.contains(machine);
+  }
+  int dead_slaves() const { return static_cast<int>(dead_slaves_.size()); }
+
+  // Liveness-outcome counters (monotone over the master's lifetime).
+  long long slaves_declared_dead() const { return slaves_declared_dead_; }
+  long long slaves_revived() const { return slaves_revived_; }
+  long long flows_quarantined() const { return flows_quarantined_; }
+  long long registrations_ignored() const { return registrations_ignored_; }
 
  private:
   struct FlowState {
@@ -49,11 +82,28 @@ class Master {
   };
 
   ScheduleInput build_view(double now) const;
+  // Marks `machine` alive as of `now`, reviving it if quarantined.
+  void note_alive(MachineId machine, double now);
+  // Marks one flow finished; returns true if it was a state change.
+  bool mark_finished(FlowId flow);
+  // Drops coflows whose flows have all finished.
+  void retire_done_coflows();
 
   const Fabric& fabric_;
   Scheduler& scheduler_;
+  MasterOptions options_;
   std::vector<CoflowState> coflows_;
   std::unordered_map<FlowId, FlowState> flow_states_;
+  // Last sign of life per machine; machines never heard from default to
+  // the master's start time (a freshly registered flow is not instantly
+  // orphaned).
+  std::unordered_map<MachineId, double> last_alive_;
+  std::unordered_set<MachineId> dead_slaves_;
+  double start_time_ = 0.0;
+  long long slaves_declared_dead_ = 0;
+  long long slaves_revived_ = 0;
+  long long flows_quarantined_ = 0;
+  long long registrations_ignored_ = 0;
   // Remaining-size estimates (size − attained) for clairvoyant policies,
   // indexed by FlowId; grown on demand.
   mutable std::vector<double> remaining_estimate_;

@@ -24,6 +24,10 @@ struct RegisterCoflowMsg {
   double weight = 1.0;  // tenant share weight
   std::vector<Flow> flows;  // size_bits zeroed unless sizes_known
   bool sizes_known = false;
+  // Re-registration after a master restart: flows already delivered in
+  // full. These carry their real sizes even for non-clairvoyant policies —
+  // the attained service of a finished flow is observable, not predicted.
+  std::vector<Flow> finished_flows;
 };
 
 // Master → slave: new enforced rates for the flows this slave originates.
@@ -32,9 +36,12 @@ struct RateUpdateMsg {
 };
 
 // Slave → master: periodic status with attained bytes per local flow.
+// `finished_flows` repeats the ids of locally finished flows so a lost
+// FlowFinished report is repaired by the next heartbeat that survives.
 struct HeartbeatMsg {
   MachineId machine = -1;
   std::vector<std::pair<FlowId, double>> attained_bits;
+  std::vector<FlowId> finished_flows;
 };
 
 // Slave → master: a local flow delivered its last byte.

@@ -1,5 +1,7 @@
 #include "cluster/slave.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ncdrf {
@@ -15,6 +17,28 @@ void Slave::add_flow(const Flow& flow) {
   NCDRF_CHECK(flow.size_bits > 0.0, "flow size must be positive");
   NCDRF_CHECK(!flows_.contains(flow.id), "duplicate local flow");
   flows_[flow.id] = LocalFlow{flow, flow.size_bits, 0.0, 0.0};
+}
+
+void Slave::crash() {
+  flows_.clear();
+  finished_ids_.clear();
+  next_heartbeat_ = 0.0;
+}
+
+void Slave::restore_flow(const Flow& flow, double remaining_bits,
+                         double attained_bits) {
+  NCDRF_CHECK(flow.src == machine_, "flow does not originate here");
+  NCDRF_CHECK(remaining_bits > 0.0 && attained_bits >= 0.0,
+              "restore needs positive remaining service");
+  NCDRF_CHECK(!flows_.contains(flow.id), "duplicate local flow");
+  flows_[flow.id] = LocalFlow{flow, remaining_bits, attained_bits, 0.0};
+}
+
+void Slave::note_finished(FlowId flow) {
+  if (std::find(finished_ids_.begin(), finished_ids_.end(), flow) ==
+      finished_ids_.end()) {
+    finished_ids_.push_back(flow);
+  }
 }
 
 void Slave::on_rate_update(const RateUpdateMsg& msg) {
@@ -40,6 +64,7 @@ bool Slave::commit_transfer(FlowId flow, double bits) {
   lf.remaining_bits -= bits;
   lf.attained_bits += bits;
   if (lf.remaining_bits <= 1.0) {  // fluid-model completion epsilon
+    note_finished(flow);
     flows_.erase(it);
     return true;
   }
@@ -51,17 +76,27 @@ double Slave::remaining_bits(FlowId flow) const {
   return it == flows_.end() ? 0.0 : it->second.remaining_bits;
 }
 
-void Slave::maybe_heartbeat(double now, SimBus& bus) {
-  if (now + 1e-12 < next_heartbeat_) return;
-  next_heartbeat_ = now + heartbeat_period_;
-  if (flows_.empty()) return;
+HeartbeatMsg Slave::build_heartbeat() const {
   HeartbeatMsg msg;
   msg.machine = machine_;
   msg.attained_bits.reserve(flows_.size());
   for (const auto& [id, lf] : flows_) {
     msg.attained_bits.emplace_back(id, lf.attained_bits);
   }
-  bus.send_unreliable(now, master_address(), std::move(msg));
+  msg.finished_flows = finished_ids_;
+  return msg;
+}
+
+void Slave::maybe_heartbeat(double now, SimBus& bus) {
+  if (now + 1e-12 < next_heartbeat_) return;
+  next_heartbeat_ = now + heartbeat_period_;
+  if (flows_.empty() && finished_ids_.empty()) return;
+  bus.send_unreliable(now, master_address(), build_heartbeat());
+}
+
+void Slave::heartbeat_now(double now, SimBus& bus) {
+  next_heartbeat_ = now + heartbeat_period_;
+  bus.send(now, master_address(), build_heartbeat());
 }
 
 }  // namespace ncdrf

@@ -25,6 +25,20 @@ class Slave {
   // Starts enforcing a newly arrived local flow (remaining = full size).
   void add_flow(const Flow& flow);
 
+  // Daemon death: every local shaper and its state vanish. The deployment
+  // (standing in for the machine's data on disk) resyncs via restore_flow
+  // and note_finished when the daemon comes back.
+  void crash();
+
+  // Reinstalls a flow after a restart with its true remaining/attained
+  // service. The rate starts at 0 until the master's next RateUpdate.
+  void restore_flow(const Flow& flow, double remaining_bits,
+                    double attained_bits);
+
+  // Records a locally finished flow id so heartbeats keep repeating it —
+  // the repair channel for lost FlowFinished reports.
+  void note_finished(FlowId flow);
+
   void on_rate_update(const RateUpdateMsg& msg);
 
   // The rate the shaper would send at this tick for each live local flow:
@@ -42,6 +56,10 @@ class Slave {
   // Emits a heartbeat if one is due at `now`.
   void maybe_heartbeat(double now, SimBus& bus);
 
+  // Emits a heartbeat immediately (reliably) and resets the schedule —
+  // the announce-yourself message after a restart or partition heal.
+  void heartbeat_now(double now, SimBus& bus);
+
  private:
   struct LocalFlow {
     Flow flow;
@@ -50,10 +68,13 @@ class Slave {
     double rate_bps = 0.0;  // 0 until the first RateUpdate arrives
   };
 
+  HeartbeatMsg build_heartbeat() const;
+
   MachineId machine_;
   double heartbeat_period_;
   double next_heartbeat_ = 0.0;
   std::unordered_map<FlowId, LocalFlow> flows_;
+  std::vector<FlowId> finished_ids_;  // locally finished, re-advertised
 };
 
 }  // namespace ncdrf

@@ -1,5 +1,6 @@
 #include "metrics/export.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/check.h"
@@ -45,6 +46,48 @@ void write_perf_json(std::ostream& out, const SchedPerf& perf,
   if (!scheduler.empty()) out << "\"scheduler\":\"" << scheduler << "\",";
   if (!label.empty()) out << "\"label\":\"" << label << "\",";
   out << "\"perf\":" << to_json(perf) << "}\n";
+}
+
+void write_deployment_json(std::ostream& out, const DeploymentResult& result,
+                           const std::string& scheduler,
+                           const std::string& label) {
+  const FaultCounters& fc = result.fault_counters;
+  double rec_sum = 0.0;
+  double rec_max = 0.0;
+  for (const double r : result.recovery_latencies_s) {
+    rec_sum += r;
+    rec_max = std::max(rec_max, r);
+  }
+  const double rec_mean = result.recovery_latencies_s.empty()
+                              ? 0.0
+                              : rec_sum / static_cast<double>(
+                                              result.recovery_latencies_s
+                                                  .size());
+  out << "{";
+  if (!scheduler.empty()) out << "\"scheduler\":\"" << scheduler << "\",";
+  if (!label.empty()) out << "\"label\":\"" << label << "\",";
+  out << "\"makespan_s\":" << result.makespan
+      << ",\"reallocations\":" << result.num_reallocations
+      << ",\"messages_sent\":" << result.messages_sent
+      << ",\"messages_dropped\":" << result.messages_dropped
+      << ",\"faults\":{"
+      << "\"slave_crashes\":" << fc.slave_crashes
+      << ",\"slave_restarts\":" << fc.slave_restarts
+      << ",\"master_crashes\":" << fc.master_crashes
+      << ",\"master_restarts\":" << fc.master_restarts
+      << ",\"partitions_started\":" << fc.partitions_started
+      << ",\"partitions_healed\":" << fc.partitions_healed
+      << ",\"loss_bursts\":" << fc.loss_bursts
+      << ",\"slaves_declared_dead\":" << fc.slaves_declared_dead
+      << ",\"slaves_revived\":" << fc.slaves_revived
+      << ",\"flows_quarantined\":" << fc.flows_quarantined
+      << ",\"flows_resynced\":" << fc.flows_resynced
+      << ",\"coflows_reregistered\":" << fc.coflows_reregistered
+      << ",\"dropped_at_down_endpoint\":"
+      << fc.messages_dropped_at_down_endpoint
+      << ",\"bus_retries\":" << fc.bus_retries << "}"
+      << ",\"recovery\":{\"count\":" << result.recovery_latencies_s.size()
+      << ",\"mean_s\":" << rec_mean << ",\"max_s\":" << rec_max << "}}\n";
 }
 
 void write_sweep_json(std::ostream& out, const SweepResult& sweep,

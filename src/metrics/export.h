@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "cluster/deployment.h"
 #include "common/stats.h"
 #include "metrics/perf.h"
 #include "runner/sweep.h"
@@ -40,6 +41,14 @@ void write_normalized_cct_csv(
 void write_perf_json(std::ostream& out, const SchedPerf& perf,
                      const std::string& scheduler = "",
                      const std::string& label = "");
+
+// A deployment run's outcome as one JSON object, newline-terminated:
+// makespan, message/reallocation totals, per-fault-event counters and
+// recovery-latency stats — the robustness analogue of write_perf_json.
+// `scheduler` and `label` are attached as string fields when non-empty.
+void write_deployment_json(std::ostream& out, const DeploymentResult& result,
+                           const std::string& scheduler = "",
+                           const std::string& label = "");
 
 // A sweep's perf trajectory as one JSON object, newline-terminated:
 // thread count, whole-sweep wall time, and one entry per grid cell with

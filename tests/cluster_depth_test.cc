@@ -101,7 +101,7 @@ TEST(ClusterDepth, HeartbeatsFeedClairvoyantRemainingEstimates) {
   HeartbeatMsg hb;
   hb.machine = 0;
   hb.attained_bits.emplace_back(0, megabits(90.0));
-  master.on_heartbeat(hb);
+  master.on_heartbeat(hb, 0.1);
   master.reallocate(0.1, bus);
   double rate_after_0 = 0.0;
   double rate_after_1 = 0.0;

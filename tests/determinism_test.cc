@@ -1,0 +1,131 @@
+// Determinism tests: the same seed must produce bit-identical results —
+// two full simulator runs serialize to byte-identical metrics JSON, the
+// parallel sweep runner is thread-count-invariant, and the Rng replays
+// its stream exactly. These pin the reproducibility contract everything
+// else (property tests, fault scenarios, figure benches) relies on.
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/registry.h"
+#include "runner/sweep.h"
+#include "sim/sim.h"
+
+namespace ncdrf {
+namespace {
+
+Trace random_trace(std::uint64_t seed, int machines, int coflows) {
+  Rng rng(seed);
+  TraceBuilder builder(machines);
+  for (int c = 0; c < coflows; ++c) {
+    builder.begin_coflow(rng.uniform(0.0, 2.0));
+    const int flows = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flows; ++f) {
+      builder.add_flow(
+          static_cast<MachineId>(rng.uniform_int(0, machines - 1)),
+          static_cast<MachineId>(rng.uniform_int(0, machines - 1)),
+          rng.uniform(megabits(10.0), megabits(200.0)));
+    }
+  }
+  return builder.build();
+}
+
+// Serializes the deterministic content of a run — every double at full
+// precision (max_digits10), so two runs match iff they are bit-identical.
+std::string metrics_json(const RunResult& run) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"makespan\":" << run.makespan
+     << ",\"total_bits\":" << run.total_bits_delivered
+     << ",\"events\":" << run.num_events
+     << ",\"allocations\":" << run.num_allocations << ",\"coflows\":[";
+  for (std::size_t k = 0; k < run.coflows.size(); ++k) {
+    if (k) os << ',';
+    os << "{\"id\":" << run.coflows[k].id
+       << ",\"cct\":" << run.coflows[k].cct
+       << ",\"completion\":" << run.coflows[k].completion << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+TEST(Determinism, TwoRunsSerializeIdentically) {
+  const Fabric fabric(6, gbps(1.0));
+  const Trace trace = random_trace(4242, 6, 12);
+  for (const std::string& name : scheduler_names()) {
+    const auto s1 = make_scheduler(name);
+    const auto s2 = make_scheduler(name);
+    const std::string a = metrics_json(simulate(fabric, trace, *s1));
+    const std::string b = metrics_json(simulate(fabric, trace, *s2));
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(Determinism, SweepIsThreadCountInvariant) {
+  // The whole grid on 1 thread vs 4 threads: every cell's metrics JSON
+  // must be byte-identical (per-cell wall times differ, but they are
+  // perf telemetry, not metrics).
+  SweepSpec spec;
+  spec.fabric = Fabric(5, gbps(1.0));
+  spec.policies = {"ncdrf", "ncdrf-live", "drf", "hug", "tcp", "aalo"};
+  spec.traces.push_back(SweepCase{"a", random_trace(7, 5, 10)});
+  spec.traces.push_back(SweepCase{"b", random_trace(8, 5, 6)});
+
+  spec.threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = 4;
+  const SweepResult parallel = run_sweep(spec);
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].policy, parallel.cells[i].policy);
+    EXPECT_EQ(serial.cells[i].trace_label, parallel.cells[i].trace_label);
+    EXPECT_EQ(metrics_json(serial.cells[i].run),
+              metrics_json(parallel.cells[i].run))
+        << serial.cells[i].policy << " × " << serial.cells[i].trace_label;
+  }
+}
+
+TEST(Determinism, RngReplaysItsStreamExactly) {
+  Rng a(123456789);
+  Rng b(123456789);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+  // Distribution draws replay too (they consume the same raw stream).
+  Rng c(55), d(55);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(c.uniform(), d.uniform());
+    ASSERT_EQ(c.uniform_int(0, 1000), d.uniform_int(0, 1000));
+    ASSERT_EQ(c.exponential(2.0), d.exponential(2.0));
+    ASSERT_EQ(c.bernoulli(0.3), d.bernoulli(0.3));
+  }
+  // Different seeds diverge immediately (no accidental state sharing).
+  Rng e(1), f(2);
+  EXPECT_NE(e.next_u64(), f.next_u64());
+}
+
+TEST(Determinism, TraceGenerationIsSeedStable) {
+  const Trace a = random_trace(99, 6, 10);
+  const Trace b = random_trace(99, 6, 10);
+  ASSERT_EQ(a.coflows.size(), b.coflows.size());
+  ASSERT_EQ(a.total_flows, b.total_flows);
+  for (std::size_t k = 0; k < a.coflows.size(); ++k) {
+    ASSERT_EQ(a.coflows[k].flows().size(), b.coflows[k].flows().size());
+    EXPECT_EQ(a.coflows[k].arrival_time(), b.coflows[k].arrival_time());
+    for (std::size_t i = 0; i < a.coflows[k].flows().size(); ++i) {
+      const Flow& fa = a.coflows[k].flows()[i];
+      const Flow& fb = b.coflows[k].flows()[i];
+      EXPECT_EQ(fa.src, fb.src);
+      EXPECT_EQ(fa.dst, fb.dst);
+      EXPECT_EQ(fa.size_bits, fb.size_bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncdrf

@@ -1,11 +1,18 @@
 // Failure-injection tests: control-plane message loss in the cluster
-// emulation, and misbehaving schedulers against the simulator's guards.
+// emulation, deterministic FaultPlan scenarios (crashes, restarts,
+// partitions, loss bursts) against the fault-tolerant deployment, and
+// misbehaving schedulers against the simulator's guards.
 #include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
 
 #include "cluster/bus.h"
 #include "cluster/deployment.h"
+#include "cluster/faults.h"
 #include "common/units.h"
 #include "core/registry.h"
+#include "metrics/export.h"
 #include "sim/sim.h"
 #include "test_util.h"
 
@@ -90,6 +97,345 @@ TEST(FailureInjection, RefreshRepairsLostInitialRateUpdate) {
   const DeploymentResult result =
       run_deployment(fabric, trace, *sched, options);
   EXPECT_GT(result.coflows[0].cct, 0.0);
+}
+
+TEST(FaultPlanUnit, EventsStaySortedAndConsumeOnce) {
+  FaultPlan plan;
+  plan.restart_slave(0.5, 1)
+      .crash_slave(0.2, 1)
+      .loss_burst(0.1, 0.3, 0.8)
+      .partition(0.2, 0.4, 0);
+  ASSERT_EQ(plan.size(), 6u);
+  const auto& ev = plan.events();
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LE(ev[i - 1].time, ev[i].time);
+  }
+  // Same-instant events keep insertion order: the crash at 0.2 was added
+  // before the partition start at 0.2.
+  EXPECT_EQ(ev[1].kind, FaultKind::kSlaveCrash);
+  EXPECT_EQ(ev[2].kind, FaultKind::kPartitionStart);
+
+  EXPECT_EQ(plan.due(0.05).size(), 0u);
+  const auto first = plan.due(0.2);
+  ASSERT_EQ(first.size(), 3u);  // burst start, crash, partition start
+  EXPECT_EQ(first[0].kind, FaultKind::kLossBurstStart);
+  EXPECT_FALSE(plan.exhausted());
+  EXPECT_EQ(plan.due(0.2).size(), 0u);  // consumed exactly once
+  EXPECT_EQ(plan.due(10.0).size(), 3u);
+  EXPECT_TRUE(plan.exhausted());
+}
+
+TEST(FaultPlanUnit, RejectsInvalidEventsAndLateMutation) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.crash_slave(0.1, -1), CheckError);
+  EXPECT_THROW(plan.partition(0.5, 0.5, 0), CheckError);
+  EXPECT_THROW(plan.loss_burst(0.1, 0.2, 1.0), CheckError);
+  EXPECT_THROW(plan.crash_slave(-0.1, 0), CheckError);
+  plan.crash_slave(0.1, 0);
+  (void)plan.due(0.2);
+  EXPECT_THROW(plan.restart_slave(0.3, 0), CheckError);
+}
+
+TEST(FaultPlanUnit, ChurnPlanIsWellFormedAndSeedDeterministic) {
+  const ChurnOptions churn;
+  const FaultPlan a = random_churn_plan(11, 4, churn);
+  const FaultPlan b = random_churn_plan(11, 4, churn);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  // Every crash has a later restart on the same machine, every partition
+  // heals, every burst ends; cycles on one target never overlap.
+  std::map<MachineId, int> slave_state;  // 0 = up
+  int master_down = 0, partitioned = 0, burst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FaultEvent& e = a.events()[i];
+    const FaultEvent& e2 = b.events()[i];
+    EXPECT_EQ(e.time, e2.time);
+    EXPECT_EQ(e.kind, e2.kind);
+    EXPECT_EQ(e.machine, e2.machine);
+    switch (e.kind) {
+      case FaultKind::kSlaveCrash:
+        EXPECT_EQ(slave_state[e.machine]++, 0);
+        break;
+      case FaultKind::kSlaveRestart:
+        EXPECT_EQ(slave_state[e.machine]--, 1);
+        break;
+      case FaultKind::kMasterCrash:
+        EXPECT_EQ(master_down++, 0);
+        break;
+      case FaultKind::kMasterRestart:
+        EXPECT_EQ(master_down--, 1);
+        break;
+      case FaultKind::kPartitionStart:
+        EXPECT_EQ(partitioned++, 0);
+        break;
+      case FaultKind::kPartitionHeal:
+        EXPECT_EQ(partitioned--, 1);
+        break;
+      case FaultKind::kLossBurstStart:
+        EXPECT_EQ(burst++, 0);
+        break;
+      case FaultKind::kLossBurstEnd:
+        EXPECT_EQ(burst--, 1);
+        break;
+    }
+  }
+  for (const auto& [m, state] : slave_state) EXPECT_EQ(state, 0);
+  EXPECT_EQ(master_down, 0);
+  EXPECT_EQ(partitioned, 0);
+  EXPECT_EQ(burst, 0);
+}
+
+TEST(BusRetry, RetryBeatsSingleAttemptUnderLoss) {
+  SimBus plain(0.0, /*loss_probability=*/0.5, /*seed=*/7);
+  SimBus retrying(0.0, /*loss_probability=*/0.5, /*seed=*/7);
+  const RetryPolicy policy{5, 0.01, 2.0};
+  const int n = 1000;
+  int plain_ok = 0, retry_ok = 0;
+  for (int i = 0; i < n; ++i) {
+    if (plain.send_unreliable(0.0, master_address(),
+                              FlowFinishedMsg{i, 0, 0.0})) {
+      ++plain_ok;
+    }
+    if (retrying.send_with_retry(0.0, master_address(),
+                                 FlowFinishedMsg{i, 0, 0.0}, policy)) {
+      ++retry_ok;
+    }
+  }
+  // P(all 5 attempts lost) = 0.5^5 ≈ 3%, vs 50% for a single attempt.
+  EXPECT_NEAR(retry_ok / static_cast<double>(n), 1.0 - 0.03125, 0.02);
+  EXPECT_GT(retry_ok, plain_ok);
+  EXPECT_GT(retrying.total_retries(), 0);
+  // A retried message is delivered at its retry time, never earlier.
+  for (const auto& d : retrying.deliver_due(1.0)) {
+    EXPECT_GE(d.deliver_time, 0.0);
+  }
+  EXPECT_THROW(retrying.send_with_retry(0.0, master_address(),
+                                        FlowFinishedMsg{0, 0, 0.0},
+                                        RetryPolicy{0, 0.01, 2.0}),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic FaultPlan scenarios. Each runs a small 3-machine workload
+// with zero random loss (every outcome is scripted), asserts that every
+// coflow still completes — no flow is permanently lost — and that the CCT
+// inflation versus the fault-free run is bounded by the scripted downtime
+// plus recovery slack.
+// ---------------------------------------------------------------------
+
+Trace fault_scenario_trace() {
+  TraceBuilder builder(3);
+  builder.begin_coflow(0.0);             // coflow 0: spread across machines
+  builder.add_flow(0, 1, megabits(240.0));
+  builder.add_flow(1, 2, megabits(240.0));
+  builder.add_flow(2, 0, megabits(240.0));
+  builder.begin_coflow(0.1);             // coflow 1: loads machine 0
+  builder.add_flow(0, 2, megabits(480.0));
+  builder.add_flow(1, 0, megabits(360.0));
+  builder.begin_coflow(0.3);             // coflow 2: single flow
+  builder.add_flow(2, 1, megabits(240.0));
+  return builder.build();
+}
+
+DeploymentOptions fault_scenario_options() {
+  DeploymentOptions options;
+  options.tick_s = 0.002;
+  options.control_latency_s = 0.001;
+  options.heartbeat_period_s = 0.01;
+  options.reallocation_refresh_period_s = 0.05;
+  options.record_progress = false;
+  options.heartbeat_timeout_beats = 3;
+  return options;
+}
+
+struct ScenarioOutcome {
+  DeploymentResult clean;
+  DeploymentResult faulty;
+};
+
+// Runs the scenario workload fault-free and under `faults` with the same
+// scheduler/options, asserting completion of every coflow in both.
+ScenarioOutcome run_scenario(FaultPlan faults,
+                             const std::string& policy = "ncdrf-live") {
+  const Fabric fabric(3, gbps(1.0));
+  const Trace trace = fault_scenario_trace();
+  ScenarioOutcome out;
+  const auto clean_sched = make_scheduler(policy);
+  out.clean = run_deployment(fabric, trace, *clean_sched,
+                             fault_scenario_options());
+  DeploymentOptions options = fault_scenario_options();
+  options.faults = std::move(faults);
+  const auto faulty_sched = make_scheduler(policy);
+  out.faulty = run_deployment(fabric, trace, *faulty_sched, options);
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_GT(out.clean.coflows[k].cct, 0.0) << "clean coflow " << k;
+    EXPECT_GT(out.faulty.coflows[k].cct, 0.0) << "faulty coflow " << k;
+    EXPECT_GE(out.faulty.coflows[k].completion,
+              out.faulty.coflows[k].arrival);
+  }
+  return out;
+}
+
+void expect_bounded_inflation(const ScenarioOutcome& out, double budget_s) {
+  for (std::size_t k = 0; k < out.clean.coflows.size(); ++k) {
+    EXPECT_LE(out.faulty.coflows[k].cct,
+              out.clean.coflows[k].cct + budget_s)
+        << "coflow " << k;
+  }
+}
+
+TEST(FaultScenario, SlaveCrashMidCoflowThenRestart) {
+  // Machine 0 dies at 0.15 s holding unfinished flows of coflows 0 and 1,
+  // and comes back at 0.45 s. The master declares it dead after three
+  // silent heartbeats and quarantines its flows (survivors keep going);
+  // the restart resyncs attained service from ground truth, so the lost
+  // daemon state costs only the downtime, not a from-scratch retransfer.
+  FaultPlan plan;
+  plan.crash_slave(0.15, 0).restart_slave(0.45, 0);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  EXPECT_EQ(out.faulty.fault_counters.slave_crashes, 1);
+  EXPECT_EQ(out.faulty.fault_counters.slave_restarts, 1);
+  EXPECT_GE(out.faulty.fault_counters.slaves_declared_dead, 1);
+  EXPECT_GE(out.faulty.fault_counters.slaves_revived, 1);
+  EXPECT_GE(out.faulty.fault_counters.flows_quarantined, 1);
+  EXPECT_GE(out.faulty.fault_counters.flows_resynced, 1);
+  // Downtime 0.3 s plus generous recovery slack.
+  expect_bounded_inflation(out, 0.3 + 0.2);
+}
+
+TEST(FaultScenario, SlaveRestartResyncsAttainedService) {
+  // A short outage late in a transfer: if attained service were lost the
+  // 160 Mb flow from machine 0 would restart from zero and pay its full
+  // transfer time again; resync caps the damage at downtime + slack.
+  FaultPlan plan;
+  plan.crash_slave(0.4, 0).restart_slave(0.5, 0);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  EXPECT_GE(out.faulty.fault_counters.flows_resynced, 1);
+  EXPECT_FALSE(out.faulty.recovery_latencies_s.empty());
+  for (const double r : out.faulty.recovery_latencies_s) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 0.2);  // revive + reallocate within a few control RTTs
+  }
+  expect_bounded_inflation(out, 0.1 + 0.2);
+}
+
+TEST(FaultScenario, MasterRestartRebuildsViewFromReRegistration) {
+  // The controller dies at 0.2 s and returns at 0.5 s. Slaves keep
+  // enforcing their last rates while it is down (graceful degradation),
+  // clients re-register on restart, and heartbeats resync attained
+  // service — so the rebuilt view converges and every coflow finishes.
+  FaultPlan plan;
+  plan.crash_master(0.2).restart_master(0.5);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  EXPECT_EQ(out.faulty.fault_counters.master_crashes, 1);
+  EXPECT_EQ(out.faulty.fault_counters.master_restarts, 1);
+  EXPECT_GE(out.faulty.fault_counters.coflows_reregistered, 1);
+  // Transfers continue on stale rates during the outage, so the bound is
+  // much tighter than the downtime itself.
+  expect_bounded_inflation(out, 0.3 + 0.2);
+}
+
+TEST(FaultScenario, ArrivalsWhileMasterDownAreRegisteredOnRestart) {
+  // Coflow 2 arrives at 0.3 s, inside the master's 0.25–0.55 s outage;
+  // its registration RPC cannot land until the restart. It must still
+  // complete, paying at most the remaining outage plus slack.
+  FaultPlan plan;
+  plan.crash_master(0.25).restart_master(0.55);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  // At least the late arriver plus one in-flight coflow re-register (a
+  // coflow that finished entirely during the outage rightly does not).
+  EXPECT_GE(out.faulty.fault_counters.coflows_reregistered, 2);
+  expect_bounded_inflation(out, 0.3 + 0.2);
+}
+
+TEST(FaultScenario, HeartbeatLossBurstDoesNotKillHealthySlaves) {
+  // A 90% loss burst across 0.15–0.45 s swallows most heartbeats and rate
+  // updates. Slaves may transiently be declared dead, but the first
+  // surviving heartbeat revives them, finish reports are repaired by the
+  // heartbeat finished-flow list, and everything completes.
+  FaultPlan plan;
+  plan.loss_burst(0.15, 0.45, 0.9);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  EXPECT_EQ(out.faulty.fault_counters.loss_bursts, 1);
+  EXPECT_GT(out.faulty.messages_dropped, 0);
+  EXPECT_EQ(out.faulty.fault_counters.slaves_declared_dead,
+            out.faulty.fault_counters.slaves_revived);
+  expect_bounded_inflation(out, 0.3 + 0.3);
+}
+
+TEST(FaultScenario, PartitionHealRevivesQuarantinedSlave) {
+  // Machine 1 is partitioned from the master for 0.3 s: its daemon keeps
+  // sending data at the last rates, but the master hears nothing,
+  // declares it dead and re-shares its ports. On heal the slave's
+  // announce-heartbeat revives it and its flows rejoin the allocation.
+  FaultPlan plan;
+  plan.partition(0.15, 0.45, 1);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  EXPECT_EQ(out.faulty.fault_counters.partitions_started, 1);
+  EXPECT_EQ(out.faulty.fault_counters.partitions_healed, 1);
+  EXPECT_GE(out.faulty.fault_counters.slaves_declared_dead, 1);
+  EXPECT_GE(out.faulty.fault_counters.slaves_revived, 1);
+  EXPECT_GT(out.faulty.fault_counters.messages_dropped_at_down_endpoint, 0);
+  // Data kept flowing at stale rates, so inflation stays small.
+  expect_bounded_inflation(out, 0.3 + 0.2);
+}
+
+TEST(FaultScenario, CombinedChurnStillCompletesEverything) {
+  // Seeded random churn: slave crashes, a master bounce, partitions and
+  // loss bursts over the first 1.5 s, all from one seed. The specific
+  // sequence is arbitrary but perfectly reproducible.
+  ChurnOptions churn;
+  churn.start_s = 0.1;
+  churn.horizon_s = 1.5;
+  churn.mean_gap_s = 0.25;
+  churn.min_downtime_s = 0.05;
+  churn.max_downtime_s = 0.3;
+  FaultPlan plan = random_churn_plan(17, 3, churn);
+  ASSERT_GT(plan.size(), 4u);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  const FaultCounters& fc = out.faulty.fault_counters;
+  // The run ends when the last coflow completes, so a repair scripted
+  // after that may go unfired — but never the other way around, and a
+  // crash holding unfinished flows always sees its restart.
+  EXPECT_LE(fc.slave_restarts, fc.slave_crashes);
+  EXPECT_LE(fc.master_restarts, fc.master_crashes);
+  EXPECT_LE(fc.partitions_healed, fc.partitions_started);
+  EXPECT_GT(fc.slave_crashes + fc.master_crashes + fc.partitions_started +
+                fc.loss_bursts,
+            0);
+  // Total scripted downtime is at most the churn window; allow it all
+  // plus slack for stacked recoveries.
+  expect_bounded_inflation(out, 1.5 + 0.5);
+}
+
+TEST(FaultScenario, ScenariosAreDeterministic) {
+  FaultPlan plan_a;
+  plan_a.crash_slave(0.15, 0).restart_slave(0.45, 0).crash_master(0.2)
+      .restart_master(0.5);
+  FaultPlan plan_b;
+  plan_b.crash_slave(0.15, 0).restart_slave(0.45, 0).crash_master(0.2)
+      .restart_master(0.5);
+  const ScenarioOutcome a = run_scenario(std::move(plan_a));
+  const ScenarioOutcome b = run_scenario(std::move(plan_b));
+  for (std::size_t k = 0; k < a.faulty.coflows.size(); ++k) {
+    EXPECT_EQ(a.faulty.coflows[k].cct, b.faulty.coflows[k].cct);
+  }
+  EXPECT_EQ(a.faulty.messages_sent, b.faulty.messages_sent);
+  EXPECT_EQ(a.faulty.num_reallocations, b.faulty.num_reallocations);
+}
+
+TEST(FaultScenario, DeploymentJsonExportsFaultCounters) {
+  FaultPlan plan;
+  plan.crash_slave(0.15, 0).restart_slave(0.45, 0);
+  const ScenarioOutcome out = run_scenario(std::move(plan));
+  std::ostringstream os;
+  write_deployment_json(os, out.faulty, "ncdrf-live", "scenario");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"scheduler\":\"ncdrf-live\""), std::string::npos);
+  EXPECT_NE(json.find("\"slave_crashes\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"slave_restarts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery\":{"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
 }
 
 // A scheduler that oversubscribes every link by 3x: the simulator must

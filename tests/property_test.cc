@@ -1,4 +1,7 @@
 // Randomized property sweeps across the whole policy suite:
+//   - the cross-scheduler invariant suite: every registered policy, on
+//     200 random workloads, produces non-negative, capacity-feasible,
+//     work-conserving allocations;
 //   - feasibility + conservation on heterogeneous-capacity fabrics;
 //   - determinism of the simulator;
 //   - online NC-DRF(live) ≡ DRF equivalence with identical flow sizes,
@@ -13,6 +16,7 @@
 #include "metrics/eval.h"
 #include "sched/drf.h"
 #include "sim/sim.h"
+#include "test_util.h"
 
 namespace ncdrf {
 namespace {
@@ -42,6 +46,83 @@ Trace random_online_trace(Rng& rng, int machines, int coflows,
   }
   return builder.build();
 }
+
+// -------------------------------------------------------------------
+// Cross-scheduler invariant suite: one randomized snapshot per seed, every
+// registered policy. Three invariants hold for any sane allocation:
+//   (1) non-negative rates;
+//   (2) per-link capacity feasibility (check_capacity);
+//   (3) work conservation — an idle link with an unfinished flow on it is
+//       only legitimate if every such flow is bottlenecked on its other
+//       link (a flow rated ~0 with both links idle is starved capacity
+//       the policy just wasted).
+// -------------------------------------------------------------------
+
+class CrossSchedulerInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossSchedulerInvariants, NonNegativeFeasibleWorkConserving) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 90'000);
+  const int machines = static_cast<int>(rng.uniform_int(3, 6));
+  const Fabric fabric = random_fabric(rng, machines);
+  const Trace trace =
+      random_online_trace(rng, machines, static_cast<int>(rng.uniform_int(2, 8)),
+                          false);
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    testing::Snapshot snap =
+        testing::snapshot_all_active(fabric, trace, sched->clairvoyant());
+    Allocation alloc = sched->allocate(snap.input);
+
+    // (1) Non-negative rates for every active flow.
+    for (const ActiveCoflow& coflow : snap.input.coflows) {
+      for (const ActiveFlow& f : coflow.flows) {
+        EXPECT_GE(alloc.rate(f.id), 0.0)
+            << name << " flow " << f.id << " seed " << GetParam();
+      }
+    }
+
+    // (2) Capacity feasibility on every link.
+    EXPECT_NO_THROW(check_capacity(snap.input, alloc, 1e-6))
+        << name << " seed " << GetParam();
+
+    // (3) Work conservation. Compute per-link usage, then audit every
+    // near-idle link that still has a flow with pending demand.
+    std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
+                              0.0);
+    for (const ActiveCoflow& coflow : snap.input.coflows) {
+      for (const ActiveFlow& f : coflow.flows) {
+        usage[static_cast<std::size_t>(fabric.uplink(f.src))] +=
+            alloc.rate(f.id);
+        usage[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+            alloc.rate(f.id);
+      }
+    }
+    const double tol = 1e-6;
+    for (const ActiveCoflow& coflow : snap.input.coflows) {
+      for (const ActiveFlow& f : coflow.flows) {
+        const auto up = static_cast<std::size_t>(fabric.uplink(f.src));
+        const auto down = static_cast<std::size_t>(fabric.downlink(f.dst));
+        for (const auto [link, other] : {std::pair{up, down},
+                                         std::pair{down, up}}) {
+          const double cap = fabric.capacity(static_cast<LinkId>(link));
+          const double other_cap =
+              fabric.capacity(static_cast<LinkId>(other));
+          if (usage[link] > 1e-9 * cap) continue;  // link is in use
+          // This flow has pending demand on an idle link: its rate is ~0,
+          // which is only work-conserving if its other endpoint is
+          // saturated by everyone else.
+          EXPECT_GE(usage[other], other_cap * (1.0 - tol))
+              << name << " idles link " << link << " while flow " << f.id
+              << " (coflow " << coflow.id << ") has pending demand and "
+              << "its other link is not saturated; seed " << GetParam();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSchedulerInvariants,
+                         ::testing::Range(0, 200));
 
 class HeterogeneousFabricProperty : public ::testing::TestWithParam<int> {};
 

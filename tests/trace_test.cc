@@ -124,6 +124,70 @@ TEST(BenchmarkFormat, RoundTripsThroughSerialize) {
   }
 }
 
+TEST(BenchmarkFormat, RoundTripIsFlowExact) {
+  // parse → serialize → parse must reproduce every flow identically —
+  // same src, dst and size, in the same order — not just aggregate
+  // totals. Mapper-uniform sizes (as in published traces) survive the
+  // per-reducer re-aggregation exactly.
+  const std::string text =
+      "6 3\n"
+      "1 0 2 1 4 2 2:40 6:10\n"
+      "2 1500 3 1 2 4 1 3:90\n"
+      "3 60000 1 5 3 1:12 2:24 4:36\n";
+  const Trace original = parse_benchmark_trace_string(text);
+  const Trace reparsed =
+      parse_benchmark_trace_string(serialize_benchmark_trace(original));
+  ASSERT_EQ(reparsed.coflows.size(), original.coflows.size());
+  EXPECT_EQ(reparsed.num_machines, original.num_machines);
+  EXPECT_EQ(reparsed.total_flows, original.total_flows);
+  for (std::size_t k = 0; k < original.coflows.size(); ++k) {
+    const Coflow& a = original.coflows[k];
+    const Coflow& b = reparsed.coflows[k];
+    EXPECT_DOUBLE_EQ(a.arrival_time(), b.arrival_time());
+    ASSERT_EQ(a.width(), b.width());
+    for (int i = 0; i < a.width(); ++i) {
+      const Flow& fa = a.flows()[static_cast<std::size_t>(i)];
+      const Flow& fb = b.flows()[static_cast<std::size_t>(i)];
+      EXPECT_EQ(fa.src, fb.src) << "coflow " << k << " flow " << i;
+      EXPECT_EQ(fa.dst, fb.dst) << "coflow " << k << " flow " << i;
+      EXPECT_DOUBLE_EQ(fa.size_bits, fb.size_bits)
+          << "coflow " << k << " flow " << i;
+    }
+  }
+}
+
+TEST(BenchmarkFormat, SerializeIsAFixedPoint) {
+  // serialize(parse(serialize(t))) == serialize(t): one round trip lands
+  // on a canonical form that further round trips preserve byte-for-byte.
+  const std::string text =
+      "5 2\n"
+      "1 100 2 1 3 2 2:40 5:10\n"
+      "2 2500 3 1 2 4 1 3:90\n";
+  const Trace once = parse_benchmark_trace_string(text);
+  const std::string canon = serialize_benchmark_trace(once);
+  const Trace twice = parse_benchmark_trace_string(canon);
+  EXPECT_EQ(serialize_benchmark_trace(twice), canon);
+}
+
+TEST(BenchmarkFormat, ZeroBasedInputRoundTrips) {
+  // 0-based input is written back 1-based; the reparse must see the same
+  // racks (the detection heuristic normalizes, not shifts, the data).
+  const std::string text =
+      "3 1\n"
+      "1 0 2 0 1 1 2:10\n";
+  const Trace original = parse_benchmark_trace_string(text);
+  const Trace reparsed =
+      parse_benchmark_trace_string(serialize_benchmark_trace(original));
+  ASSERT_EQ(reparsed.coflows[0].width(), original.coflows[0].width());
+  for (int i = 0; i < original.coflows[0].width(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(reparsed.coflows[0].flows()[idx].src,
+              original.coflows[0].flows()[idx].src);
+    EXPECT_EQ(reparsed.coflows[0].flows()[idx].dst,
+              original.coflows[0].flows()[idx].dst);
+  }
+}
+
 TEST(BenchmarkFormat, RejectsMalformedInput) {
   EXPECT_THROW(parse_benchmark_trace_string(""), CheckError);
   EXPECT_THROW(parse_benchmark_trace_string("4"), CheckError);
@@ -138,6 +202,21 @@ TEST(BenchmarkFormat, RejectsMalformedInput) {
                CheckError);
   // Fewer coflows than the header promises.
   EXPECT_THROW(parse_benchmark_trace_string("4 2\n1 0 1 1 1 2:10\n"),
+               CheckError);
+  // Zero racks / zero coflows in the header.
+  EXPECT_THROW(parse_benchmark_trace_string("0 1\n1 0 1 1 1 1:10\n"),
+               CheckError);
+  // Mapper count promises more racks than the line carries.
+  EXPECT_THROW(parse_benchmark_trace_string("4 1\n1 0 3 1 2 1 2:10\n"),
+               CheckError);
+  // Reducer count promises more entries than the line carries.
+  EXPECT_THROW(parse_benchmark_trace_string("4 1\n1 0 1 1 2 2:10\n"),
+               CheckError);
+  // Non-numeric size after the colon.
+  EXPECT_THROW(parse_benchmark_trace_string("4 1\n1 0 1 1 1 2:abc\n"),
+               CheckError);
+  // Negative arrival time.
+  EXPECT_THROW(parse_benchmark_trace_string("4 1\n1 -5 1 1 1 2:10\n"),
                CheckError);
 }
 
