@@ -8,18 +8,32 @@
 //
 // `--json` additionally emits one newline-delimited JSON object per run
 // (metrics/export.h:write_deployment_json) for the CI bench-smoke
-// artifact.
+// artifact. `--trace-dir <dir>` writes one Chrome trace-event file and one
+// metrics-registry JSON per churn level (virtual-clock timestamps, so two
+// runs produce byte-identical files — CI pins that).
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_util.h"
 #include "cluster/deployment.h"
 #include "metrics/export.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "trace/microbench.h"
 
 int main(int argc, char** argv) {
   using namespace ncdrf;
-  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bool json = false;
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    }
+  }
   bench::print_header(
       "Fault injection — reallocation latency and CCT inflation under churn",
       "the control plane survives crashes/partitions with bounded slowdown");
@@ -58,8 +72,24 @@ int main(int argc, char** argv) {
     }
     std::cerr << "  deploying " << level.label << " churn ("
               << options.faults.size() << " fault events)...\n";
+    obs::Tracer tracer(1 << 20);
+    obs::MetricsRegistry metrics;
+    if (!trace_dir.empty()) {
+      options.tracer = &tracer;
+      options.metrics = &metrics;
+    }
     const DeploymentResult result =
         run_deployment(fabric, trace, *scheduler, options);
+    if (!trace_dir.empty()) {
+      const std::string base = trace_dir + "/faults-" + level.label;
+      std::ofstream trace_out(base + ".json");
+      NCDRF_CHECK(trace_out.good(), "cannot write " + base + ".json");
+      tracer.write_chrome_json(trace_out);
+      std::ofstream metrics_out(base + "-metrics.json");
+      NCDRF_CHECK(metrics_out.good(),
+                  "cannot write " + base + "-metrics.json");
+      metrics.write_json(metrics_out);
+    }
 
     double cct_sum = 0.0;
     for (const CoflowRecord& rec : result.coflows) cct_sum += rec.cct;

@@ -10,35 +10,8 @@
 
 #include "bench_util.h"
 #include "cluster/deployment.h"
+#include "obs/audit.h"
 #include "trace/microbench.h"
-
-namespace {
-
-// Mean |progress(A) − progress(other)| / mean progress over a window where
-// both coflows are active — 0 means perfectly equal progress.
-double relative_gap(const ncdrf::DeploymentResult& result,
-                    ncdrf::CoflowId a, ncdrf::CoflowId b, double t0,
-                    double t1) {
-  std::map<double, std::pair<double, double>> samples;  // t -> (pa, pb)
-  for (const ncdrf::ProgressSample& s : result.progress) {
-    if (s.t0 < t0 || s.t0 > t1) continue;
-    auto& slot = samples[s.t0];
-    if (s.coflow == a) slot.first = s.progress;
-    if (s.coflow == b) slot.second = s.progress;
-  }
-  double gap = 0.0;
-  double level = 0.0;
-  int n = 0;
-  for (const auto& [t, pair] : samples) {
-    if (pair.first <= 0.0 || pair.second <= 0.0) continue;
-    gap += std::abs(pair.first - pair.second);
-    level += 0.5 * (pair.first + pair.second);
-    ++n;
-  }
-  return (n > 0 && level > 0.0) ? gap / level : 0.0;
-}
-
-}  // namespace
 
 int main() {
   using namespace ncdrf;
@@ -79,9 +52,13 @@ int main() {
       std::cout << '\n';
     }
     std::cout << "relative progress gap A vs B in [10, 20] s: "
-              << AsciiTable::fmt(relative_gap(result, 0, 1, 10.0, 20.0), 2)
+              << AsciiTable::fmt(obs::relative_progress_gap(
+                                     result.progress, 0, 1, 10.0, 20.0),
+                                 2)
               << "   A vs C in [20, 45] s: "
-              << AsciiTable::fmt(relative_gap(result, 0, 2, 20.0, 45.0), 2)
+              << AsciiTable::fmt(obs::relative_progress_gap(
+                                     result.progress, 0, 2, 20.0, 45.0),
+                                 2)
               << "   (0 = perfectly equal)\n";
   }
   return 0;

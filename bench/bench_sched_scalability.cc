@@ -20,6 +20,8 @@
 #include "common/units.h"
 #include "core/ncdrf.h"
 #include "core/registry.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sched/scheduler.h"
 #include "sim/sim.h"
 #include "trace/synthetic_fb.h"
@@ -151,7 +153,8 @@ void run_event_replay(benchmark::State& state, bool incremental) {
 // events/sec — the number the engine hot-path work (incremental snapshot,
 // completion heap) moves. Unlike the EventReplay benchmarks above, this
 // includes the engine's own per-event cost, not just allocate().
-void run_engine_replay(benchmark::State& state, const std::string& name) {
+void run_engine_replay(benchmark::State& state, const std::string& name,
+                       bool traced = false) {
   const auto coflows = static_cast<int>(state.range(0));
   SyntheticFbOptions options;
   options.num_coflows = coflows;
@@ -162,8 +165,18 @@ void run_engine_replay(benchmark::State& state, const std::string& name) {
 
   SimOptions sim_options;
   sim_options.record_intervals = false;
+  // Traced variant: full tracer + metrics attached, sized so the ring
+  // never drops (overflow handling is not what this measures). CI's
+  // overhead guard compares this against the untraced run.
+  obs::Tracer tracer(1 << 20);
+  obs::MetricsRegistry metrics;
+  if (traced) {
+    sim_options.tracer = &tracer;
+    sim_options.metrics = &metrics;
+  }
   long long events = 0;
   for (auto _ : state) {
+    tracer.clear();
     const auto scheduler = make_scheduler(name);
     const RunResult run = simulate(fabric, trace, *scheduler, sim_options);
     events += run.num_events;
@@ -171,6 +184,7 @@ void run_engine_replay(benchmark::State& state, const std::string& name) {
   }
   state.SetItemsProcessed(events);  // events/sec
   state.counters["coflows"] = coflows;
+  if (traced) state.counters["trace_events"] = tracer.size();
 }
 
 }  // namespace
@@ -209,6 +223,17 @@ void BM_EngineReplay_NcDrf(benchmark::State& state) {
   run_engine_replay(state, "ncdrf");
 }
 BENCHMARK(BM_EngineReplay_NcDrf)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+// Same loop with the observability layer attached (tracer + metrics):
+// the delta against BM_EngineReplay_NcDrf is the total tracing overhead;
+// CI guards it at ≤ 5% of events/sec.
+void BM_EngineReplayTraced_NcDrf(benchmark::State& state) {
+  run_engine_replay(state, "ncdrf", /*traced=*/true);
+}
+BENCHMARK(BM_EngineReplayTraced_NcDrf)
     ->Arg(100)
     ->Arg(500)
     ->Unit(benchmark::kMillisecond);

@@ -5,6 +5,8 @@
 //   ./trace_replay                                  # fast synthetic subset
 //   ./trace_replay <seed> [coflows racks duration]  # custom synthetic trace
 //   ./trace_replay --file <path>                    # real benchmark file
+//   ./trace_replay --trace-dir <dir>   # per-cell Chrome trace files
+//   ./trace_replay --sweep-json <path> # sweep perf + merged counters JSON
 //
 // This is the programmable counterpart of the bench/ binaries: point it at
 // the real FB2010-1Hr-150-0.txt if you have it, and the same pipeline runs.
@@ -15,14 +17,17 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/table.h"
 #include "common/units.h"
 #include "core/registry.h"
 #include "metrics/eval.h"
+#include "metrics/export.h"
 #include "runner/sweep.h"
 #include "sim/sim.h"
 #include "trace/benchmark_format.h"
@@ -31,20 +36,43 @@
 int main(int argc, char** argv) {
   using namespace ncdrf;
 
+  // Flags may appear anywhere; what remains is the positional synthetic
+  // spec (seed [coflows racks duration]).
+  std::string file_path;
+  std::string trace_dir;
+  std::string sweep_json_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      NCDRF_CHECK(i + 1 < argc, "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--file") {
+      file_path = next();
+    } else if (arg == "--trace-dir") {
+      trace_dir = next();
+    } else if (arg == "--sweep-json") {
+      sweep_json_path = next();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
   Trace trace;
-  if (argc >= 3 && std::string(argv[1]) == "--file") {
-    trace = load_benchmark_trace(argv[2]);
-    std::cout << "loaded trace " << argv[2] << ": ";
+  if (!file_path.empty()) {
+    trace = load_benchmark_trace(file_path);
+    std::cout << "loaded trace " << file_path << ": ";
   } else {
     SyntheticFbOptions options;
     options.num_coflows = 120;  // a fast subset; bench/ runs the full 526
     options.num_racks = 50;
     options.duration_s = 600.0;
-    if (argc >= 2) options.seed = std::stoull(argv[1]);
-    if (argc >= 5) {
-      options.num_coflows = std::stoi(argv[2]);
-      options.num_racks = std::stoi(argv[3]);
-      options.duration_s = std::stod(argv[4]);
+    if (positional.size() >= 1) options.seed = std::stoull(positional[0]);
+    if (positional.size() >= 4) {
+      options.num_coflows = std::stoi(positional[1]);
+      options.num_racks = std::stoi(positional[2]);
+      options.duration_s = std::stod(positional[3]);
     }
     trace = generate_synthetic_fb(options);
     std::cout << "synthetic FB-like trace (seed " << options.seed << "): ";
@@ -66,7 +94,18 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("NCDRF_BENCH_THREADS")) {
     spec.threads = std::max(1, std::stoi(env));
   }
+  spec.trace_dir = trace_dir;
   const SweepResult sweep = run_sweep(spec);
+  if (!trace_dir.empty()) {
+    std::cout << "wrote " << sweep.cells.size()
+              << " Chrome trace files under " << trace_dir << "/\n";
+  }
+  if (!sweep_json_path.empty()) {
+    std::ofstream out(sweep_json_path);
+    NCDRF_CHECK(out.good(), "cannot write " + sweep_json_path);
+    write_sweep_json(out, sweep, "trace_replay");
+    std::cout << "wrote sweep perf JSON to " << sweep_json_path << "\n";
+  }
 
   const auto run_of = [&](const std::string& name) -> const RunResult& {
     for (const SweepCellResult& cell : sweep.cells) {

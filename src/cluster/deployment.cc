@@ -7,6 +7,8 @@
 
 #include "coflow/coflow.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace ncdrf {
 namespace {
@@ -52,6 +54,26 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
 
   SimBus bus(options.control_latency_s, options.control_loss_probability,
              options.loss_seed);
+  // Observability attachments: the scheduler gets its own span/latency
+  // hooks; cluster-level instruments are looked up once and hit per event.
+  scheduler.set_observers(options.tracer, options.metrics);
+  [[maybe_unused]] obs::Tracer* const tracer = options.tracer;
+  obs::Counter* m_reallocs = nullptr;
+  obs::Counter* m_rate_updates = nullptr;
+  obs::Counter* m_heartbeats = nullptr;
+  obs::Counter* m_registrations = nullptr;
+  obs::Histogram* m_recovery = nullptr;
+  if (options.metrics != nullptr) {
+    m_reallocs = &options.metrics->counter("cluster.reallocations");
+    m_rate_updates = &options.metrics->counter("cluster.rate_updates_sent");
+    m_heartbeats = &options.metrics->counter("cluster.heartbeats_sent");
+    m_registrations =
+        &options.metrics->counter("cluster.registrations_delivered");
+    // Recovery latencies range from one control RTT (~10 ms) to several
+    // heartbeat timeouts; the geometry covers 1 ms .. 10 ks.
+    m_recovery = &options.metrics->histogram("cluster.recovery_latency_s",
+                                             1e-3, 1e4, 1.2589254117941673);
+  }
   MasterOptions master_options;
   if (options.heartbeat_timeout_beats > 0) {
     master_options.heartbeat_timeout_s =
@@ -146,6 +168,8 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
         slaves[m].crash();
         slave_up[m] = 0;
         ++fc.slave_crashes;
+        NCDRF_TRACE_ASYNC_BEGIN(tracer, obs::EventKind::kSlaveDown, now,
+                                e.machine);
         break;
       case FaultKind::kSlaveRestart:
         NCDRF_CHECK(e.machine >= 0 && m < num_machines && !slave_up[m],
@@ -153,6 +177,8 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
         slave_up[m] = 1;
         fc.flows_resynced += resync_slave(e.machine, now);
         ++fc.slave_restarts;
+        NCDRF_TRACE_ASYNC_END(tracer, obs::EventKind::kSlaveDown, now,
+                              e.machine);
         break;
       case FaultKind::kMasterCrash:
         NCDRF_CHECK(master_up, "master crash needs a live master");
@@ -162,6 +188,7 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
         master.reset();
         master_up = false;
         ++fc.master_crashes;
+        NCDRF_TRACE_ASYNC_BEGIN(tracer, obs::EventKind::kMasterDown, now, 0);
         break;
       case FaultKind::kMasterRestart: {
         NCDRF_CHECK(!master_up, "master restart needs a crashed master");
@@ -169,6 +196,7 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
             std::make_unique<Master>(fabric, scheduler, master_options, now);
         master_up = true;
         ++fc.master_restarts;
+        NCDRF_TRACE_ASYNC_END(tracer, obs::EventKind::kMasterDown, now, 0);
         // Clients re-register every arrived, unfinished coflow (the
         // prototype's RPC retry after a connection reset); slaves
         // re-announce so attained service resyncs from heartbeats.
@@ -192,12 +220,16 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
                     "partition start needs a connected machine");
         partitioned[m] = 1;
         ++fc.partitions_started;
+        NCDRF_TRACE_ASYNC_BEGIN(tracer, obs::EventKind::kPartition, now,
+                                e.machine);
         break;
       case FaultKind::kPartitionHeal:
         NCDRF_CHECK(e.machine >= 0 && m < num_machines && partitioned[m],
                     "partition heal needs a partitioned machine");
         partitioned[m] = 0;
         ++fc.partitions_healed;
+        NCDRF_TRACE_ASYNC_END(tracer, obs::EventKind::kPartition, now,
+                              e.machine);
         if (slave_up[m]) {
           slaves[m].heartbeat_now(now, bus);
           if (slaves[m].live_flows() > 0) pending_recovery[m] = now;
@@ -206,9 +238,12 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
       case FaultKind::kLossBurstStart:
         bus.set_loss_probability(e.loss_probability);
         ++fc.loss_bursts;
+        NCDRF_TRACE_ASYNC_BEGIN(tracer, obs::EventKind::kLossBurst, now, 0,
+                                e.loss_probability);
         break;
       case FaultKind::kLossBurstEnd:
         bus.set_loss_probability(base_loss);
+        NCDRF_TRACE_ASYNC_END(tracer, obs::EventKind::kLossBurst, now, 0);
         break;
     }
   };
@@ -269,10 +304,16 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
         }
         if (auto* reg = std::get_if<RegisterCoflowMsg>(&d.payload)) {
           master->on_register(*reg);
+          NCDRF_TRACE_INSTANT(
+              tracer, obs::EventKind::kClusterRegister, d.deliver_time,
+              reg->coflow, static_cast<std::int64_t>(reg->flows.size()));
+          if (m_registrations != nullptr) m_registrations->inc();
         } else if (auto* fin = std::get_if<FlowFinishedMsg>(&d.payload)) {
           master->on_flow_finished(*fin);
         } else if (auto* hb = std::get_if<HeartbeatMsg>(&d.payload)) {
           master->on_heartbeat(*hb, d.deliver_time);
+          NCDRF_TRACE_INSTANT(tracer, obs::EventKind::kClusterHeartbeat,
+                              d.deliver_time, hb->machine);
         }
       } else {
         const auto m = static_cast<std::size_t>(d.to.machine);
@@ -283,9 +324,12 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
         if (auto* rates = std::get_if<RateUpdateMsg>(&d.payload)) {
           slaves[m].on_rate_update(*rates);
           if (pending_recovery[m] >= 0.0) {
-            result.recovery_latencies_s.push_back(d.deliver_time -
-                                                  pending_recovery[m]);
+            const double latency = d.deliver_time - pending_recovery[m];
+            result.recovery_latencies_s.push_back(latency);
             pending_recovery[m] = -1.0;
+            NCDRF_TRACE_INSTANT(tracer, obs::EventKind::kRecovery,
+                                d.deliver_time, d.to.machine, 0, latency);
+            if (m_recovery != nullptr) m_recovery->observe(latency);
           }
         }
       }
@@ -300,8 +344,20 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
       if (master->dirty() ||
           (options.reallocation_refresh_period_s > 0.0 &&
            now + 1e-12 >= next_refresh && master->active_coflows() > 0)) {
-        master->reallocate(now, bus);
+#if NCDRF_TRACE_ENABLED
+        if (tracer != nullptr) {
+          tracer->begin(obs::EventKind::kClusterReallocate, now);
+        }
+#endif
+        const int updates = master->reallocate(now, bus);
+#if NCDRF_TRACE_ENABLED
+        if (tracer != nullptr) {
+          tracer->end(obs::EventKind::kClusterReallocate, now, updates);
+        }
+#endif
         ++result.num_reallocations;
+        if (m_reallocs != nullptr) m_reallocs->inc();
+        if (m_rate_updates != nullptr) m_rate_updates->inc(updates);
         next_refresh = now + options.reallocation_refresh_period_s;
       }
     }
@@ -422,7 +478,10 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     // 6. Heartbeats (crashed slaves are silent; a partitioned slave's
     // heartbeat is sent but dropped at delivery).
     for (std::size_t s = 0; s < num_machines; ++s) {
-      if (slave_up[s]) slaves[s].maybe_heartbeat(now, bus);
+      if (slave_up[s] && slaves[s].maybe_heartbeat(now, bus) &&
+          m_heartbeats != nullptr) {
+        m_heartbeats->inc();
+      }
     }
 
     now += options.tick_s;

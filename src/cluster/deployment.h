@@ -68,6 +68,17 @@ struct DeploymentOptions {
   // Timed fault script consumed as simulated time advances; empty by
   // default (no faults — byte-identical behaviour to the pre-fault loop).
   FaultPlan faults;
+
+  // --- Observability (optional, null = off) ------------------------------
+  //
+  // Virtual-clock event tracer: registrations, heartbeats, reallocation
+  // spans, fault lifetimes as async spans (slave_down / master_down /
+  // partition / loss_burst) and recovery instants. Also offered to the
+  // scheduler via Scheduler::set_observers.
+  obs::Tracer* tracer = nullptr;
+  // Counters (reallocations, heartbeats, registrations) and the
+  // cluster.recovery_latency_s histogram.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DeploymentResult {

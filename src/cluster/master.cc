@@ -163,10 +163,10 @@ ScheduleInput Master::build_view(double now) const {
   return input;
 }
 
-void Master::reallocate(double now, SimBus& bus) {
+int Master::reallocate(double now, SimBus& bus) {
   ScheduleInput input = build_view(now);
   dirty_ = false;
-  if (input.coflows.empty()) return;
+  if (input.coflows.empty()) return 0;
 
   ClairvoyantInfo info(&remaining_estimate_);
   if (scheduler_.clairvoyant()) {
@@ -196,10 +196,12 @@ void Master::reallocate(double now, SimBus& bus) {
                                                  alloc.rate(flow.id));
     }
   }
+  const int updates = static_cast<int>(per_slave.size());
   for (auto& [machine, msg] : per_slave) {
     // Rate updates are best-effort; the periodic refresh re-sends them.
     bus.send_unreliable(now, slave_address(machine), std::move(msg));
   }
+  return updates;
 }
 
 }  // namespace ncdrf

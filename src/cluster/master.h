@@ -53,7 +53,8 @@ class Master {
 
   // Recomputes the allocation from the current view and enqueues one
   // RateUpdate per machine that originates flows. Clears the dirty flag.
-  void reallocate(double now, SimBus& bus);
+  // Returns the number of RateUpdate messages enqueued.
+  int reallocate(double now, SimBus& bus);
 
   int active_coflows() const;
   bool slave_dead(MachineId machine) const {

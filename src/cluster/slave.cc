@@ -87,11 +87,12 @@ HeartbeatMsg Slave::build_heartbeat() const {
   return msg;
 }
 
-void Slave::maybe_heartbeat(double now, SimBus& bus) {
-  if (now + 1e-12 < next_heartbeat_) return;
+bool Slave::maybe_heartbeat(double now, SimBus& bus) {
+  if (now + 1e-12 < next_heartbeat_) return false;
   next_heartbeat_ = now + heartbeat_period_;
-  if (flows_.empty() && finished_ids_.empty()) return;
+  if (flows_.empty() && finished_ids_.empty()) return false;
   bus.send_unreliable(now, master_address(), build_heartbeat());
+  return true;
 }
 
 void Slave::heartbeat_now(double now, SimBus& bus) {

@@ -53,8 +53,9 @@ class Slave {
   double remaining_bits(FlowId flow) const;
   int live_flows() const { return static_cast<int>(flows_.size()); }
 
-  // Emits a heartbeat if one is due at `now`.
-  void maybe_heartbeat(double now, SimBus& bus);
+  // Emits a heartbeat if one is due at `now`; returns whether one was
+  // actually sent (a due beat with nothing to report stays silent).
+  bool maybe_heartbeat(double now, SimBus& bus);
 
   // Emits a heartbeat immediately (reliably) and resets the schedule —
   // the announce-yourself message after a restart or partition heal.

@@ -175,12 +175,22 @@ bool IncrementalNcDrfState::matches(const ScheduleInput& input) const {
 }
 
 double IncrementalNcDrfState::p_star() const {
+  LinkId bottleneck = -1;
+  return p_star(bottleneck);
+}
+
+double IncrementalNcDrfState::p_star(LinkId& bottleneck_link) const {
   NCDRF_CHECK(fabric_ != nullptr, "state not bound to a fabric");
   double p_star = std::numeric_limits<double>::infinity();
+  bottleneck_link = -1;
   for (LinkId i = 0; i < fabric_->num_links(); ++i) {
     const std::size_t idx = index(i);
     if (load_[idx] > 0.0) {
-      p_star = std::min(p_star, fabric_->capacity(i) / load_[idx]);
+      const double bound = fabric_->capacity(i) / load_[idx];
+      if (bound < p_star) {
+        p_star = bound;
+        bottleneck_link = i;
+      }
     }
   }
   return std::isfinite(p_star) ? p_star : 0.0;

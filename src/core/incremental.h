@@ -65,8 +65,11 @@ class IncrementalNcDrfState {
   bool matches(const ScheduleInput& input) const;
 
   // P̂* = min_i C_i / load_i over loaded links (Eq. 5 generalized to
-  // per-link capacities); 0 when nothing is loaded. O(L).
+  // per-link capacities); 0 when nothing is loaded. O(L). The overload
+  // also reports the arg-min link (the fabric-wide bottleneck the trace
+  // layer tags P̂*-search spans with); -1 when nothing is loaded.
   double p_star() const;
+  double p_star(LinkId& bottleneck_link) const;
 
   // Flow rate for coflow `id` given P̂*: w_k·P̂*/n̄_k (Algorithm 1 lines
   // 10-15); 0 for untracked coflows or an all-zero count vector. Inline:

@@ -1,11 +1,13 @@
 #include "core/ncdrf.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/check.h"
+#include "obs/tracer.h"
 #include "sched/backfill.h"
 
 namespace ncdrf {
@@ -69,6 +71,19 @@ void NcDrfScheduler::on_reset(const Fabric& fabric) {
   event_driven_ = true;
 }
 
+void NcDrfScheduler::set_observers(obs::Tracer* tracer,
+                                   obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  // Allocate latencies span sub-microsecond (incremental) to milliseconds
+  // (cold rebuilds at scale); the geometry keeps that whole range in ~160
+  // buckets at the default 10^(1/10) growth.
+  alloc_latency_ =
+      metrics != nullptr
+          ? &metrics->histogram("sched.allocate_latency_s", 1e-8, 10.0,
+                                1.2589254117941673)
+          : nullptr;
+}
+
 void NcDrfScheduler::on_coflow_arrival(const ActiveCoflow& coflow) {
   if (!options_.incremental || !event_driven_) return;
   perf_.links_touched +=
@@ -91,7 +106,7 @@ void NcDrfScheduler::on_coflow_departure(CoflowId id) {
 Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   // Non-clairvoyance by construction: this function must compile and run
   // without ever touching input.clairvoyant.
-  const AllocateTimer timer(perf_);
+  const AllocateTimer timer(perf_, alloc_latency_);
   ++perf_.allocate_calls;
   Allocation alloc;
 
@@ -101,6 +116,9 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   // both P̂* and the per-coflow rates).
   const bool synced = options_.incremental && event_driven_ &&
                       state_.matches(input);
+  NCDRF_TRACE_SPAN(tracer_, obs::EventKind::kNcDrfAlloc, input.now,
+                   synced ? 1 : 0,
+                   static_cast<std::int64_t>(input.coflows.size()));
   if (synced) {
     ++perf_.incremental_allocs;
     if (options_.verify_incremental) {
@@ -108,11 +126,25 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
       ++perf_.consistency_checks;
     }
   } else {
+    NCDRF_TRACE_SPAN(tracer_, obs::EventKind::kCorrelationBuild, input.now,
+                     static_cast<std::int64_t>(input.coflows.size()));
     state_.rebuild(input);
     ++perf_.full_rebuilds;
   }
 
-  const double p_star = state_.p_star();
+#if NCDRF_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    tracer_->begin(obs::EventKind::kPStarSearch, input.now);
+  }
+#endif
+  LinkId bottleneck_link = -1;
+  const double p_star = state_.p_star(bottleneck_link);
+#if NCDRF_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    tracer_->end(obs::EventKind::kPStarSearch, input.now, bottleneck_link,
+                 0, p_star);
+  }
+#endif
   if (p_star <= 0.0) return alloc;
 
   // Backfilling round one needs only O(L) state available before any flow
@@ -124,7 +156,19 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   // set_rate(r_k) followed by add_rate(w).
   const Fabric& fabric = *input.fabric;
   bool any_spare = false;
-  if (options_.work_conserving && options_.backfill_rounds > 0) {
+  const bool backfilling =
+      options_.work_conserving && options_.backfill_rounds > 0;
+  // The fused first round rides the base-rate pass below, so its flow loop
+  // is not separable; the timer covers the residual prep and the extra
+  // rounds, which is where the backfill-specific work lives.
+  std::chrono::steady_clock::time_point backfill_start;
+  if (backfilling) {
+#if NCDRF_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      tracer_->begin(obs::EventKind::kBackfill, input.now);
+    }
+#endif
+    backfill_start = std::chrono::steady_clock::now();
     state_.residual_capacity(p_star, residual_);
     const std::vector<int>& counts = state_.live_link_counts();
     for (LinkId i = 0; i < fabric.num_links(); ++i) {
@@ -164,14 +208,28 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
 
   // Rounds beyond the first work from actual usage, exactly as
   // even_backfill_cached's later rounds do (ablation configs only).
+  int rounds_done = any_spare ? 1 : 0;
   if (any_spare && options_.backfill_rounds > 1) {
     link_usage(input, alloc, residual_);
     for (LinkId i = 0; i < fabric.num_links(); ++i) {
       const auto idx = static_cast<std::size_t>(i);
       residual_[idx] = fabric.capacity(i) - residual_[idx];
     }
-    even_backfill_cached(input, alloc, options_.backfill_rounds - 1,
-                         state_.live_link_counts(), residual_);
+    rounds_done +=
+        even_backfill_cached(input, alloc, options_.backfill_rounds - 1,
+                             state_.live_link_counts(), residual_);
+  }
+  if (backfilling) {
+    perf_.backfill_rounds += rounds_done;
+    perf_.backfill_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      backfill_start)
+            .count();
+#if NCDRF_TRACE_ENABLED
+    if (tracer_ != nullptr) {
+      tracer_->end(obs::EventKind::kBackfill, input.now, rounds_done);
+    }
+#endif
   }
   return alloc;
 }

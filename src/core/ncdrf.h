@@ -35,7 +35,7 @@
 #pragma once
 
 #include "core/incremental.h"
-#include "metrics/perf.h"
+#include "obs/perf.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
@@ -120,6 +120,13 @@ class NcDrfScheduler : public Scheduler {
   // Perf counters accumulated since construction; callers may reset().
   const SchedPerf& perf() const { return perf_; }
   SchedPerf& perf() { return perf_; }
+  const SchedPerf* perf_counters() const override { return &perf_; }
+
+  // Observability: allocate() emits nested spans (ncdrf_alloc →
+  // correlation_build / p_star_search / backfill) to `tracer` and feeds
+  // the allocate-latency histogram in `metrics`. Either may be null.
+  void set_observers(obs::Tracer* tracer,
+                     obs::MetricsRegistry* metrics) override;
 
  private:
   NcDrfOptions options_;
@@ -129,6 +136,8 @@ class NcDrfScheduler : public Scheduler {
   bool event_driven_ = false;
   std::vector<double> residual_;  // scratch for the backfilling budget
   SchedPerf perf_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* alloc_latency_ = nullptr;
 };
 
 }  // namespace ncdrf

@@ -103,9 +103,10 @@ void write_sweep_json(std::ostream& out, const SweepResult& sweep,
     out << "{\"policy\":\"" << cell.policy << "\",\"trace\":\""
         << cell.trace_label << "\",\"events\":" << cell.run.num_events
         << ",\"wall_seconds\":" << cell.wall_seconds
-        << ",\"events_per_second\":" << cell.events_per_second << "}";
+        << ",\"events_per_second\":" << cell.events_per_second
+        << ",\"perf\":" << to_json(cell.perf) << "}";
   }
-  out << "]}\n";
+  out << "],\"perf\":" << to_json(sweep.perf) << "}\n";
 }
 
 void write_normalized_cct_csv(

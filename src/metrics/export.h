@@ -10,7 +10,7 @@
 
 #include "cluster/deployment.h"
 #include "common/stats.h"
-#include "metrics/perf.h"
+#include "obs/perf.h"
 #include "runner/sweep.h"
 #include "sim/sim.h"
 
@@ -51,10 +51,11 @@ void write_deployment_json(std::ostream& out, const DeploymentResult& result,
                            const std::string& label = "");
 
 // A sweep's perf trajectory as one JSON object, newline-terminated:
-// thread count, whole-sweep wall time, and one entry per grid cell with
-// its policy, trace label, event count, wall time and events/sec. `label`
-// is attached as a string field when non-empty. Cells appear in grid
-// order, so outputs diff cleanly between runs.
+// thread count, whole-sweep wall time, one entry per grid cell with its
+// policy, trace label, event count, wall time, events/sec and scheduler
+// counters, plus the grid-order merged counters under "perf". `label` is
+// attached as a string field when non-empty. Cells appear in grid order,
+// so outputs diff cleanly between runs.
 void write_sweep_json(std::ostream& out, const SweepResult& sweep,
                       const std::string& label = "");
 

@@ -1,0 +1,278 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/drf.h"
+#include "sched/scheduler.h"
+
+namespace ncdrf::obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+// Shadow-world copy of a submitted coflow: the static flow description
+// plus how many of its flows are still unfinished (remaining bits live in
+// the auditor's dense per-FlowId table).
+struct FairnessAuditor::ShadowCoflow {
+  CoflowId id = -1;
+  double arrival = 0.0;
+  double weight = 1.0;
+  std::vector<Flow> flows;
+  int live_flows = 0;
+};
+
+FairnessAuditor::FairnessAuditor(const Fabric& fabric, AuditOptions options)
+    : fabric_(fabric), options_(options) {}
+
+FairnessAuditor::~FairnessAuditor() = default;
+
+void FairnessAuditor::on_submit(const Coflow& coflow) {
+  NCDRF_CHECK(!finalized_, "auditor already finalized");
+  NCDRF_CHECK(pending_.empty() ||
+                  coflow.arrival_time() >= pending_.back().arrival,
+              "auditor submissions must be arrival-ordered");
+  e_max_ = std::max(e_max_, coflow.demand(fabric_).disparity());
+  arrivals_[coflow.id()] = coflow.arrival_time();
+
+  ShadowCoflow shadow;
+  shadow.id = coflow.id();
+  shadow.arrival = coflow.arrival_time();
+  shadow.weight = coflow.weight();
+  shadow.flows = coflow.flows();
+  shadow.live_flows = coflow.width();
+  for (const Flow& f : shadow.flows) {
+    const auto idx = static_cast<std::size_t>(f.id);
+    if (idx >= remaining_bits_.size()) remaining_bits_.resize(idx + 1, 0.0);
+    remaining_bits_[idx] = f.size_bits;
+  }
+  pending_.push_back(std::move(shadow));
+}
+
+void FairnessAuditor::admit_due() {
+  while (next_pending_ < pending_.size() &&
+         pending_[next_pending_].arrival <= shadow_now_) {
+    active_.push_back(std::move(pending_[next_pending_]));
+    ++next_pending_;
+  }
+}
+
+bool FairnessAuditor::step_shadow(double limit) {
+  admit_due();
+  const double next_arrival = next_pending_ < pending_.size()
+                                  ? pending_[next_pending_].arrival
+                                  : kInf;
+  if (active_.empty()) {
+    // Idle gap: jump to the next arrival, or to the limit when none is due.
+    shadow_now_ = std::min(next_arrival, limit);
+    return next_arrival <= limit;
+  }
+
+  // Snapshot of the shadow world for the clairvoyant scheduler.
+  ScheduleInput input;
+  input.fabric = &fabric_;
+  input.now = shadow_now_;
+  input.coflows.reserve(active_.size());
+  for (const ShadowCoflow& shadow : active_) {
+    ActiveCoflow coflow;
+    coflow.id = shadow.id;
+    coflow.arrival_time = shadow.arrival;
+    coflow.weight = shadow.weight;
+    coflow.flows.reserve(static_cast<std::size_t>(shadow.live_flows));
+    for (const Flow& f : shadow.flows) {
+      if (remaining_bits_[static_cast<std::size_t>(f.id)] > 0.0) {
+        coflow.flows.push_back(ActiveFlow{f.id, f.coflow, f.src, f.dst});
+      }
+    }
+    input.coflows.push_back(std::move(coflow));
+  }
+  const ClairvoyantInfo info(&remaining_bits_);
+  input.clairvoyant = &info;
+
+  DrfScheduler drf;
+  const Allocation alloc = drf.allocate(input);
+
+  // Earliest shadow flow completion under these (constant) rates.
+  double dt = kInf;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      const double rate = alloc.rate(f.id);
+      if (rate <= 0.0) continue;
+      const double remaining =
+          remaining_bits_[static_cast<std::size_t>(f.id)];
+      dt = std::min(dt, std::max(remaining, 0.0) / rate);
+    }
+  }
+  NCDRF_CHECK(std::isfinite(dt) || next_arrival < kInf || limit < kInf,
+              "shadow DRF made no progress (starved allocation)");
+  const double step_end =
+      std::min({shadow_now_ + dt, next_arrival, limit});
+  const double elapsed = step_end - shadow_now_;
+
+  // Integrate, then retire finished flows and coflows.
+  for (ShadowCoflow& shadow : active_) {
+    for (const Flow& f : shadow.flows) {
+      const auto idx = static_cast<std::size_t>(f.id);
+      if (remaining_bits_[idx] <= 0.0) continue;
+      if (elapsed > 0.0) {
+        remaining_bits_[idx] -= alloc.rate(f.id) * elapsed;
+      }
+      if (remaining_bits_[idx] <= options_.completion_epsilon_bits) {
+        remaining_bits_[idx] = 0.0;
+        --shadow.live_flows;
+      }
+    }
+  }
+  shadow_now_ = step_end;
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].live_flows <= 0) {
+      shadow_cct_[active_[i].id] = shadow_now_ - active_[i].arrival;
+      active_[i] = std::move(active_.back());
+      active_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+void FairnessAuditor::advance_to(double t) {
+  long long steps = 0;
+  while (shadow_now_ < t &&
+         (!active_.empty() || next_pending_ < pending_.size())) {
+    if (!step_shadow(t)) break;
+    NCDRF_CHECK(++steps < 10'000'000,
+                "shadow DRF simulation failed to advance");
+  }
+  shadow_now_ = std::max(shadow_now_, t);
+  if (cached_p_star_t_ < shadow_now_) cached_p_star_t_ = -1.0;
+}
+
+double FairnessAuditor::shadow_p_star_at(double t) {
+  advance_to(t);
+  if (cached_p_star_t_ == t) return cached_p_star_;
+  ScheduleInput input;
+  input.fabric = &fabric_;
+  input.now = shadow_now_;
+  input.coflows.reserve(active_.size());
+  for (const ShadowCoflow& shadow : active_) {
+    ActiveCoflow coflow;
+    coflow.id = shadow.id;
+    coflow.weight = shadow.weight;
+    for (const Flow& f : shadow.flows) {
+      if (remaining_bits_[static_cast<std::size_t>(f.id)] > 0.0) {
+        coflow.flows.push_back(ActiveFlow{f.id, f.coflow, f.src, f.dst});
+      }
+    }
+    input.coflows.push_back(std::move(coflow));
+  }
+  const ClairvoyantInfo info(&remaining_bits_);
+  input.clairvoyant = &info;
+  cached_p_star_ = DrfScheduler::optimal_progress(input);
+  cached_p_star_t_ = t;
+  return cached_p_star_;
+}
+
+void FairnessAuditor::record(double t0, double t1, CoflowId coflow,
+                             double progress_bps, double dominant_share) {
+  if (!options_.record_series) {
+    advance_to(t0);
+    return;
+  }
+  const double p_star = shadow_p_star_at(t0);
+  double shadow_progress = 0.0;
+  for (const ShadowCoflow& shadow : active_) {
+    if (shadow.id == coflow) {
+      shadow_progress = shadow.weight * p_star;
+      break;
+    }
+  }
+  series_.push_back(AuditSample{t0, t1, coflow, progress_bps,
+                                dominant_share, shadow_progress});
+}
+
+void FairnessAuditor::check_envelope(CoflowId coflow, double real_cct) {
+  const auto it = shadow_cct_.find(coflow);
+  if (it == shadow_cct_.end()) {
+    // Shadow is slower than the real run here; the bound cannot fail until
+    // F_k^D stops growing, so settle it at finalize().
+    deferred_[coflow] = real_cct;
+    return;
+  }
+  ++coflows_checked_;
+  if (it->second <= 0.0) return;  // zero-demand coflow: no meaningful ratio
+  const double ratio = real_cct / it->second;
+  max_ratio_ = std::max(max_ratio_, ratio);
+  if (ratio > e_max_ * (1.0 + options_.envelope_tolerance)) {
+    violations_.push_back(
+        AuditViolation{coflow, real_cct, it->second, ratio, e_max_});
+  }
+}
+
+void FairnessAuditor::on_complete(CoflowId coflow, double arrival,
+                                  double completion) {
+  NCDRF_CHECK(arrivals_.count(coflow) > 0,
+              "coflow completed without a matching on_submit");
+  advance_to(completion);
+  check_envelope(coflow, completion - arrival);
+}
+
+void FairnessAuditor::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  long long steps = 0;
+  while (!active_.empty() || next_pending_ < pending_.size()) {
+    step_shadow(kInf);
+    NCDRF_CHECK(++steps < 10'000'000,
+                "shadow DRF simulation failed to drain");
+  }
+  for (const auto& [coflow, real_cct] : deferred_) {
+    check_envelope(coflow, real_cct);
+  }
+  deferred_.clear();
+}
+
+double FairnessAuditor::shadow_cct(CoflowId coflow) const {
+  const auto it = shadow_cct_.find(coflow);
+  return it == shadow_cct_.end() ? 0.0 : it->second;
+}
+
+void FairnessAuditor::write_series_csv(std::ostream& out) {
+  finalize();
+  const auto precision = out.precision();
+  out << std::setprecision(15);
+  out << "t0,t1,coflow,progress_bps,dominant_share,shadow_progress_bps,"
+         "envelope_bps\n";
+  for (const AuditSample& s : series_) {
+    out << s.t0 << ',' << s.t1 << ',' << s.coflow << ',' << s.progress
+        << ',' << s.dominant_share << ',' << s.shadow_progress << ','
+        << e_max_ * s.shadow_progress << '\n';
+  }
+  out.precision(precision);
+}
+
+void FairnessAuditor::write_report_json(std::ostream& out) {
+  finalize();
+  const auto precision = out.precision();
+  out << std::setprecision(15);
+  out << "{\"e_max\":" << e_max_
+      << ",\"coflows_checked\":" << coflows_checked_
+      << ",\"max_ratio\":" << max_ratio_ << ",\"violations\":[";
+  bool first = true;
+  for (const AuditViolation& v : violations_) {
+    out << (first ? "" : ",") << "{\"coflow\":" << v.coflow
+        << ",\"real_cct\":" << v.real_cct
+        << ",\"shadow_cct\":" << v.shadow_cct << ",\"ratio\":" << v.ratio
+        << ",\"bound\":" << v.bound << '}';
+    first = false;
+  }
+  out << "]}\n";
+  out.precision(precision);
+}
+
+}  // namespace ncdrf::obs

@@ -1,0 +1,481 @@
+#include "obs/json_lint.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ncdrf::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM + recursive-descent parser. Enough of RFC 8259 for the
+// artifacts this layer emits (no \u surrogate pairs decoded — they are
+// validated and kept escaped; our exporters never produce them).
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  double number() const { return std::get<double>(v); }
+  const std::string& string() const { return std::get<std::string>(v); }
+  const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  // Parses one complete document; error() is non-empty on failure.
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (error_.empty() && pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << what << " at offset " << pos_;
+      error_ = out.str();
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    if (c == 't') {
+      if (literal("true")) return JsonValue{true};
+      fail("invalid literal");
+      return {};
+    }
+    if (c == 'f') {
+      if (literal("false")) return JsonValue{false};
+      fail("invalid literal");
+      return {};
+    }
+    if (c == 'n') {
+      if (literal("null")) return JsonValue{nullptr};
+      fail("invalid literal");
+      return {};
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+    return {};
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      fail("expected string");
+      return out;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              fail("invalid \\u escape");
+              return out;
+            }
+            ++pos_;
+          }
+          out.push_back('?');  // kept escaped; content is irrelevant here
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return out;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("invalid number");
+      return {};
+    }
+    // Leading zeros are invalid JSON ("01"), a single zero is fine.
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number");
+        return {};
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number");
+        return {};
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const double value = std::strtod(text_.c_str() + start, nullptr);
+    if (!std::isfinite(value)) {
+      fail("number out of range");
+      return {};
+    }
+    return JsonValue{value};
+  }
+
+  JsonValue parse_array() {
+    consume('[');
+    auto array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (consume(']')) return JsonValue{array};
+    while (error_.empty()) {
+      array->push_back(parse_value());
+      if (!error_.empty()) break;
+      if (consume(']')) return JsonValue{array};
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        break;
+      }
+    }
+    return {};
+  }
+
+  JsonValue parse_object() {
+    consume('{');
+    auto object = std::make_shared<JsonObject>();
+    skip_ws();
+    if (consume('}')) return JsonValue{object};
+    while (error_.empty()) {
+      skip_ws();
+      std::string key = parse_string();
+      if (!error_.empty()) break;
+      if (!consume(':')) {
+        fail("expected ':' in object");
+        break;
+      }
+      (*object)[std::move(key)] = parse_value();
+      if (!error_.empty()) break;
+      if (consume('}')) return JsonValue{object};
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        break;
+      }
+    }
+    return {};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema checks.
+// ---------------------------------------------------------------------------
+
+const JsonValue* find(const JsonObject& object, const std::string& key) {
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string require_number(const JsonObject& object, const std::string& key,
+                          const std::string& where) {
+  const JsonValue* value = find(object, key);
+  if (value == nullptr) return where + ": missing \"" + key + '"';
+  if (!value->is_number()) return where + ": \"" + key + "\" not a number";
+  return "";
+}
+
+std::string check_trace_event(const JsonObject& event, std::size_t index,
+                              std::vector<std::string>& open_spans) {
+  std::ostringstream where_s;
+  where_s << "traceEvents[" << index << ']';
+  const std::string where = where_s.str();
+
+  const JsonValue* name = find(event, "name");
+  if (name == nullptr || !name->is_string()) {
+    return where + ": missing string \"name\"";
+  }
+  const JsonValue* cat = find(event, "cat");
+  if (cat == nullptr || !cat->is_string()) {
+    return where + ": missing string \"cat\"";
+  }
+  const JsonValue* ph = find(event, "ph");
+  if (ph == nullptr || !ph->is_string() || ph->string().size() != 1) {
+    return where + ": missing one-character \"ph\"";
+  }
+  for (const char* key : {"ts", "pid", "tid"}) {
+    if (std::string err = require_number(event, key, where); !err.empty()) {
+      return err;
+    }
+  }
+  const JsonValue* args = find(event, "args");
+  if (args != nullptr && !args->is_object()) {
+    return where + ": \"args\" not an object";
+  }
+
+  const char phase = ph->string()[0];
+  switch (phase) {
+    case 'B':
+      open_spans.push_back(name->string());
+      return "";
+    case 'E':
+      if (open_spans.empty()) {
+        return where + ": 'E' with no open 'B' span";
+      }
+      if (open_spans.back() != name->string()) {
+        return where + ": 'E' for \"" + name->string() +
+               "\" but innermost open span is \"" + open_spans.back() + '"';
+      }
+      open_spans.pop_back();
+      return "";
+    case 'i': {
+      const JsonValue* scope = find(event, "s");
+      if (scope != nullptr && !scope->is_string()) {
+        return where + ": instant scope \"s\" not a string";
+      }
+      return "";
+    }
+    case 'b':
+    case 'e': {
+      if (std::string err = require_number(event, "id", where); !err.empty()) {
+        return err;
+      }
+      return "";
+    }
+    case 'X':
+      return require_number(event, "dur", where);
+    case 'M':
+    case 'C':
+      return "";
+    default:
+      return where + ": unknown phase '" + std::string(1, phase) + '\'';
+  }
+}
+
+std::string check_histogram_entry(const std::string& name,
+                                  const JsonValue& value) {
+  const std::string where = "histograms." + name;
+  if (!value.is_object()) return where + ": not an object";
+  const JsonObject& entry = value.object();
+  for (const char* key :
+       {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
+    if (std::string err = require_number(entry, key, where); !err.empty()) {
+      return err;
+    }
+  }
+  const double p50 = find(entry, "p50")->number();
+  const double p95 = find(entry, "p95")->number();
+  const double p99 = find(entry, "p99")->number();
+  if (!(p50 <= p95 && p95 <= p99)) {
+    return where + ": quantiles not ordered (p50 <= p95 <= p99)";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_json(const std::string& text) {
+  Parser parser(text);
+  parser.parse();
+  return parser.error();
+}
+
+std::string validate_chrome_trace_json(const std::string& text) {
+  Parser parser(text);
+  const JsonValue root = parser.parse();
+  if (!parser.error().empty()) return parser.error();
+  if (!root.is_object()) return "top level is not an object";
+  const JsonObject& top = root.object();
+  const JsonValue* events = find(top, "traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return "missing \"traceEvents\" array";
+  }
+  if (const JsonValue* dropped = find(top, "droppedEvents");
+      dropped != nullptr && !dropped->is_number()) {
+    return "\"droppedEvents\" not a number";
+  }
+  std::vector<std::string> open_spans;
+  double last_ts = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < events->array().size(); ++i) {
+    const JsonValue& event = events->array()[i];
+    if (!event.is_object()) {
+      std::ostringstream out;
+      out << "traceEvents[" << i << "]: not an object";
+      return out.str();
+    }
+    if (std::string err = check_trace_event(event.object(), i, open_spans);
+        !err.empty()) {
+      return err;
+    }
+    const double ts = find(event.object(), "ts")->number();
+    if (ts < last_ts) {
+      std::ostringstream out;
+      out << "traceEvents[" << i << "]: timestamps not non-decreasing";
+      return out.str();
+    }
+    last_ts = ts;
+  }
+  if (!open_spans.empty()) {
+    return "unbalanced spans: \"" + open_spans.back() + "\" never closed";
+  }
+  return "";
+}
+
+std::string validate_metrics_json(const std::string& text) {
+  Parser parser(text);
+  const JsonValue root = parser.parse();
+  if (!parser.error().empty()) return parser.error();
+  if (!root.is_object()) return "top level is not an object";
+  const JsonObject& top = root.object();
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* value = find(top, section);
+    if (value == nullptr || !value->is_object()) {
+      return std::string("missing \"") + section + "\" object";
+    }
+  }
+  for (const auto& [name, value] : find(top, "counters")->object()) {
+    if (!value.is_number()) return "counters." + name + ": not a number";
+  }
+  for (const auto& [name, value] : find(top, "gauges")->object()) {
+    if (!value.is_number()) return "gauges." + name + ": not a number";
+  }
+  for (const auto& [name, value] : find(top, "histograms")->object()) {
+    if (std::string err = check_histogram_entry(name, value); !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
+std::string validate_ndjson(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Parser parser(line);
+    const JsonValue value = parser.parse();
+    if (!parser.error().empty()) {
+      std::ostringstream out;
+      out << "line " << line_no << ": " << parser.error();
+      return out.str();
+    }
+    if (!value.is_object()) {
+      std::ostringstream out;
+      out << "line " << line_no << ": not a JSON object";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace ncdrf::obs

@@ -1,0 +1,40 @@
+// Schema validators for the observability layer's JSON artifacts.
+//
+// The exporters in tracer/metrics emit JSON by hand (no JSON library in
+// the image), so CI needs an independent check that the artifacts are
+// well-formed and match the schema downstream tools expect — a trace that
+// Perfetto silently refuses to load is worse than a failing test. Each
+// validator parses the full text with a self-contained JSON parser and
+// then checks the schema structurally:
+//
+//   * Chrome trace: top-level object with a "traceEvents" array; every
+//     event has name/cat/ph/ts/pid/tid with the right types, a known
+//     phase, ids on async phases, scopes on instants — and B/E duration
+//     events balance like parentheses.
+//   * metrics: "counters"/"gauges"/"histograms" objects; histogram
+//     entries carry count/sum/min/max/mean/p50/p95/p99 numbers with
+//     ordered quantiles.
+//   * NDJSON: every non-empty line is one standalone JSON object.
+//
+// Validators return "" on success or a one-line human-readable error.
+// Used by tests/obs_test.cc and by tools/obs_validate (the CI gate).
+#pragma once
+
+#include <string>
+
+namespace ncdrf::obs {
+
+// Any JSON document (syntax only).
+std::string validate_json(const std::string& text);
+
+// Chrome trace-event JSON object format (what Tracer::write_chrome_json
+// emits and chrome://tracing / Perfetto load).
+std::string validate_chrome_trace_json(const std::string& text);
+
+// MetricsRegistry::write_json schema.
+std::string validate_metrics_json(const std::string& text);
+
+// One JSON object per non-empty line (Tracer::write_ndjson).
+std::string validate_ndjson(const std::string& text);
+
+}  // namespace ncdrf::obs

@@ -1,0 +1,61 @@
+#include "obs/perf.h"
+
+#include <sstream>
+
+namespace ncdrf {
+
+SchedPerf& SchedPerf::operator+=(const SchedPerf& other) {
+  allocate_calls += other.allocate_calls;
+  incremental_allocs += other.incremental_allocs;
+  full_rebuilds += other.full_rebuilds;
+  arrival_events += other.arrival_events;
+  flow_finish_events += other.flow_finish_events;
+  departure_events += other.departure_events;
+  links_touched += other.links_touched;
+  consistency_checks += other.consistency_checks;
+  backfill_rounds += other.backfill_rounds;
+  backfill_seconds += other.backfill_seconds;
+  allocate_seconds += other.allocate_seconds;
+  return *this;
+}
+
+std::string to_json(const SchedPerf& perf) {
+  std::ostringstream out;
+  out << "{"
+      << "\"allocate_calls\":" << perf.allocate_calls << ","
+      << "\"incremental_allocs\":" << perf.incremental_allocs << ","
+      << "\"full_rebuilds\":" << perf.full_rebuilds << ","
+      << "\"arrival_events\":" << perf.arrival_events << ","
+      << "\"flow_finish_events\":" << perf.flow_finish_events << ","
+      << "\"departure_events\":" << perf.departure_events << ","
+      << "\"links_touched\":" << perf.links_touched << ","
+      << "\"consistency_checks\":" << perf.consistency_checks << ","
+      << "\"backfill_rounds\":" << perf.backfill_rounds << ","
+      << "\"backfill_seconds\":" << perf.backfill_seconds << ","
+      << "\"allocate_seconds\":" << perf.allocate_seconds << "}";
+  return out.str();
+}
+
+void merge_sched_perf(obs::MetricsRegistry& registry, const SchedPerf& perf,
+                      const std::string& prefix) {
+  registry.counter(prefix + "allocate_calls").inc(perf.allocate_calls);
+  registry.counter(prefix + "incremental_allocs")
+      .inc(perf.incremental_allocs);
+  registry.counter(prefix + "full_rebuilds").inc(perf.full_rebuilds);
+  registry.counter(prefix + "arrival_events").inc(perf.arrival_events);
+  registry.counter(prefix + "flow_finish_events")
+      .inc(perf.flow_finish_events);
+  registry.counter(prefix + "departure_events").inc(perf.departure_events);
+  registry.counter(prefix + "links_touched").inc(perf.links_touched);
+  registry.counter(prefix + "consistency_checks")
+      .inc(perf.consistency_checks);
+  registry.counter(prefix + "backfill_rounds").inc(perf.backfill_rounds);
+  registry.gauge(prefix + "backfill_seconds")
+      .set(registry.gauge(prefix + "backfill_seconds").value +
+           perf.backfill_seconds);
+  registry.gauge(prefix + "allocate_seconds")
+      .set(registry.gauge(prefix + "allocate_seconds").value +
+           perf.allocate_seconds);
+}
+
+}  // namespace ncdrf

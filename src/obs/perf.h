@@ -1,20 +1,28 @@
-// Scheduler performance counters — the observability layer for the
-// allocation hot path.
+// Scheduler performance counters — the allocation hot path's own plain-
+// data telemetry (moved here from metrics/ when src/obs/ became the
+// observability layer; the JSON shape is unchanged plus the backfill
+// counters).
 //
 // The online loop recomputes the allocation on every coflow event, so
 // allocation cost bounds how fast a cluster can churn coflows. These
 // counters separate the two cost regimes of the incremental NC-DRF engine
-// (full snapshot rescans vs O(links touched) delta updates) and accumulate
-// wall-clock time inside allocate() via std::chrono::steady_clock, cheap
-// enough to stay on in production builds (two clock reads per allocate).
+// (full snapshot rescans vs O(links touched) delta updates), split out the
+// backfilling stage (a full extra pass over the active flows per
+// allocate), and accumulate wall-clock time inside allocate() via
+// std::chrono::steady_clock — cheap enough to stay on in production
+// builds (two clock reads per allocate).
 //
 // The struct is plain data: schedulers own one, drivers and benches read
-// it, and metrics/export.cc serializes it as JSON for the perf-trajectory
-// artifacts (BENCH_*.json).
+// it, run_sweep aggregates per-cell copies with operator+=, and
+// metrics/export.cc serializes it as JSON for the perf-trajectory
+// artifacts (BENCH_*.json). merge_sched_perf() folds one into a
+// MetricsRegistry so the registry export subsumes the ad-hoc perf JSON.
 #pragma once
 
 #include <chrono>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace ncdrf {
 
@@ -36,6 +44,11 @@ struct SchedPerf {
   // Debug cross-checks (incremental state vs full recompute) that ran.
   long long consistency_checks = 0;
 
+  // Work-conservation stage: rounds actually executed (a round that finds
+  // no spare capacity is not counted) and the wall-clock they took.
+  long long backfill_rounds = 0;
+  double backfill_seconds = 0.0;
+
   // Total wall-clock spent inside allocate().
   double allocate_seconds = 0.0;
 
@@ -51,16 +64,27 @@ struct SchedPerf {
 // order, so outputs diff cleanly between runs).
 std::string to_json(const SchedPerf& perf);
 
-// RAII accumulator for SchedPerf::allocate_seconds.
+// Folds the counters into `registry` as "<prefix><counter>" counters and
+// gauges (seconds totals become gauges) — the bridge that lets the
+// registry's JSON export subsume the ad-hoc SchedPerf JSON.
+void merge_sched_perf(obs::MetricsRegistry& registry, const SchedPerf& perf,
+                      const std::string& prefix = "sched.");
+
+// RAII accumulator for SchedPerf::allocate_seconds; optionally feeds the
+// same duration into a latency histogram (obs::MetricsRegistry).
 class AllocateTimer {
  public:
-  explicit AllocateTimer(SchedPerf& perf)
-      : perf_(perf), start_(std::chrono::steady_clock::now()) {}
+  explicit AllocateTimer(SchedPerf& perf, obs::Histogram* latency = nullptr)
+      : perf_(perf),
+        latency_(latency),
+        start_(std::chrono::steady_clock::now()) {}
   ~AllocateTimer() {
-    perf_.allocate_seconds +=
+    const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    perf_.allocate_seconds += seconds;
+    if (latency_ != nullptr) latency_->observe(seconds);
   }
 
   AllocateTimer(const AllocateTimer&) = delete;
@@ -68,6 +92,7 @@ class AllocateTimer {
 
  private:
   SchedPerf& perf_;
+  obs::Histogram* latency_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,175 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace ncdrf::obs {
+namespace {
+
+// Exporter schema for one kind: the event name plus labels for the args
+// that are meaningful for it (nullptr = omit from "args").
+struct KindInfo {
+  const char* name;
+  const char* a0 = nullptr;
+  const char* a1 = nullptr;
+  const char* d0 = nullptr;
+};
+
+const KindInfo& kind_info(EventKind kind) {
+  static const KindInfo kTable[] = {
+      /*kCoflowArrival=*/{"coflow_arrival", "coflow", "flows", nullptr},
+      /*kFlowFinish=*/{"flow_finish", "flow", "coflow", nullptr},
+      /*kCoflowFinish=*/{"coflow_finish", "coflow", nullptr, "cct_s"},
+      /*kAllocate=*/{"allocate", "active_coflows", nullptr, nullptr},
+      /*kNcDrfAlloc=*/{"ncdrf_alloc", "incremental", nullptr, nullptr},
+      /*kCorrelationBuild=*/{"correlation_build", "coflows", nullptr,
+                             nullptr},
+      /*kPStarSearch=*/{"p_star_search", "bottleneck_link", nullptr,
+                        "p_star_bps"},
+      /*kBackfill=*/{"backfill", "rounds", nullptr, nullptr},
+      /*kBackfillRound=*/{"backfill_round", "round", nullptr, nullptr},
+      /*kClusterRegister=*/{"register_coflow", "coflow", "flows", nullptr},
+      /*kClusterReallocate=*/{"reallocate", "rate_updates", nullptr,
+                              nullptr},
+      /*kClusterHeartbeat=*/{"heartbeat", "machine", nullptr, nullptr},
+      /*kSlaveDown=*/{"slave_down", nullptr, nullptr, nullptr},
+      /*kMasterDown=*/{"master_down", nullptr, nullptr, nullptr},
+      /*kPartition=*/{"partition", nullptr, nullptr, nullptr},
+      /*kLossBurst=*/{"loss_burst", nullptr, nullptr, "loss_probability"},
+      /*kRecovery=*/{"recovery", "machine", nullptr, "latency_s"},
+  };
+  return kTable[static_cast<std::size_t>(kind)];
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One event as a Chrome trace-event JSON object. `ts` is microseconds, as
+// the format specifies. Async phases carry their instance id; instants get
+// thread scope so Perfetto draws them on the track, not across the view.
+void write_event_json(std::ostream& out, const TraceEvent& e) {
+  const KindInfo& info = kind_info(e.kind);
+  const bool async = e.phase == 'b' || e.phase == 'e';
+  out << "{\"name\":\"" << info.name << "\",\"cat\":\"ncdrf\",\"ph\":\""
+      << e.phase << "\",\"ts\":" << e.ts * 1e6 << ",\"pid\":0,\"tid\":0";
+  if (async) out << ",\"id\":" << e.a0;
+  if (e.phase == 'i') out << ",\"s\":\"t\"";
+  bool first = true;
+  const auto arg = [&](const char* label, auto value) {
+    if (label == nullptr) return;
+    out << (first ? ",\"args\":{" : ",") << '"' << label << "\":" << value;
+    first = false;
+  };
+  if (!async) arg(info.a0, e.a0);
+  arg(info.a1, e.a1);
+  arg(info.d0, e.d0);
+  if (!first) out << '}';
+  out << '}';
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  return kind_info(kind).name;
+}
+
+Tracer::Tracer(std::size_t capacity, ClockMode mode) : mode_(mode) {
+  NCDRF_CHECK(capacity > 0, "tracer capacity must be positive");
+  buffer_.resize(capacity);
+  if (mode_ == ClockMode::kWall) wall_epoch_ = wall_seconds();
+}
+
+double Tracer::stamp(double ts) const {
+  return mode_ == ClockMode::kVirtual ? ts : wall_seconds() - wall_epoch_;
+}
+
+void Tracer::push(const TraceEvent& event) {
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % buffer_.size();
+  if (size_ < buffer_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;  // overwrote the oldest event
+  }
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const std::size_t start =
+      (head_ + buffer_.size() - size_) % buffer_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out << std::setprecision(15);
+  out << "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":" << dropped_
+      << ",\"traceEvents\":[";
+  std::vector<TraceEvent> sorted = events();
+  // Ring overflow drops the *oldest* events, so the survivors are a
+  // suffix of the record stream: any 'E' whose 'B' was overwritten shows
+  // up as a close with no open span. Prune those orphans (in record
+  // order, before sorting) so an overflowed trace still loads.
+  if (dropped_ > 0) {
+    std::size_t depth = 0;
+    std::size_t kept = 0;
+    for (TraceEvent& e : sorted) {
+      if (e.phase == 'E') {
+        if (depth == 0) continue;  // orphaned close — drop it
+        --depth;
+      } else if (e.phase == 'B') {
+        ++depth;
+      }
+      sorted[kept++] = e;
+    }
+    sorted.resize(kept);
+  }
+  // Time-sort the export: recording order can lag virtual time (e.g. a
+  // bus message delivered on a later tick keeps its earlier deliver-time
+  // stamp). The sort is stable and nested spans begin/end at one virtual
+  // timestamp, so B/E nesting survives and the bytes stay deterministic.
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  bool first = true;
+  for (const TraceEvent& e : sorted) {
+    if (!first) out << ",\n";
+    first = false;
+    write_event_json(out, e);
+  }
+  out << "]}\n";
+  out.flags(flags);
+  out.precision(precision);
+}
+
+void Tracer::write_ndjson(std::ostream& out) const {
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out << std::setprecision(15);
+  for (const TraceEvent& e : events()) {
+    write_event_json(out, e);
+    out << '\n';
+  }
+  out.flags(flags);
+  out.precision(precision);
+}
+
+}  // namespace ncdrf::obs

@@ -1,11 +1,13 @@
 #include "runner/sweep.h"
 
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <utility>
 
 #include "common/check.h"
 #include "core/registry.h"
+#include "obs/tracer.h"
 #include "runner/thread_pool.h"
 
 namespace ncdrf {
@@ -49,18 +51,48 @@ SweepResult run_sweep(const SweepSpec& spec) {
     const Fabric fabric = spec.fabric;
     const std::unique_ptr<Scheduler> scheduler =
         make_scheduler(cell.policy);
+    // Per-cell tracing: each cell owns its tracer so parallel cells never
+    // interleave events; the caller's own tracer/auditor attachments are
+    // not shareable across threads and are detached here.
+    SimOptions sim = spec.sim;
+    sim.tracer = nullptr;
+    sim.metrics = nullptr;
+    sim.auditor = nullptr;
+    std::unique_ptr<obs::Tracer> cell_tracer;
+    if (!spec.trace_dir.empty()) {
+      // Sized for a full FB-like replay per cell (~100k events for the
+      // chattiest policy); overflow still exports a loadable trace (the
+      // exporter prunes closes whose opens were overwritten).
+      cell_tracer = std::make_unique<obs::Tracer>(1 << 20);
+      sim.tracer = cell_tracer.get();
+    }
     const auto cell_start = std::chrono::steady_clock::now();
-    cell.run = simulate(fabric, spec.traces[t].trace, *scheduler, spec.sim);
+    cell.run = simulate(fabric, spec.traces[t].trace, *scheduler, sim);
     cell.wall_seconds = seconds_since(cell_start);
     cell.events_per_second =
         cell.wall_seconds > 0.0
             ? static_cast<double>(cell.run.num_events) / cell.wall_seconds
             : 0.0;
+    if (const SchedPerf* perf = scheduler->perf_counters()) {
+      cell.perf = *perf;
+    }
+    if (cell_tracer != nullptr) {
+      std::ofstream out(spec.trace_dir + "/" + cell.policy + "-" +
+                        cell.trace_label + ".json");
+      NCDRF_CHECK(out.good(), "cannot open sweep trace file under " +
+                                  spec.trace_dir);
+      cell_tracer->write_chrome_json(out);
+    }
   };
 
   ThreadPool pool(spec.threads);
   pool.run(num_cells, run_cell);
   result.wall_seconds = seconds_since(sweep_start);
+  // Grid-order aggregation keeps the merged counters bit-identical for
+  // any thread count.
+  for (const SweepCellResult& cell : result.cells) {
+    result.perf += cell.perf;
+  }
   return result;
 }
 

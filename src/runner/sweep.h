@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fabric/fabric.h"
+#include "obs/perf.h"
 #include "sim/sim.h"
 #include "trace/trace.h"
 
@@ -37,6 +38,13 @@ struct SweepSpec {
   std::vector<SweepCase> traces;
   SimOptions sim;       // applied to every cell
   int threads = 1;      // >= 1; 1 reproduces the serial figure-bench loop
+
+  // When non-empty, every cell runs under its own virtual-clock tracer and
+  // writes a Chrome trace-event file to "<trace_dir>/<policy>-<label>.json"
+  // (the directory must exist). Cells stay independent: each owns its
+  // tracer, so parallel execution never interleaves trace streams. Any
+  // tracer already set in `sim` is only used by the caller's own runs.
+  std::string trace_dir;
 };
 
 // One grid cell's outcome.
@@ -46,6 +54,9 @@ struct SweepCellResult {
   RunResult run;
   double wall_seconds = 0.0;       // this cell's simulate() wall time
   double events_per_second = 0.0;  // run.num_events / wall_seconds
+  // The cell scheduler's counters (zeroed struct for policies that do not
+  // expose Scheduler::perf_counters).
+  SchedPerf perf;
 };
 
 struct SweepResult {
@@ -53,6 +64,9 @@ struct SweepResult {
   std::vector<SweepCellResult> cells;
   double wall_seconds = 0.0;  // whole-sweep wall time
   int threads = 1;
+  // Σ cell.perf over the grid, accumulated in grid order after the pool
+  // drains — deterministic for any thread count.
+  SchedPerf perf;
 };
 
 // Runs the full grid. Throws CheckError on an empty grid axis or an

@@ -54,32 +54,34 @@ std::vector<double> residual_from_usage(const ScheduleInput& input,
 
 }  // namespace
 
-void even_backfill(const ScheduleInput& input, Allocation& alloc,
-                   int rounds) {
+int even_backfill(const ScheduleInput& input, Allocation& alloc,
+                  int rounds) {
   NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
-  if (rounds == 0) return;
+  if (rounds == 0) return 0;
   const std::vector<int> counts = link_flow_counts(input);
   std::vector<double> scratch;
   for (int round = 0; round < rounds; ++round) {
     scratch = residual_from_usage(input, alloc);
-    if (!backfill_round(input, alloc, counts, scratch)) return;
+    if (!backfill_round(input, alloc, counts, scratch)) return round;
   }
+  return rounds;
 }
 
-void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
-                          int rounds, const std::vector<int>& live_counts,
-                          std::vector<double>& residual) {
+int even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
+                         int rounds, const std::vector<int>& live_counts,
+                         std::vector<double>& residual) {
   NCDRF_CHECK(rounds >= 0, "backfill rounds must be non-negative");
-  if (rounds == 0) return;
+  if (rounds == 0) return 0;
   const auto links =
       static_cast<std::size_t>(input.fabric->num_links());
   NCDRF_CHECK(live_counts.size() == links && residual.size() == links,
               "cached backfill vectors must cover all links");
-  if (!backfill_round(input, alloc, live_counts, residual)) return;
+  if (!backfill_round(input, alloc, live_counts, residual)) return 0;
   for (int round = 1; round < rounds; ++round) {
     residual = residual_from_usage(input, alloc);
-    if (!backfill_round(input, alloc, live_counts, residual)) return;
+    if (!backfill_round(input, alloc, live_counts, residual)) return round;
   }
+  return rounds;
 }
 
 }  // namespace ncdrf

@@ -19,9 +19,11 @@ namespace ncdrf {
 // Runs `rounds` rounds of even backfilling on top of `alloc`, in place.
 // Requires rounds >= 0 (0 is a no-op). Never oversubscribes a link.
 // Rescans the snapshot for per-link flow counts and usage — O(flows) per
-// call on top of the round cost.
-void even_backfill(const ScheduleInput& input, Allocation& alloc,
-                   int rounds = 1);
+// call on top of the round cost. Returns the number of rounds that
+// actually moved bandwidth (a round finding no spare capacity stops the
+// loop and is not counted) — the obs layer's backfill_rounds counter.
+int even_backfill(const ScheduleInput& input, Allocation& alloc,
+                  int rounds = 1);
 
 // Variant for callers that already maintain the per-link vectors (the
 // incremental NC-DRF engine): `live_counts` holds each link's active-flow
@@ -31,9 +33,9 @@ void even_backfill(const ScheduleInput& input, Allocation& alloc,
 // rounds beyond the first recompute usage from `alloc` as usual. Both
 // vectors must be sized to fabric.num_links(). `residual` is consumed as
 // scratch (overwritten with per-link shares) so the per-event path
-// allocates nothing.
-void even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
-                          int rounds, const std::vector<int>& live_counts,
-                          std::vector<double>& residual);
+// allocates nothing. Returns the number of effective rounds, as above.
+int even_backfill_cached(const ScheduleInput& input, Allocation& alloc,
+                         int rounds, const std::vector<int>& live_counts,
+                         std::vector<double>& residual);
 
 }  // namespace ncdrf

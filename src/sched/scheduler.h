@@ -20,6 +20,15 @@
 
 namespace ncdrf {
 
+// Observability hooks (src/obs/): schedulers may accept a tracer/metrics
+// pair and expose perf counters, but the sched layer itself stays
+// obs-free — everything is forward-declared and optional.
+struct SchedPerf;
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace obs
+
 // One unfinished flow as the scheduler sees it: endpoints only.
 struct ActiveFlow {
   FlowId id = -1;
@@ -124,6 +133,20 @@ class Scheduler {
   // that predate this interface (the cluster master, direct test harnesses)
   // hand allocate() bare snapshots. One driver at a time per scheduler
   // instance.
+  // --- Optional observability interface ----------------------------------
+  //
+  // Drivers with an attached obs layer offer it to the scheduler before a
+  // run; policies that instrument their hot path (NC-DRF) keep the
+  // pointers, everyone else inherits the no-op. Either pointer may be
+  // null. Counters exposed through perf_counters() are owned by the
+  // scheduler and survive until it is destroyed (null = no counters).
+  virtual void set_observers(obs::Tracer* tracer,
+                             obs::MetricsRegistry* metrics) {
+    (void)tracer;
+    (void)metrics;
+  }
+  virtual const SchedPerf* perf_counters() const { return nullptr; }
+
   virtual bool wants_events() const { return false; }
   virtual void on_reset(const Fabric& fabric) { (void)fabric; }
   virtual void on_coflow_arrival(const ActiveCoflow& coflow) { (void)coflow; }

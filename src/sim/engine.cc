@@ -9,6 +9,9 @@
 
 #include "coflow/coflow.h"
 #include "common/check.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace ncdrf {
 namespace {
@@ -28,6 +31,7 @@ struct DynamicSimulator::Impl {
     std::vector<const Flow*> unfinished;
     std::vector<const Flow*> finished;
     std::vector<double> correlation;  // c_k from original demand (Eq. 1)
+    LinkId dom_link = -1;             // arg-max of the original demand
     // The entry's ActiveCoflow view in `input` (same index as in `active`)
     // no longer matches unfinished/finished and must be re-filled before
     // the next allocate(). Views of clean entries are reused as-is.
@@ -68,6 +72,16 @@ struct DynamicSimulator::Impl {
     NCDRF_CHECK(options.completion_epsilon_bits > 0.0,
                 "completion epsilon must be positive");
     input.fabric = &fabric;
+    if (options.metrics != nullptr) {
+      // Instruments are looked up once; per-event cost is an increment.
+      m_arrivals = &options.metrics->counter("sim.coflow_arrivals");
+      m_flow_finishes = &options.metrics->counter("sim.flow_finishes");
+      m_coflow_finishes = &options.metrics->counter("sim.coflow_finishes");
+      m_allocations = &options.metrics->counter("sim.allocations");
+      // Fabric-wide utilization fraction per inter-event interval.
+      m_utilization = &options.metrics->histogram("sim.link_utilization",
+                                                  1e-6, 1.0, 1.1);
+    }
   }
 
   const Fabric& fabric;
@@ -107,6 +121,13 @@ struct DynamicSimulator::Impl {
   std::vector<double> finish_at;  // canonical finish time; inf = no event
   std::size_t unfinished_flows = 0;
 
+  // Cached metric instruments (null when options.metrics is null).
+  obs::Counter* m_arrivals = nullptr;
+  obs::Counter* m_flow_finishes = nullptr;
+  obs::Counter* m_coflow_finishes = nullptr;
+  obs::Counter* m_allocations = nullptr;
+  obs::Histogram* m_utilization = nullptr;
+
   // Scratch buffers for progress_of and clamp_and_update_completions
   // (hoisted out of the per-call path).
   std::vector<double> scratch_link_alloc;
@@ -123,6 +144,7 @@ struct DynamicSimulator::Impl {
                 "cannot submit a coflow arriving in the past");
     NCDRF_CHECK(seen_coflows.insert(coflow.id()).second,
                 "duplicate coflow id submitted");
+    if (options.auditor != nullptr) options.auditor->on_submit(coflow);
     // Static record fields and the minimum-CCT denominator.
     CoflowRecord rec;
     rec.id = coflow.id();
@@ -141,6 +163,7 @@ struct DynamicSimulator::Impl {
 
     auto entry = std::make_unique<ActiveEntry>(std::move(coflow));
     entry->correlation = d.correlation();
+    entry->dom_link = d.bottleneck_link;
     FlowId max_flow_id = -1;
     for (const Flow& f : entry->coflow.flows()) {
       NCDRF_CHECK(f.id >= 0, "flow ids must be non-negative");
@@ -182,6 +205,9 @@ struct DynamicSimulator::Impl {
       if (deliver_events) {
         scheduler.on_coflow_arrival(input.coflows.back());
       }
+      NCDRF_TRACE_INSTANT(options.tracer, obs::EventKind::kCoflowArrival,
+                          now, entry->coflow.id(), entry->coflow.width());
+      if (m_arrivals != nullptr) m_arrivals->inc();
       active.push_back(std::move(entry));
     }
   }
@@ -387,6 +413,7 @@ struct DynamicSimulator::Impl {
     const ClairvoyantInfo clairvoyant_info(&remaining);
     const bool clairvoyant = scheduler.clairvoyant();
     deliver_events = scheduler.wants_events();
+    scheduler.set_observers(options.tracer, options.metrics);
     if (deliver_events) scheduler.on_reset(fabric);
     input.clairvoyant = clairvoyant ? &clairvoyant_info : nullptr;
 
@@ -405,10 +432,16 @@ struct DynamicSimulator::Impl {
       input.now = now;
       if (options.verify_snapshot) check_snapshot_consistent();
 
-      Allocation alloc = scheduler.allocate(input);
+      Allocation alloc;
+      {
+        NCDRF_TRACE_SPAN(options.tracer, obs::EventKind::kAllocate, now,
+                         static_cast<std::int64_t>(active.size()));
+        alloc = scheduler.allocate(input);
+      }
       clamp_and_update_completions(alloc);
       if (options.validate_allocations) check_capacity(input, alloc);
       ++result.num_allocations;
+      if (m_allocations != nullptr) m_allocations->inc();
 
       // Next event time.
       double dt = next_completion_time() - now;
@@ -428,7 +461,8 @@ struct DynamicSimulator::Impl {
 
       // Time-weighted metrics over [now, now + dt).
       if (dt > 0.0 &&
-          (options.record_intervals || options.record_progress_timeseries)) {
+          (options.record_intervals || options.record_progress_timeseries ||
+           options.auditor != nullptr)) {
         double min_p = kInfinity;
         double max_p = 0.0;
         for (const auto& entry : active) {
@@ -438,6 +472,18 @@ struct DynamicSimulator::Impl {
           if (options.record_progress_timeseries) {
             result.progress.push_back(ProgressSample{
                 now, now + dt, entry->coflow.id(), p});
+          }
+          if (options.auditor != nullptr) {
+            // progress_of left this coflow's per-link aggregate in
+            // scratch_link_alloc; its dominant-link share falls out free.
+            double dominant_share = 0.0;
+            if (entry->dom_link >= 0) {
+              const auto dom = static_cast<std::size_t>(entry->dom_link);
+              dominant_share =
+                  scratch_link_alloc[dom] / fabric.capacity(entry->dom_link);
+            }
+            options.auditor->record(now, now + dt, entry->coflow.id(), p,
+                                    dominant_share);
           }
         }
         if (options.record_intervals) {
@@ -449,6 +495,10 @@ struct DynamicSimulator::Impl {
           rec.min_progress = std::isfinite(min_p) ? min_p : 0.0;
           rec.max_progress = max_p;
           result.intervals.push_back(rec);
+        }
+        if (m_utilization != nullptr) {
+          m_utilization->observe(2.0 * alloc.total_rate() /
+                                 fabric.total_capacity());
         }
       }
 
@@ -499,6 +549,9 @@ struct DynamicSimulator::Impl {
               scheduler.on_flow_finish(
                   ActiveFlow{f->id, f->coflow, f->src, f->dst});
             }
+            NCDRF_TRACE_INSTANT(options.tracer, obs::EventKind::kFlowFinish,
+                                now, f->id, f->coflow);
+            if (m_flow_finishes != nullptr) m_flow_finishes->inc();
           } else {
             entry.unfinished[kept++] = f;
           }
@@ -514,6 +567,13 @@ struct DynamicSimulator::Impl {
           rec.completion = now;
           rec.cct = now - rec.arrival;
           const CoflowRecord completed = rec;
+          NCDRF_TRACE_INSTANT(options.tracer,
+                              obs::EventKind::kCoflowFinish, now, id, 0,
+                              rec.cct);
+          if (m_coflow_finishes != nullptr) m_coflow_finishes->inc();
+          if (options.auditor != nullptr) {
+            options.auditor->on_complete(id, rec.arrival, now);
+          }
           if (a + 1 != active.size()) {
             active[a] = std::move(active.back());
             input.coflows[a] = std::move(input.coflows.back());

@@ -27,6 +27,14 @@
 
 namespace ncdrf {
 
+// Optional observability attachments (src/obs/); forward-declared so the
+// sim API does not drag obs headers into every includer.
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+class FairnessAuditor;
+}  // namespace obs
+
 struct SimOptions {
   // Flows with fewer remaining bits than this are considered complete
   // (guards float drift; 1 bit ≪ any real flow).
@@ -52,6 +60,23 @@ struct SimOptions {
   // Hard safety limits; exceeding either throws (misbehaving scheduler).
   double max_time_s = 1e9;
   long long max_events = 100'000'000;
+
+  // --- Observability (all optional, null = off) --------------------------
+  //
+  // Virtual-clock event tracer: arrivals, flow/coflow completions and the
+  // allocate span per event, plus whatever the scheduler itself emits
+  // (NC-DRF's nested phase spans). Also offered to the scheduler via
+  // Scheduler::set_observers at run().
+  obs::Tracer* tracer = nullptr;
+  // Counters (arrivals/finishes/allocations) and histograms (allocate
+  // latency via the scheduler, per-interval link utilization).
+  obs::MetricsRegistry* metrics = nullptr;
+  // Live Theorem 1 fairness audit: the engine feeds it every submission,
+  // per-interval progress + dominant-link share, and every completion.
+  // Implies the per-interval progress scan even when record_intervals and
+  // record_progress_timeseries are off. Callers finalize()/export after
+  // the run.
+  obs::FairnessAuditor* auditor = nullptr;
 };
 
 // Outcome of one coflow in a run.

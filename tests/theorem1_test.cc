@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/ncdrf.h"
+#include "obs/audit.h"
 #include "sched/drf.h"
 #include "sim/sim.h"
 
@@ -63,7 +64,13 @@ TEST_P(Theorem1Bound, NcDrfWithinEmaxOfClairvoyantDrf) {
   DrfScheduler drf;
   SimOptions options;
   options.record_intervals = false;
+  // Live audit layer alongside the explicit check below: the auditor's
+  // private shadow-DRF simulation must reach the same verdict (zero
+  // envelope violations) and the same e_max.
+  obs::FairnessAuditor auditor(fabric);
+  options.auditor = &auditor;
   const RunResult run_nc = simulate(fabric, trace, ncdrf, options);
+  options.auditor = nullptr;
   const RunResult run_drf = simulate(fabric, trace, drf, options);
   ASSERT_EQ(run_nc.coflows.size(), trace.coflows.size());
   for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
@@ -72,6 +79,22 @@ TEST_P(Theorem1Bound, NcDrfWithinEmaxOfClairvoyantDrf) {
     EXPECT_LE(ratio, e_max * (1.0 + 1e-6))
         << "coflow " << k << " seed " << seed << " spread " << spread
         << ": F_k/F_k^D = " << ratio << " > e_max = " << e_max;
+  }
+
+  auditor.finalize();
+  EXPECT_NEAR(auditor.e_max(), e_max, e_max * 1e-9);
+  EXPECT_EQ(auditor.coflows_checked(),
+            static_cast<long long>(trace.coflows.size()));
+  for (const obs::AuditViolation& v : auditor.violations()) {
+    ADD_FAILURE() << "auditor flagged coflow " << v.coflow << ": ratio "
+                  << v.ratio << " > bound " << v.bound << " (seed " << seed
+                  << " spread " << spread << ")";
+  }
+  // The auditor's shadow baseline agrees with the independent DRF run.
+  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
+    EXPECT_NEAR(auditor.shadow_cct(run_nc.coflows[k].id),
+                run_drf.coflows[k].cct, run_drf.coflows[k].cct * 1e-6)
+        << "coflow " << k;
   }
 }
 

@@ -1,0 +1,87 @@
+// CI gate for observability artifacts: validates trace / metrics JSON
+// files against the schemas in obs/json_lint.h.
+//
+//   obs_validate --trace FILE...     Chrome trace-event JSON
+//   obs_validate --metrics FILE...   MetricsRegistry JSON
+//   obs_validate --ndjson FILE...    one JSON object per line
+//   obs_validate --json FILE...      any JSON document (syntax only)
+//
+// Modes may be mixed on one command line; each flag applies to the files
+// after it. Exits 0 when every file validates, 1 otherwise (first error
+// per file printed to stderr).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_lint.h"
+
+namespace {
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ok = true;
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Validator = std::string (*)(const std::string&);
+  Validator validate = ncdrf::obs::validate_json;
+  const char* mode = "--json";
+  int checked = 0;
+  int failures = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      validate = ncdrf::obs::validate_chrome_trace_json;
+      mode = "--trace";
+      continue;
+    }
+    if (arg == "--metrics") {
+      validate = ncdrf::obs::validate_metrics_json;
+      mode = "--metrics";
+      continue;
+    }
+    if (arg == "--ndjson") {
+      validate = ncdrf::obs::validate_ndjson;
+      mode = "--ndjson";
+      continue;
+    }
+    if (arg == "--json") {
+      validate = ncdrf::obs::validate_json;
+      mode = "--json";
+      continue;
+    }
+    bool ok = false;
+    const std::string text = read_file(arg, ok);
+    if (!ok) {
+      std::cerr << "obs_validate: cannot read " << arg << '\n';
+      ++failures;
+      continue;
+    }
+    ++checked;
+    if (const std::string error = validate(text); !error.empty()) {
+      std::cerr << "obs_validate: " << arg << " (" << mode
+                << "): " << error << '\n';
+      ++failures;
+    } else {
+      std::cout << "obs_validate: " << arg << " OK (" << mode << ")\n";
+    }
+  }
+
+  if (checked == 0 && failures == 0) {
+    std::cerr << "usage: obs_validate [--trace|--metrics|--ndjson|--json] "
+                 "FILE...\n";
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}
