@@ -14,8 +14,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "alloc/legacy.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/ncdrf.h"
@@ -148,6 +150,75 @@ void run_event_replay(benchmark::State& state, bool incremental) {
   state.counters["coflows"] = coflows;
 }
 
+// Per-baseline event replay, kernel vs legacy: the same scripted
+// finish/depart/arrive stream with one allocate() per event, driven either
+// through the registry scheduler (allocation-kernel layer, delta hooks
+// when the policy wants events) or through the frozen pre-refactor
+// implementation in alloc/legacy.h. Both run in the same process on the
+// same instance, so the kernel/legacy events-per-second ratio is
+// machine-independent — that ratio is what the CI speedup guard checks
+// and what BENCH_sched.json records.
+void run_policy_event_replay(benchmark::State& state,
+                             const std::string& name, bool kernel) {
+  const auto coflows = static_cast<int>(state.range(0));
+  Workbench bench(coflows, /*max_flows_per_coflow=*/64);
+  const std::vector<ActiveCoflow> pristine = bench.input.coflows;
+  // Clairvoyant info is always attached; non-clairvoyant policies ignore
+  // it, and both modes see the identical snapshot.
+  bench.input.clairvoyant = bench.info.get();
+
+  std::unique_ptr<Scheduler> sched;
+  Scheduler* hooks = nullptr;
+  if (kernel) {
+    sched = make_scheduler(name);
+    if (sched->wants_events()) {
+      hooks = sched.get();
+      hooks->on_reset(bench.fabric);
+      for (const ActiveCoflow& c : bench.input.coflows) {
+        hooks->on_coflow_arrival(c);
+      }
+    }
+  }
+
+  int live = 0;
+  for (const ActiveCoflow& c : bench.input.coflows) {
+    live += static_cast<int>(c.flows.size());
+  }
+
+  // Flow count of the coflow the current triple cycles; set per iteration.
+  int cursor_flows = 0;
+  const auto on_event = [&](const ActiveFlow* finish, CoflowId depart,
+                            const ActiveCoflow* arrive) {
+    if (finish != nullptr) {
+      live -= 1;
+      if (hooks != nullptr) hooks->on_flow_finish(*finish);
+    }
+    if (depart >= 0) {
+      live -= cursor_flows - 1;
+      if (hooks != nullptr) hooks->on_coflow_departure(depart);
+    }
+    if (arrive != nullptr) {
+      live += cursor_flows;
+      if (hooks != nullptr) hooks->on_coflow_arrival(*arrive);
+    }
+    bench.input.total_live_flows = live;
+    Allocation alloc = kernel ? sched->allocate(bench.input)
+                              : legacy_allocate(name, bench.input);
+    benchmark::DoNotOptimize(alloc);
+  };
+
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const CoflowId id = bench.input.coflows[cursor].id;
+    const ActiveCoflow& base = pristine[static_cast<std::size_t>(id)];
+    cursor_flows = static_cast<int>(base.flows.size());
+    replay_triple(bench.input, cursor, base, on_event);
+    cursor = (cursor + 1) % bench.input.coflows.size();
+  }
+  state.SetItemsProcessed(state.iterations() * 3);  // events/sec
+  state.counters["coflows"] = coflows;
+}
+
 // Full engine loop: replay a synthetic trace whose coflows are all
 // concurrently active through the DynamicSimulator and report simulated
 // events/sec — the number the engine hot-path work (incremental snapshot,
@@ -203,6 +274,39 @@ NCDRF_SCALE_BENCH(Psp, "psp");
 NCDRF_SCALE_BENCH(Tcp, "tcp");
 NCDRF_SCALE_BENCH(Aalo, "aalo");
 NCDRF_SCALE_BENCH(Varys, "varys");
+
+// Kernel-vs-legacy matrix: every policy with a frozen legacy twin, at
+// 100/500/1000 concurrent coflows. tools/bench_sched_report.py turns the
+// JSON into BENCH_sched.json and enforces the ≥2× kernel speedup floor.
+#define NCDRF_EVENT_REPLAY_BENCH(tag, name)                            \
+  void BM_EventReplayKernel_##tag(benchmark::State& state) {           \
+    run_policy_event_replay(state, name, /*kernel=*/true);             \
+  }                                                                    \
+  void BM_EventReplayLegacy_##tag(benchmark::State& state) {           \
+    run_policy_event_replay(state, name, /*kernel=*/false);            \
+  }                                                                    \
+  BENCHMARK(BM_EventReplayKernel_##tag)                                \
+      ->Arg(100)                                                       \
+      ->Arg(500)                                                       \
+      ->Arg(1000)                                                      \
+      ->Unit(benchmark::kMillisecond);                                 \
+  BENCHMARK(BM_EventReplayLegacy_##tag)                                \
+      ->Arg(100)                                                       \
+      ->Arg(500)                                                       \
+      ->Arg(1000)                                                      \
+      ->Unit(benchmark::kMillisecond)
+
+NCDRF_EVENT_REPLAY_BENCH(Tcp, "tcp");
+NCDRF_EVENT_REPLAY_BENCH(Persource, "persource");
+NCDRF_EVENT_REPLAY_BENCH(Perpair, "perpair");
+NCDRF_EVENT_REPLAY_BENCH(Psp, "psp");
+NCDRF_EVENT_REPLAY_BENCH(PspLive, "psp-live");
+NCDRF_EVENT_REPLAY_BENCH(Drf, "drf");
+NCDRF_EVENT_REPLAY_BENCH(Hug, "hug");
+NCDRF_EVENT_REPLAY_BENCH(Aalo, "aalo");
+NCDRF_EVENT_REPLAY_BENCH(Varys, "varys");
+NCDRF_EVENT_REPLAY_BENCH(Baraat, "baraat");
+NCDRF_EVENT_REPLAY_BENCH(Fifo, "fifo");
 
 void BM_NcDrfEventReplay_Incremental(benchmark::State& state) {
   run_event_replay(state, /*incremental=*/true);

@@ -1,0 +1,143 @@
+#include "alloc/demand_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ncdrf {
+
+void DemandCache::refresh(const ScheduleInput& input) {
+  NCDRF_CHECK(input.clairvoyant != nullptr,
+              "demand cache requires clairvoyant remaining-size info");
+  const Fabric& fabric = *input.fabric;
+  const ClairvoyantInfo& info = *input.clairvoyant;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+
+  size_ = input.coflows.size();
+  if (demands_.size() < size_) demands_.resize(size_);
+  if (touched_.size() < size_) touched_.resize(size_);
+  if (remaining_.size() < size_) remaining_.resize(size_);
+  for (std::size_t k = 0; k < size_; ++k) {
+    const ActiveCoflow& coflow = input.coflows[k];
+    DemandVectors& out = demands_[k];
+    std::vector<LinkId>& touched = touched_[k];
+    std::vector<double>& remaining = remaining_[k];
+    remaining.clear();
+    remaining.reserve(coflow.flows.size());
+    if (out.demand.size() != num_links) {
+      // Fresh slot (or the fabric changed shape): dense zero once; from
+      // then on the touched list zeroes only what the last refresh wrote.
+      out.demand.assign(num_links, 0.0);
+      out.flow_count.assign(num_links, 0);
+      touched.clear();
+    } else {
+      for (const LinkId l : touched) {
+        out.demand[static_cast<std::size_t>(l)] = 0.0;
+        out.flow_count[static_cast<std::size_t>(l)] = 0;
+      }
+      touched.clear();
+    }
+    out.bottleneck_demand = 0.0;
+    out.bottleneck_link = -1;
+    out.bottleneck_flow_count = 0;
+    out.flow_count_bottleneck_link = -1;
+
+    // Same accumulation order as coflow/compute_demand over the coflow's
+    // live flows with remaining sizes — bitwise identical to the legacy
+    // per-call remaining_demand helpers.
+    for (const ActiveFlow& f : coflow.flows) {
+      const double size_bits = info.remaining_bits(f.id);
+      NCDRF_CHECK(size_bits >= 0.0, "flow size must be non-negative");
+      remaining.push_back(size_bits);
+      const auto up = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto down = static_cast<std::size_t>(fabric.downlink(f.dst));
+      if (out.flow_count[up] == 0) touched.push_back(fabric.uplink(f.src));
+      if (out.flow_count[down] == 0) {
+        touched.push_back(fabric.downlink(f.dst));
+      }
+      out.demand[up] += size_bits;
+      out.demand[down] += size_bits;
+      out.flow_count[up] += 1;
+      out.flow_count[down] += 1;
+    }
+    // Only touched links can hold a positive demand or count. A dense
+    // ascending scan keeps the largest value and, among exact ties, the
+    // smallest link id — the explicit tie-break below reproduces that
+    // without sorting the touched list.
+    for (const LinkId i : touched) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (out.demand[idx] > out.bottleneck_demand ||
+          (out.demand[idx] == out.bottleneck_demand &&
+           out.bottleneck_link >= 0 && i < out.bottleneck_link)) {
+        out.bottleneck_demand = out.demand[idx];
+        out.bottleneck_link = i;
+      }
+      if (out.flow_count[idx] > out.bottleneck_flow_count ||
+          (out.flow_count[idx] == out.bottleneck_flow_count &&
+           out.flow_count_bottleneck_link >= 0 &&
+           i < out.flow_count_bottleneck_link)) {
+        out.bottleneck_flow_count = out.flow_count[idx];
+        out.flow_count_bottleneck_link = i;
+      }
+    }
+  }
+}
+
+double DemandCache::drf_progress(const ScheduleInput& input) const {
+  NCDRF_CHECK(size_ == input.coflows.size(),
+              "demand cache stale for this snapshot");
+  const Fabric& fabric = *input.fabric;
+  std::vector<double>& load = load_;
+  load.assign(static_cast<std::size_t>(fabric.num_links()), 0.0);
+  for (std::size_t k = 0; k < size_; ++k) {
+    const ActiveCoflow& coflow = input.coflows[k];
+    NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
+    const DemandVectors& d = demands_[k];
+    if (d.bottleneck_demand <= 0.0) continue;
+    // Untouched links hold exactly 0.0 demand and would contribute an
+    // exact +0.0; skipping them leaves every accumulated bit unchanged.
+    for (const LinkId l : touched_[k]) {
+      const auto i = static_cast<std::size_t>(l);
+      load[i] += coflow.weight * (d.demand[i] / d.bottleneck_demand);
+    }
+  }
+  double p_star = std::numeric_limits<double>::infinity();
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (load[idx] > 0.0) {
+      p_star = std::min(p_star, fabric.capacity(i) / load[idx]);
+    }
+  }
+  return std::isfinite(p_star) ? p_star : 0.0;
+}
+
+double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
+                    Allocation& alloc) {
+  const double p_star = cache.drf_progress(input);
+  if (p_star <= 0.0) return p_star;
+  if (input.total_live_flows >= 0) {
+    alloc.reserve(static_cast<std::size_t>(input.total_live_flows));
+  }
+  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+    const ActiveCoflow& coflow = input.coflows[k];
+    const DemandVectors& d = cache.demand(k);
+    if (d.bottleneck_demand <= 0.0) {
+      // Nothing left to send; flows will be retired by the driver.
+      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
+      continue;
+    }
+    // rate_f = w_k · remaining_f · P* / d̄_k — flows (and links) finish
+    // together; weights default to 1. Remaining sizes were memoized by
+    // refresh(), so this pass does no clairvoyant lookups.
+    const std::vector<double>& remaining = cache.remaining(k);
+    for (std::size_t j = 0; j < coflow.flows.size(); ++j) {
+      alloc.set_rate(coflow.flows[j].id, coflow.weight * remaining[j] *
+                                             p_star / d.bottleneck_demand);
+    }
+  }
+  return p_star;
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,76 @@
+// Memoized clairvoyant demand vectors: one remaining-demand computation
+// per coflow per allocate() call, shared by every stage that needs it.
+//
+// The legacy clairvoyant schedulers each recomputed remaining demand from
+// the snapshot on demand — DRF twice per coflow per call (once for P*,
+// once for the rates) and HUG a third time through its embedded
+// DrfScheduler. The cache computes each coflow's DemandVectors exactly
+// once per refresh(), into per-slot buffers that persist across calls, so
+// steady-state refreshes allocate nothing and downstream stages
+// (drf_progress, drf_allocate, Varys's SEBF/MADD) read the same vectors.
+//
+// The arithmetic replicates coflow/compute_demand exactly (same
+// accumulation order), so cached results are bitwise identical to the
+// legacy per-call computations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+class DemandCache {
+ public:
+  // Recomputes every coflow's remaining-demand vectors for this snapshot.
+  // Requires input.clairvoyant != nullptr.
+  void refresh(const ScheduleInput& input);
+
+  // Demand vectors of input.coflows[coflow_index], valid until the next
+  // refresh().
+  const DemandVectors& demand(std::size_t coflow_index) const {
+    NCDRF_CHECK(coflow_index < size_, "demand-cache index out of range");
+    return demands_[coflow_index];
+  }
+
+  // Remaining bits of input.coflows[coflow_index].flows, in flow order,
+  // memoized during refresh() so rate passes skip the per-flow
+  // ClairvoyantInfo lookup they already paid once.
+  const std::vector<double>& remaining(std::size_t coflow_index) const {
+    NCDRF_CHECK(coflow_index < size_, "demand-cache index out of range");
+    return remaining_[coflow_index];
+  }
+
+  std::size_t size() const { return size_; }
+
+  // P* = min_i C_i / Σ_k w_k·c_k^i (Eq. 2) over the cached vectors; 0 when
+  // no coflow has remaining demand. Must be called after refresh() on the
+  // same snapshot.
+  double drf_progress(const ScheduleInput& input) const;
+
+ private:
+  std::vector<DemandVectors> demands_;  // slots reused across refreshes
+  std::vector<std::vector<double>> remaining_;  // per-flow bits, flow order
+  // Links each slot wrote in its last refresh, in first-touch order. Dense
+  // vectors are zeroed sparsely through these lists, and the bottleneck /
+  // load scans visit only them — refresh() is O(F) per coflow, not O(L).
+  // The bottleneck scans break ties on the smallest link id explicitly, so
+  // no sorted order is needed to reproduce the dense first-arg-max; the
+  // load accumulation touches one independent accumulator per link, so its
+  // visit order never changes any sum.
+  std::vector<std::vector<LinkId>> touched_;
+  mutable std::vector<double> load_;  // Σ_k w_k·c_k^i scratch
+  std::size_t size_ = 0;
+};
+
+// The DRF stage shared by DrfScheduler and HUG: raises every coflow's
+// progress to P* (each flow at w_k·remaining_f·P*/d̄_k, so all of a
+// coflow's flows and links finish together; exhausted coflows get explicit
+// zero rates). Fills `alloc` and returns P*. `cache` must be refreshed on
+// `input`.
+double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
+                    Allocation& alloc);
+
+}  // namespace ncdrf

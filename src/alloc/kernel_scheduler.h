@@ -1,0 +1,96 @@
+// Scheduler base for policies backed by the allocation-kernel layer: owns
+// a LinkLoadState fed by the driver's event hooks, the SchedPerf counters
+// every kernel-backed policy reports, and the sync() step that decides —
+// per allocate() call — between serving from event-maintained state and a
+// full snapshot rebuild.
+//
+// The base stays obs-link-free: SchedPerf is plain data (obs/perf.h is
+// header-only for field access) and timing uses an inline chrono scope, so
+// ncdrf_alloc never pulls obs symbols and the sched→obs layering of the
+// build is preserved.
+#pragma once
+
+#include <chrono>
+
+#include "alloc/link_state.h"
+#include "obs/perf.h"
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+class KernelScheduler : public Scheduler {
+ public:
+  bool wants_events() const override { return true; }
+
+  void on_reset(const Fabric& fabric) override {
+    state_.reset(fabric);
+    event_driven_ = true;
+  }
+
+  void on_coflow_arrival(const ActiveCoflow& coflow) override {
+    if (!event_driven_) return;
+    perf_.links_touched +=
+        static_cast<long long>(state_.add_coflow(coflow));
+    ++perf_.arrival_events;
+  }
+
+  void on_flow_finish(const ActiveFlow& flow) override {
+    if (!event_driven_) return;
+    perf_.links_touched += static_cast<long long>(state_.finish_flow(flow));
+    ++perf_.flow_finish_events;
+  }
+
+  void on_coflow_departure(CoflowId id) override {
+    if (!event_driven_) return;
+    perf_.links_touched += static_cast<long long>(state_.remove_coflow(id));
+    ++perf_.departure_events;
+  }
+
+  const SchedPerf* perf_counters() const override { return &perf_; }
+
+ protected:
+  explicit KernelScheduler(bool count_finished_flows)
+      : state_(count_finished_flows) {}
+
+  // Brings state_ in line with the snapshot: serves from event-maintained
+  // state when it provably covers `input`, otherwise adopts the snapshot
+  // with a full rebuild. Returns true when a rebuild happened, so
+  // subclasses keeping derived state (endpoint entity counts) resync too.
+  bool sync(const ScheduleInput& input) {
+    if (event_driven_ && state_.matches(input)) {
+      ++perf_.incremental_allocs;
+      return false;
+    }
+    state_.rebuild(input);
+    ++perf_.full_rebuilds;
+    return true;
+  }
+
+  // Inline allocate()-scope timer (SchedPerf::allocate_seconds plus the
+  // call counter); cheap enough to stay on everywhere.
+  class AllocScope {
+   public:
+    explicit AllocScope(SchedPerf& perf)
+        : perf_(perf), start_(std::chrono::steady_clock::now()) {
+      ++perf_.allocate_calls;
+    }
+    ~AllocScope() {
+      perf_.allocate_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+    }
+    AllocScope(const AllocScope&) = delete;
+    AllocScope& operator=(const AllocScope&) = delete;
+
+   private:
+    SchedPerf& perf_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  LinkLoadState state_;
+  SchedPerf perf_;
+  bool event_driven_ = false;
+};
+
+}  // namespace ncdrf

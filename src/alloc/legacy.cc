@@ -1,0 +1,632 @@
+#include "alloc/legacy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "common/check.h"
+
+namespace ncdrf {
+namespace {
+
+// ---- shared helpers (verbatim from the pre-refactor sched layer) -------
+
+struct LegacyMaxMinFlow {
+  FlowId id = -1;
+  MachineId src = -1;
+  MachineId dst = -1;
+  double weight = 1.0;
+};
+
+std::vector<double> legacy_weighted_max_min(
+    const Fabric& fabric, const std::vector<LegacyMaxMinFlow>& flows,
+    const std::vector<double>& available_bps) {
+  const std::size_t n = flows.size();
+  std::vector<double> rates(n, 0.0);
+  if (n == 0) return rates;
+
+  std::vector<double> residual = available_bps;
+  for (double& r : residual) r = std::max(r, 0.0);
+  std::vector<bool> frozen(n, false);
+
+  std::vector<double> link_weight(
+      static_cast<std::size_t>(fabric.num_links()), 0.0);
+  // Unfrozen-flow count per link. The pre-refactor loop tested
+  // `link_weight > 0` alone, so fractional weights whose subtraction left
+  // positive dust (e.g. 1 − 1/2 − 1/6 − 1/3 ≈ 5.6e-17) kept a saturated
+  // link in the theta minimum forever and starved every remaining flow
+  // with theta = 0 rounds. Counting unfrozen flows exactly and snapping
+  // the weight to zero when the count empties is the minimal numeric
+  // repair; all other arithmetic is kept verbatim.
+  std::vector<int> link_count(static_cast<std::size_t>(fabric.num_links()),
+                              0);
+  auto up = [&](const LegacyMaxMinFlow& f) {
+    return static_cast<std::size_t>(fabric.uplink(f.src));
+  };
+  auto down = [&](const LegacyMaxMinFlow& f) {
+    return static_cast<std::size_t>(fabric.downlink(f.dst));
+  };
+  for (const LegacyMaxMinFlow& f : flows) {
+    NCDRF_CHECK(f.weight > 0.0, "max-min weights must be positive");
+    link_weight[up(f)] += f.weight;
+    link_weight[down(f)] += f.weight;
+    link_count[up(f)] += 1;
+    link_count[down(f)] += 1;
+  }
+
+  std::size_t remaining = n;
+  for (int round = 0; round <= fabric.num_links() && remaining > 0;
+       ++round) {
+    double theta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      if (link_weight[i] > 0.0) {
+        theta = std::min(theta, residual[i] / link_weight[i]);
+      }
+    }
+    if (!std::isfinite(theta)) break;
+    theta = std::max(theta, 0.0);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!frozen[k]) rates[k] += theta * flows[k].weight;
+    }
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      if (link_weight[i] > 0.0) {
+        residual[i] = std::max(residual[i] - theta * link_weight[i], 0.0);
+      }
+    }
+
+    for (std::size_t k = 0; k < n; ++k) {
+      if (frozen[k]) continue;
+      const std::size_t u = up(flows[k]);
+      const std::size_t d = down(flows[k]);
+      const double tol_u = 1e-9 * std::max(available_bps[u], 1.0);
+      const double tol_d = 1e-9 * std::max(available_bps[d], 1.0);
+      if (residual[u] <= tol_u || residual[d] <= tol_d) {
+        frozen[k] = true;
+        --remaining;
+        link_weight[u] -= flows[k].weight;
+        link_weight[d] -= flows[k].weight;
+        if (--link_count[u] == 0) link_weight[u] = 0.0;
+        if (--link_count[d] == 0) link_weight[d] = 0.0;
+      }
+    }
+  }
+  return rates;
+}
+
+void legacy_max_min_backfill(const ScheduleInput& input, Allocation& alloc) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
+                            0.0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      const double r = alloc.rate(flow.id);
+      usage[static_cast<std::size_t>(fabric.uplink(flow.src))] += r;
+      usage[static_cast<std::size_t>(fabric.downlink(flow.dst))] += r;
+    }
+  }
+  std::vector<double> residual(static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    residual[idx] = std::max(fabric.capacity(i) - usage[idx], 0.0);
+  }
+
+  std::vector<LegacyMaxMinFlow> flows;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      flows.push_back({flow.id, flow.src, flow.dst, 1.0});
+    }
+  }
+  const std::vector<double> extra =
+      legacy_weighted_max_min(fabric, flows, residual);
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    if (extra[k] > 0.0) alloc.add_rate(flows[k].id, extra[k]);
+  }
+}
+
+DemandVectors legacy_remaining_demand(const Fabric& fabric,
+                                      const ActiveCoflow& coflow,
+                                      const ClairvoyantInfo& info) {
+  std::vector<Flow> flows;
+  std::vector<double> sizes;
+  flows.reserve(coflow.flows.size());
+  sizes.reserve(coflow.flows.size());
+  for (const ActiveFlow& f : coflow.flows) {
+    flows.push_back(Flow{f.id, f.coflow, f.src, f.dst, 0.0});
+    sizes.push_back(info.remaining_bits(f.id));
+  }
+  return compute_demand(fabric, flows, sizes);
+}
+
+// ---- per-flow / endpoint fairness --------------------------------------
+
+Allocation legacy_perflow(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> capacities(
+      static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+  std::vector<LegacyMaxMinFlow> flows;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      flows.push_back({flow.id, flow.src, flow.dst, 1.0});
+    }
+  }
+  const std::vector<double> rates =
+      legacy_weighted_max_min(fabric, flows, capacities);
+  Allocation alloc;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    alloc.set_rate(flows[k].id, rates[k]);
+  }
+  return alloc;
+}
+
+Allocation legacy_endpoint_fair(const ScheduleInput& input,
+                                bool per_source) {
+  const Fabric& fabric = *input.fabric;
+  std::map<std::pair<MachineId, MachineId>, int> entity_size;
+  auto key = [&](const ActiveFlow& f) {
+    return per_source ? std::make_pair(f.src, MachineId{-1})
+                      : std::make_pair(f.src, f.dst);
+  };
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) entity_size[key(f)] += 1;
+  }
+  std::vector<LegacyMaxMinFlow> flows;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      flows.push_back({f.id, f.src, f.dst, 1.0 / entity_size.at(key(f))});
+    }
+  }
+  std::vector<double> capacities(
+      static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+  const std::vector<double> rates =
+      legacy_weighted_max_min(fabric, flows, capacities);
+  Allocation alloc;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    alloc.set_rate(flows[k].id, rates[k]);
+  }
+  return alloc;
+}
+
+// ---- PS-P ---------------------------------------------------------------
+
+Allocation legacy_psp(const ScheduleInput& input, bool count_finished) {
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  const int backfill_rounds = 1;
+
+  std::vector<int> coflows_on_link(num_links, 0);
+  std::vector<std::vector<int>> coflow_counts(
+      input.coflows.size(), std::vector<int>(num_links, 0));
+  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+    for (const ActiveFlow& f : input.coflows[k].flows) {
+      coflow_counts[k][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      coflow_counts[k][static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+          1;
+    }
+    if (count_finished) {
+      for (const ActiveFlow& f : input.coflows[k].finished_flows) {
+        coflow_counts[k][static_cast<std::size_t>(fabric.uplink(f.src))] +=
+            1;
+        coflow_counts[k][static_cast<std::size_t>(
+            fabric.downlink(f.dst))] += 1;
+      }
+    }
+    for (std::size_t i = 0; i < num_links; ++i) {
+      if (coflow_counts[k][i] > 0) coflows_on_link[i] += 1;
+    }
+  }
+
+  std::vector<double> residual(num_links);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+
+  Allocation alloc;
+  const int rounds = 1 + backfill_rounds;
+  for (int round = 0; round < rounds; ++round) {
+    double assigned = 0.0;
+    for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+      for (const ActiveFlow& f : input.coflows[k].flows) {
+        const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+        const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+        const double up_share =
+            residual[u] / coflows_on_link[u] / coflow_counts[k][u];
+        const double down_share =
+            residual[d] / coflows_on_link[d] / coflow_counts[k][d];
+        const double r = std::max(std::min(up_share, down_share), 0.0);
+        if (r > 0.0) {
+          alloc.add_rate(f.id, r);
+          assigned += r;
+        }
+      }
+    }
+    if (assigned <= 0.0) break;
+    if (round + 1 < rounds) {
+      for (std::size_t i = 0; i < num_links; ++i) {
+        residual[i] = fabric.capacity(static_cast<LinkId>(i));
+      }
+      for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+        for (const ActiveFlow& f : input.coflows[k].flows) {
+          const double r = alloc.rate(f.id);
+          residual[static_cast<std::size_t>(fabric.uplink(f.src))] -= r;
+          residual[static_cast<std::size_t>(fabric.downlink(f.dst))] -= r;
+        }
+      }
+      for (double& r : residual) r = std::max(r, 0.0);
+    }
+  }
+  return alloc;
+}
+
+// ---- Baraat FIFO-LM -----------------------------------------------------
+
+Allocation legacy_baraat(const ScheduleInput& input) {
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  const double heavy_threshold_bits = 8e7;
+
+  std::vector<std::size_t> order(input.coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
+      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
+    }
+    return input.coflows[a].id < input.coflows[b].id;
+  });
+  std::vector<std::size_t> served;
+  for (const std::size_t k : order) {
+    served.push_back(k);
+    if (input.coflows[k].attained_bits <= heavy_threshold_bits) break;
+  }
+
+  std::vector<int> served_on_link(num_links, 0);
+  std::vector<std::vector<int>> counts(served.size(),
+                                       std::vector<int>(num_links, 0));
+  for (std::size_t s = 0; s < served.size(); ++s) {
+    for (const ActiveFlow& f : input.coflows[served[s]].flows) {
+      counts[s][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      counts[s][static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+    }
+    for (std::size_t i = 0; i < num_links; ++i) {
+      if (counts[s][i] > 0) served_on_link[i] += 1;
+    }
+  }
+
+  Allocation alloc;
+  for (std::size_t s = 0; s < served.size(); ++s) {
+    for (const ActiveFlow& f : input.coflows[served[s]].flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      const double up = fabric.capacity(static_cast<LinkId>(u)) /
+                        served_on_link[u] / counts[s][u];
+      const double down = fabric.capacity(static_cast<LinkId>(d)) /
+                          served_on_link[d] / counts[s][d];
+      alloc.set_rate(f.id, std::min(up, down));
+    }
+  }
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      if (!alloc.has_rate(f.id)) alloc.set_rate(f.id, 0.0);
+    }
+  }
+  legacy_max_min_backfill(input, alloc);
+  return alloc;
+}
+
+// ---- Aalo D-CLAS / FIFO -------------------------------------------------
+
+int legacy_queue_of(double attained_bits) {
+  const double q0 = 8e7;
+  const double exchange_rate = 10.0;
+  const int num_queues = 10;
+  double limit = q0;
+  for (int q = 0; q < num_queues - 1; ++q) {
+    if (attained_bits < limit) return q;
+    limit *= exchange_rate;
+  }
+  return num_queues - 1;
+}
+
+// Strict-priority fill shared by Aalo and FIFO: serve coflows in `order`,
+// each taking what is left of every link (even split among its own flows
+// there, min across the two endpoints), then max-min backfill.
+Allocation legacy_priority_fill(const ScheduleInput& input,
+                                const std::vector<std::size_t>& order) {
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  std::vector<double> residual(num_links);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+
+  Allocation alloc;
+  for (const std::size_t k : order) {
+    const ActiveCoflow& coflow = input.coflows[k];
+    std::vector<int> counts(num_links, 0);
+    for (const ActiveFlow& f : coflow.flows) {
+      counts[static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      counts[static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
+    }
+    for (const ActiveFlow& f : coflow.flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      const double r =
+          std::min(residual[u] / counts[u], residual[d] / counts[d]);
+      alloc.set_rate(f.id, std::max(r, 0.0));
+    }
+    for (const ActiveFlow& f : coflow.flows) {
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      const double r = alloc.rate(f.id);
+      residual[u] = std::max(residual[u] - r, 0.0);
+      residual[d] = std::max(residual[d] - r, 0.0);
+    }
+  }
+  legacy_max_min_backfill(input, alloc);
+  return alloc;
+}
+
+Allocation legacy_aalo(const ScheduleInput& input) {
+  std::vector<std::size_t> order(input.coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> queue(input.coflows.size());
+  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+    queue[k] = legacy_queue_of(input.coflows[k].attained_bits);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (queue[a] != queue[b]) return queue[a] < queue[b];
+    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
+      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
+    }
+    return input.coflows[a].id < input.coflows[b].id;
+  });
+  return legacy_priority_fill(input, order);
+}
+
+Allocation legacy_fifo(const ScheduleInput& input) {
+  std::vector<std::size_t> order(input.coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
+      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
+    }
+    return input.coflows[a].id < input.coflows[b].id;
+  });
+  return legacy_priority_fill(input, order);
+}
+
+// ---- DRF / HUG / Varys (clairvoyant) ------------------------------------
+
+double legacy_drf_progress(const ScheduleInput& input) {
+  NCDRF_CHECK(input.clairvoyant != nullptr,
+              "DRF requires clairvoyant remaining-size information");
+  const Fabric& fabric = *input.fabric;
+  std::vector<double> load(static_cast<std::size_t>(fabric.num_links()),
+                           0.0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
+    const DemandVectors d =
+        legacy_remaining_demand(fabric, coflow, *input.clairvoyant);
+    if (d.bottleneck_demand <= 0.0) continue;
+    const std::vector<double> c = d.correlation();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      load[i] += coflow.weight * c[i];
+    }
+  }
+  double p_star = std::numeric_limits<double>::infinity();
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (load[idx] > 0.0) {
+      p_star = std::min(p_star, fabric.capacity(i) / load[idx]);
+    }
+  }
+  return std::isfinite(p_star) ? p_star : 0.0;
+}
+
+Allocation legacy_drf(const ScheduleInput& input) {
+  NCDRF_CHECK(input.clairvoyant != nullptr,
+              "DRF requires clairvoyant remaining-size information");
+  Allocation alloc;
+  const double p_star = legacy_drf_progress(input);
+  if (p_star <= 0.0) return alloc;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    const DemandVectors d =
+        legacy_remaining_demand(*input.fabric, coflow, *input.clairvoyant);
+    if (d.bottleneck_demand <= 0.0) {
+      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
+      continue;
+    }
+    for (const ActiveFlow& f : coflow.flows) {
+      const double remaining = input.clairvoyant->remaining_bits(f.id);
+      alloc.set_rate(f.id, coflow.weight * remaining * p_star /
+                               d.bottleneck_demand);
+    }
+  }
+  return alloc;
+}
+
+Allocation legacy_hug(const ScheduleInput& input) {
+  NCDRF_CHECK(input.clairvoyant != nullptr,
+              "HUG requires clairvoyant remaining-size information");
+  const int spare_rounds = 2;
+
+  Allocation alloc = legacy_drf(input);
+  const double p_star = legacy_drf_progress(input);
+  if (p_star <= 0.0) return alloc;
+
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  const std::size_t num_coflows = input.coflows.size();
+
+  std::vector<std::vector<int>> coflow_counts(
+      num_coflows, std::vector<int>(num_links, 0));
+  for (std::size_t k = 0; k < num_coflows; ++k) {
+    for (const ActiveFlow& f : input.coflows[k].flows) {
+      coflow_counts[k][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
+      coflow_counts[k][static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+          1;
+    }
+  }
+
+  for (int round = 0; round < spare_rounds; ++round) {
+    std::vector<std::vector<double>> coflow_usage(
+        num_coflows, std::vector<double>(num_links, 0.0));
+    std::vector<double> total_usage(num_links, 0.0);
+    for (std::size_t k = 0; k < num_coflows; ++k) {
+      for (const ActiveFlow& f : input.coflows[k].flows) {
+        const double r = alloc.rate(f.id);
+        const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+        const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+        coflow_usage[k][u] += r;
+        coflow_usage[k][d] += r;
+        total_usage[u] += r;
+        total_usage[d] += r;
+      }
+    }
+
+    std::vector<std::vector<double>> extra_budget(
+        num_coflows, std::vector<double>(num_links, 0.0));
+    bool any_spare = false;
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double spare =
+          std::max(fabric.capacity(i) - total_usage[idx], 0.0);
+      if (spare <= 0.0) continue;
+      const double cap = p_star * fabric.capacity(i);
+      int eligible = 0;
+      for (std::size_t k = 0; k < num_coflows; ++k) {
+        if (coflow_counts[k][idx] > 0 && coflow_usage[k][idx] < cap) {
+          ++eligible;
+        }
+      }
+      if (eligible == 0) continue;
+      const double per_coflow = spare / eligible;
+      for (std::size_t k = 0; k < num_coflows; ++k) {
+        if (coflow_counts[k][idx] > 0 && coflow_usage[k][idx] < cap) {
+          extra_budget[k][idx] =
+              std::min(per_coflow, cap - coflow_usage[k][idx]);
+          any_spare = true;
+        }
+      }
+    }
+    if (!any_spare) break;
+
+    for (std::size_t k = 0; k < num_coflows; ++k) {
+      for (const ActiveFlow& f : input.coflows[k].flows) {
+        const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+        const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+        const double up_share = extra_budget[k][u] / coflow_counts[k][u];
+        const double down_share = extra_budget[k][d] / coflow_counts[k][d];
+        const double w = std::min(up_share, down_share);
+        if (w > 0.0) alloc.add_rate(f.id, w);
+      }
+    }
+  }
+  return alloc;
+}
+
+Allocation legacy_varys(const ScheduleInput& input) {
+  NCDRF_CHECK(input.clairvoyant != nullptr,
+              "Varys requires clairvoyant remaining-size information");
+  const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+
+  std::vector<DemandVectors> demands;
+  demands.reserve(input.coflows.size());
+  std::vector<double> gamma(input.coflows.size(), 0.0);
+  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+    demands.push_back(legacy_remaining_demand(fabric, input.coflows[k],
+                                              *input.clairvoyant));
+    double g = 0.0;
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      g = std::max(g, demands.back().demand[idx] / fabric.capacity(i));
+    }
+    gamma[k] = g;
+  }
+
+  std::vector<std::size_t> order(input.coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (gamma[a] != gamma[b]) return gamma[a] < gamma[b];
+    return input.coflows[a].id < input.coflows[b].id;
+  });
+
+  std::vector<double> residual(num_links);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+
+  Allocation alloc;
+  for (const std::size_t k : order) {
+    const ActiveCoflow& coflow = input.coflows[k];
+    if (gamma[k] <= 0.0) {
+      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
+      continue;
+    }
+    double g = 0.0;
+    bool blocked = false;
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (demands[k].demand[idx] <= 0.0) continue;
+      if (residual[idx] <= 0.0) {
+        blocked = true;
+        break;
+      }
+      g = std::max(g, demands[k].demand[idx] / residual[idx]);
+    }
+    if (blocked || g <= 0.0) {
+      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
+      continue;
+    }
+    for (const ActiveFlow& f : coflow.flows) {
+      const double r = input.clairvoyant->remaining_bits(f.id) / g;
+      alloc.set_rate(f.id, r);
+      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+      residual[u] = std::max(residual[u] - r, 0.0);
+      residual[d] = std::max(residual[d] - r, 0.0);
+    }
+  }
+  legacy_max_min_backfill(input, alloc);
+  return alloc;
+}
+
+}  // namespace
+
+bool legacy_supports(const std::string& name) {
+  return name == "tcp" || name == "persource" || name == "perpair" ||
+         name == "psp" || name == "psp-live" || name == "drf" ||
+         name == "hug" || name == "aalo" || name == "varys" ||
+         name == "baraat" || name == "fifo";
+}
+
+Allocation legacy_allocate(const std::string& name,
+                           const ScheduleInput& input) {
+  if (name == "tcp") return legacy_perflow(input);
+  if (name == "persource") return legacy_endpoint_fair(input, true);
+  if (name == "perpair") return legacy_endpoint_fair(input, false);
+  if (name == "psp") return legacy_psp(input, true);
+  if (name == "psp-live") return legacy_psp(input, false);
+  if (name == "drf") return legacy_drf(input);
+  if (name == "hug") return legacy_hug(input);
+  if (name == "aalo") return legacy_aalo(input);
+  if (name == "varys") return legacy_varys(input);
+  if (name == "baraat") return legacy_baraat(input);
+  if (name == "fifo") return legacy_fifo(input);
+  NCDRF_CHECK(false, "no legacy reference for scheduler: " + name);
+  return {};
+}
+
+}  // namespace ncdrf

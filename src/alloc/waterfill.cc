@@ -1,0 +1,178 @@
+#include "alloc/waterfill.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ncdrf {
+namespace {
+
+// The legacy solver froze every flow crossing a link whose residual fell
+// within this band of zero; the kernel replicates the rule so both freeze
+// the same flows at the same fill levels.
+double freeze_tolerance(double available_bps) {
+  return 1e-9 * std::max(available_bps, 1.0);
+}
+
+}  // namespace
+
+void WaterfillKernel::push_link(std::size_t link) {
+  heap_.push_back(HeapEntry{
+      theta_last_[link] + avail_[link] / weight_[link],
+      static_cast<LinkId>(link), ++version_[link]});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+void WaterfillKernel::solve(const Fabric& fabric,
+                            const std::vector<WaterfillFlow>& flows,
+                            const std::vector<double>& available_bps,
+                            std::vector<double>& rates_out) {
+  NCDRF_CHECK(available_bps.size() ==
+                  static_cast<std::size_t>(fabric.num_links()),
+              "available-capacity vector must cover all links");
+  const std::size_t n = flows.size();
+  rates_out.assign(n, 0.0);
+  if (n == 0) return;
+
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  weight_.assign(num_links, 0.0);
+  avail_.resize(num_links);
+  theta_last_.assign(num_links, 0.0);
+  tol_.resize(num_links);
+  version_.assign(num_links, 0);
+  frozen_link_.assign(num_links, 0);
+  frozen_flow_.assign(n, 0);
+  heap_.clear();
+
+  for (std::size_t i = 0; i < num_links; ++i) {
+    avail_[i] = std::max(available_bps[i], 0.0);
+    tol_[i] = freeze_tolerance(available_bps[i]);
+  }
+
+  // CSR adjacency (link → flow indices) and per-link unfrozen weight.
+  auto up = [&](const WaterfillFlow& f) {
+    return static_cast<std::size_t>(fabric.uplink(f.src));
+  };
+  auto down = [&](const WaterfillFlow& f) {
+    return static_cast<std::size_t>(fabric.downlink(f.dst));
+  };
+  csr_offsets_.assign(num_links + 1, 0);
+  for (const WaterfillFlow& f : flows) {
+    NCDRF_CHECK(f.weight > 0.0, "max-min weights must be positive");
+    csr_offsets_[up(f) + 1] += 1;
+    csr_offsets_[down(f) + 1] += 1;
+    weight_[up(f)] += f.weight;
+    weight_[down(f)] += f.weight;
+  }
+  for (std::size_t i = 0; i < num_links; ++i) {
+    csr_offsets_[i + 1] += csr_offsets_[i];
+  }
+  csr_flows_.resize(static_cast<std::size_t>(csr_offsets_[num_links]));
+  {
+    std::vector<std::int32_t>& cursor = csr_cursor_;
+    cursor.assign(csr_offsets_.begin(), csr_offsets_.end() - 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      csr_flows_[static_cast<std::size_t>(cursor[up(flows[k])]++)] =
+          static_cast<std::int32_t>(k);
+      csr_flows_[static_cast<std::size_t>(cursor[down(flows[k])]++)] =
+          static_cast<std::int32_t>(k);
+    }
+  }
+
+  for (std::size_t i = 0; i < num_links; ++i) {
+    if (weight_[i] > 0.0) push_link(i);
+  }
+
+  // Freezes `link` at fill level theta: all its unfrozen flows get their
+  // final rate weight·theta, and each such flow's other endpoint link is
+  // advanced to theta and re-keyed with the flow's weight removed.
+  const auto freeze_link = [&](std::size_t link, double theta) {
+    frozen_link_[link] = 1;
+    const auto begin = static_cast<std::size_t>(csr_offsets_[link]);
+    const auto end = static_cast<std::size_t>(csr_offsets_[link + 1]);
+    for (std::size_t c = begin; c < end; ++c) {
+      const auto k = static_cast<std::size_t>(csr_flows_[c]);
+      if (frozen_flow_[k]) continue;
+      frozen_flow_[k] = 1;
+      rates_out[k] = flows[k].weight * theta;
+      const std::size_t u = up(flows[k]);
+      const std::size_t other = (u == link) ? down(flows[k]) : u;
+      if (frozen_link_[other]) continue;
+      avail_[other] = std::max(
+          avail_[other] - (theta - theta_last_[other]) * weight_[other],
+          0.0);
+      theta_last_[other] = theta;
+      weight_[other] -= flows[k].weight;
+      if (weight_[other] > 0.0) {
+        push_link(other);
+      } else {
+        weight_[other] = 0.0;  // no unfrozen flow left; never constrains
+        ++version_[other];     // invalidate any queued entry
+      }
+    }
+  };
+
+  double theta = 0.0;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    const auto link = static_cast<std::size_t>(e.link);
+    if (e.version != version_[link] || frozen_link_[link]) continue;
+    theta = std::max(e.key, theta);
+    freeze_link(link, theta);
+
+    // Legacy tolerance cascade: any link whose residual at this fill level
+    // sits within its freeze band saturates now, not at its own key.
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      const auto j = static_cast<std::size_t>(top.link);
+      if (top.version != version_[j] || frozen_link_[j]) {
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.pop_back();
+        continue;
+      }
+      const double resid =
+          std::max(avail_[j] - (theta - theta_last_[j]) * weight_[j], 0.0);
+      if (resid > tol_[j]) break;
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+      freeze_link(j, theta);
+    }
+  }
+}
+
+void residual_capacity(const ScheduleInput& input, const Allocation& alloc,
+                       std::vector<double>& out) {
+  const Fabric& fabric = *input.fabric;
+  out.assign(static_cast<std::size_t>(fabric.num_links()), 0.0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      const double r = alloc.rate(flow.id);
+      out[static_cast<std::size_t>(fabric.uplink(flow.src))] += r;
+      out[static_cast<std::size_t>(fabric.downlink(flow.dst))] += r;
+    }
+  }
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out[idx] = fabric.capacity(i) - out[idx];
+  }
+}
+
+void ResidualBackfill::run(const ScheduleInput& input, Allocation& alloc) {
+  residual_capacity(input, alloc, residual_);
+  for (double& r : residual_) r = std::max(r, 0.0);
+
+  flows_.clear();
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& flow : coflow.flows) {
+      flows_.push_back({flow.id, flow.src, flow.dst, 1.0});
+    }
+  }
+  kernel_.solve(*input.fabric, flows_, residual_, rates_);
+  for (std::size_t k = 0; k < flows_.size(); ++k) {
+    if (rates_[k] > 0.0) alloc.add_rate(flows_[k].id, rates_[k]);
+  }
+}
+
+}  // namespace ncdrf

@@ -1,0 +1,102 @@
+// Sorted-saturation water-filling: the allocation-kernel layer's weighted
+// max-min solver (classic bottleneck algorithm, cf. Bertsekas & Gallager
+// §6.5.2) shared by the per-flow/endpoint fairness policies and every
+// priority scheduler's residual backfilling pass.
+//
+// The legacy solver ran a round loop — rescan all links for the smallest
+// residual/weight, raise every unfrozen flow, rescan all flows for freeze
+// candidates — which is O((F+L)·rounds) with up to L+1 rounds. The kernel
+// keeps a lazy min-heap of link saturation levels instead: links pop in
+// saturation order, each pop freezes that link's unfrozen flows at the
+// current fill level Θ (their final rate is weight·Θ) and re-keys the one
+// other link each frozen flow crosses. Every link pops at most once and
+// every flow freeze re-keys at most one link, so the whole solve is
+// O((F+L)·log L).
+//
+// Freeze semantics replicate the legacy solver's tolerance rule exactly
+// (a link whose residual falls within 1e-9·max(avail, 1) of zero is
+// saturated), so the two solvers freeze the same flows at the same fill
+// levels and rates agree to floating-point accumulation order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace ncdrf {
+
+struct WaterfillFlow {
+  FlowId id = -1;
+  MachineId src = -1;
+  MachineId dst = -1;
+  double weight = 1.0;  // must be positive
+};
+
+class WaterfillKernel {
+ public:
+  // Computes weighted max-min rates for `flows` given per-link available
+  // capacity `available_bps` (indexed by LinkId; entries may be 0), into
+  // `rates_out` (resized; index-aligned with `flows`). The allocation
+  // saturates every link that constrains any flow. All scratch buffers are
+  // members, so steady-state calls allocate nothing.
+  void solve(const Fabric& fabric, const std::vector<WaterfillFlow>& flows,
+             const std::vector<double>& available_bps,
+             std::vector<double>& rates_out);
+
+ private:
+  struct HeapEntry {
+    double key = 0.0;     // fill level Θ at which the link saturates
+    LinkId link = -1;
+    std::uint32_t version = 0;
+
+    // Min-heap on key via std::push_heap's max-heap comparator; link id
+    // breaks ties deterministically.
+    bool operator<(const HeapEntry& other) const {
+      if (key != other.key) return key > other.key;
+      return link > other.link;
+    }
+  };
+
+  void push_link(std::size_t link);
+
+  // CSR adjacency: link → indices into `flows`.
+  std::vector<std::int32_t> csr_offsets_;
+  std::vector<std::int32_t> csr_flows_;
+  std::vector<std::int32_t> csr_cursor_;
+
+  // Per-link solver state, indexed by LinkId.
+  std::vector<double> weight_;      // unfrozen weight crossing the link
+  std::vector<double> avail_;       // residual capacity at theta_last
+  std::vector<double> theta_last_;  // fill level avail_/weight_ refer to
+  std::vector<double> tol_;         // legacy freeze tolerance
+  std::vector<std::uint32_t> version_;
+  std::vector<char> frozen_link_;
+
+  std::vector<char> frozen_flow_;
+  std::vector<HeapEntry> heap_;
+};
+
+// Writes capacity − usage per link into `out` (resized), accumulating the
+// snapshot's flow rates in coflow-major order — the residual every
+// backfilling pass starts from. Entries are not clamped; callers decide
+// how to treat numerically negative residuals.
+void residual_capacity(const ScheduleInput& input, const Allocation& alloc,
+                       std::vector<double>& out);
+
+// Work-conserving last pass for the priority schedulers: water-fills the
+// residual capacity left by `alloc` max-min fairly (unit weights) across
+// every active flow and adds the result in place. Equivalent to the legacy
+// max_min_backfill; a persistent instance reuses all scratch.
+class ResidualBackfill {
+ public:
+  void run(const ScheduleInput& input, Allocation& alloc);
+
+ private:
+  WaterfillKernel kernel_;
+  std::vector<WaterfillFlow> flows_;
+  std::vector<double> residual_;
+  std::vector<double> rates_;
+};
+
+}  // namespace ncdrf

@@ -1,7 +1,7 @@
-#include <cmath>
 #include "cluster/deployment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 

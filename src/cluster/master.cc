@@ -138,6 +138,7 @@ ScheduleInput Master::build_view(double now) const {
   ScheduleInput input;
   input.fabric = &fabric_;
   input.now = now;
+  int live_flows = 0;
   for (const CoflowState& coflow : coflows_) {
     ActiveCoflow view;
     view.id = coflow.id;
@@ -158,8 +159,12 @@ ScheduleInput Master::build_view(double now) const {
           ActiveFlow{fs.flow.id, fs.flow.coflow, fs.flow.src, fs.flow.dst});
     }
     view.attained_bits = attained;
-    if (!view.flows.empty()) input.coflows.push_back(std::move(view));
+    if (!view.flows.empty()) {
+      live_flows += static_cast<int>(view.flows.size());
+      input.coflows.push_back(std::move(view));
+    }
   }
+  input.total_live_flows = live_flows;
   return input;
 }
 

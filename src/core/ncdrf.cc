@@ -186,11 +186,7 @@ Allocation NcDrfScheduler::allocate(const ScheduleInput& input) {
   // Algorithm 1 lines 10-15: every flow of coflow k runs at
   // r_k = w_k · P̂*/n̄_k, so the coflow's aggregate on link i is
   // w_k · ĉ_k^i · P̂* (weights default to 1, recovering the paper's form).
-  std::size_t total_flows = 0;
-  for (const ActiveCoflow& coflow : input.coflows) {
-    total_flows += coflow.flows.size();
-  }
-  alloc.reserve(total_flows);
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   for (const ActiveCoflow& coflow : input.coflows) {
     if (coflow.flows.empty()) continue;
     const double r_k = state_.rate_bps(coflow.id, p_star);

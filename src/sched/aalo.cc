@@ -1,17 +1,17 @@
-#include <cmath>
 #include "sched/aalo.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <vector>
 
 #include "common/check.h"
-#include "sched/maxmin.h"
 
 namespace ncdrf {
 
-AaloScheduler::AaloScheduler(AaloOptions options) : options_(options) {
+AaloScheduler::AaloScheduler(AaloOptions options)
+    : KernelScheduler(/*count_finished_flows=*/false), options_(options) {
   NCDRF_CHECK(options_.initial_queue_limit_bits > 0.0,
               "Q0 must be positive");
   NCDRF_CHECK(options_.exchange_rate > 1.0, "exchange rate must exceed 1");
@@ -40,45 +40,48 @@ double AaloScheduler::queue_upper_bound(int queue) const {
 }
 
 Allocation AaloScheduler::allocate(const ScheduleInput& input) {
+  AllocScope scope(perf_);
   const Fabric& fabric = *input.fabric;
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  sync(input);
 
   // Priority order: (queue, arrival time, id) — strict priority across
   // queues, FIFO within a queue.
-  std::vector<std::size_t> order(input.coflows.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<int> queue(input.coflows.size());
+  order_.resize(input.coflows.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  queue_.resize(input.coflows.size());
   for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-    queue[k] = queue_of(input.coflows[k].attained_bits);
+    queue_[k] = queue_of(input.coflows[k].attained_bits);
   }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (queue[a] != queue[b]) return queue[a] < queue[b];
-    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
-      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
-    }
-    return input.coflows[a].id < input.coflows[b].id;
-  });
+  std::sort(order_.begin(), order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (queue_[a] != queue_[b]) return queue_[a] < queue_[b];
+              if (input.coflows[a].arrival_time !=
+                  input.coflows[b].arrival_time) {
+                return input.coflows[a].arrival_time <
+                       input.coflows[b].arrival_time;
+              }
+              return input.coflows[a].id < input.coflows[b].id;
+            });
 
-  std::vector<double> residual(num_links);
+  residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+    residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
   Allocation alloc;
-  for (const std::size_t k : order) {
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+  for (const std::size_t k : order_) {
     const ActiveCoflow& coflow = input.coflows[k];
     // The head coflow takes what is left of each link, split evenly among
-    // its own flows there; a flow realizes the min of its two shares.
-    std::vector<int> counts(num_links, 0);
-    for (const ActiveFlow& f : coflow.flows) {
-      counts[static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
-      counts[static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
-    }
+    // its own flows there; a flow realizes the min of its two shares. The
+    // per-link flow counts come from LinkLoadState.
+    const LinkLoadState::CoflowLoad& load = *state_.find(coflow.id);
     for (const ActiveFlow& f : coflow.flows) {
       const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
       const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
       const double r =
-          std::min(residual[u] / counts[u], residual[d] / counts[d]);
+          std::min(residual_[u] / load.live[u], residual_[d] / load.live[d]);
       alloc.set_rate(f.id, std::max(r, 0.0));
     }
     // Subtract actual usage after the whole coflow is assigned so flows of
@@ -87,12 +90,15 @@ Allocation AaloScheduler::allocate(const ScheduleInput& input) {
       const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
       const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
       const double r = alloc.rate(f.id);
-      residual[u] = std::max(residual[u] - r, 0.0);
-      residual[d] = std::max(residual[d] - r, 0.0);
+      residual_[u] = std::max(residual_[u] - r, 0.0);
+      residual_[d] = std::max(residual_[d] - r, 0.0);
     }
   }
 
-  if (options_.work_conserving) max_min_backfill(input, alloc);
+  if (options_.work_conserving) {
+    perf_.backfill_rounds += 1;
+    backfill_.run(input, alloc);
+  }
   return alloc;
 }
 

@@ -14,9 +14,16 @@
 // D-CLAS mimics shortest-first without size knowledge, which minimizes
 // average CCT but provides *no isolation*: large coflows can be delayed
 // unboundedly (the >100 normalized-CCT tail in Fig. 6a).
+//
+// Per-coflow per-link flow counts come from the kernel layer's
+// LinkLoadState instead of a per-coflow dense count rebuild each call, and
+// the work-conserving pass is the shared residual water-filling kernel.
 #pragma once
 
-#include "sched/scheduler.h"
+#include <vector>
+
+#include "alloc/kernel_scheduler.h"
+#include "alloc/waterfill.h"
 
 namespace ncdrf {
 
@@ -27,7 +34,7 @@ struct AaloOptions {
   bool work_conserving = true;
 };
 
-class AaloScheduler : public Scheduler {
+class AaloScheduler : public KernelScheduler {
  public:
   explicit AaloScheduler(AaloOptions options = {});
 
@@ -49,6 +56,10 @@ class AaloScheduler : public Scheduler {
 
  private:
   AaloOptions options_;
+  std::vector<std::size_t> order_;
+  std::vector<int> queue_;
+  std::vector<double> residual_;
+  ResidualBackfill backfill_;
 };
 
 }  // namespace ncdrf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "alloc/waterfill.h"
 #include "common/check.h"
 
 namespace ncdrf {
@@ -40,15 +41,12 @@ bool backfill_round(const ScheduleInput& input, Allocation& alloc,
   return true;
 }
 
-// capacity − usage per link, from a full scan of the allocation.
+// capacity − usage per link, from a full scan of the allocation (shared
+// with the kernel layer's residual water-filling pass).
 std::vector<double> residual_from_usage(const ScheduleInput& input,
                                         const Allocation& alloc) {
-  const Fabric& fabric = *input.fabric;
-  std::vector<double> residual = link_usage(input, alloc);
-  for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    residual[idx] = fabric.capacity(i) - residual[idx];
-  }
+  std::vector<double> residual;
+  residual_capacity(input, alloc, residual);
   return residual;
 }
 

@@ -7,68 +7,68 @@
 #include <vector>
 
 #include "common/check.h"
-#include "sched/maxmin.h"
 
 namespace ncdrf {
-namespace {
 
-std::vector<std::size_t> fifo_order(const ScheduleInput& input) {
-  std::vector<std::size_t> order(input.coflows.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
-      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
-    }
-    return input.coflows[a].id < input.coflows[b].id;
-  });
-  return order;
-}
-
-}  // namespace
-
-BaraatScheduler::BaraatScheduler(BaraatOptions options) : options_(options) {
+BaraatScheduler::BaraatScheduler(BaraatOptions options)
+    : KernelScheduler(/*count_finished_flows=*/false), options_(options) {
   NCDRF_CHECK(options_.heavy_threshold_bits > 0.0,
               "heavy threshold must be positive");
 }
 
 Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
+  AllocScope scope(perf_);
   const Fabric& fabric = *input.fabric;
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  sync(input);
+
+  order_.resize(input.coflows.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (input.coflows[a].arrival_time !=
+                  input.coflows[b].arrival_time) {
+                return input.coflows[a].arrival_time <
+                       input.coflows[b].arrival_time;
+              }
+              return input.coflows[a].id < input.coflows[b].id;
+            });
 
   // FIFO-LM served set: FIFO prefix through the heavy coflows, ending at
   // (and including) the first light one.
   std::vector<std::size_t> served;
-  for (const std::size_t k : fifo_order(input)) {
+  for (const std::size_t k : order_) {
     served.push_back(k);
     if (input.coflows[k].attained_bits <= options_.heavy_threshold_bits) {
       break;  // a light head serves alone behind the heavies before it
     }
   }
 
-  // Equal per-link split among served coflows, even among a coflow's flows
-  // on the link, min across the two endpoints.
-  std::vector<int> served_on_link(num_links, 0);
-  std::vector<std::vector<int>> counts(served.size(),
-                                       std::vector<int>(num_links, 0));
-  for (std::size_t s = 0; s < served.size(); ++s) {
-    for (const ActiveFlow& f : input.coflows[served[s]].flows) {
-      counts[s][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
-      counts[s][static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
-    }
-    for (std::size_t i = 0; i < num_links; ++i) {
-      if (counts[s][i] > 0) served_on_link[i] += 1;
+  // Coflows serving on each link; only the served coflows' touched links
+  // are visited (the per-coflow counts themselves live in LinkLoadState).
+  served_on_link_.assign(num_links, 0);
+  for (const std::size_t k : served) {
+    const LinkLoadState::CoflowLoad& load = *state_.find(input.coflows[k].id);
+    for (const LinkId i : load.touched) {
+      if (load.live[static_cast<std::size_t>(i)] > 0) {
+        served_on_link_[static_cast<std::size_t>(i)] += 1;
+      }
     }
   }
 
+  // Equal per-link split among served coflows, even among a coflow's flows
+  // on the link, min across the two endpoints.
   Allocation alloc;
-  for (std::size_t s = 0; s < served.size(); ++s) {
-    for (const ActiveFlow& f : input.coflows[served[s]].flows) {
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+  for (const std::size_t k : served) {
+    const LinkLoadState::CoflowLoad& load = *state_.find(input.coflows[k].id);
+    for (const ActiveFlow& f : input.coflows[k].flows) {
       const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
       const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
       const double up = fabric.capacity(static_cast<LinkId>(u)) /
-                        served_on_link[u] / counts[s][u];
+                        served_on_link_[u] / load.live[u];
       const double down = fabric.capacity(static_cast<LinkId>(d)) /
-                          served_on_link[d] / counts[s][d];
+                          served_on_link_[d] / load.live[d];
       alloc.set_rate(f.id, std::min(up, down));
     }
   }
@@ -79,7 +79,10 @@ Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
     }
   }
 
-  if (options_.work_conserving) max_min_backfill(input, alloc);
+  if (options_.work_conserving) {
+    perf_.backfill_rounds += 1;
+    backfill_.run(input, alloc);
+  }
   return alloc;
 }
 

@@ -14,9 +14,16 @@
 // light coflow). Served coflows split each link's remaining capacity
 // evenly (per coflow, then per flow, min across endpoints); leftover
 // capacity is max-min backfilled.
+//
+// Per-link flow counts come from the kernel layer's LinkLoadState; the
+// served-coflow-per-link tally only walks the served coflows' touched
+// links instead of rebuilding a dense served × links count matrix.
 #pragma once
 
-#include "sched/scheduler.h"
+#include <vector>
+
+#include "alloc/kernel_scheduler.h"
+#include "alloc/waterfill.h"
 
 namespace ncdrf {
 
@@ -27,7 +34,7 @@ struct BaraatOptions {
   bool work_conserving = true;
 };
 
-class BaraatScheduler : public Scheduler {
+class BaraatScheduler : public KernelScheduler {
  public:
   explicit BaraatScheduler(BaraatOptions options = {});
 
@@ -41,6 +48,9 @@ class BaraatScheduler : public Scheduler {
 
  private:
   BaraatOptions options_;
+  std::vector<std::size_t> order_;
+  std::vector<int> served_on_link_;
+  ResidualBackfill backfill_;
 };
 
 }  // namespace ncdrf

@@ -1,84 +1,35 @@
-#include <cmath>
 #include "sched/drf.h"
 
-#include <algorithm>
-#include <limits>
+#include <chrono>
 
-#include "coflow/coflow.h"
+#include "common/check.h"
 #include "sched/backfill.h"
 
 namespace ncdrf {
-namespace {
-
-// Remaining demand vectors of one active coflow.
-DemandVectors remaining_demand(const Fabric& fabric,
-                               const ActiveCoflow& coflow,
-                               const ClairvoyantInfo& info) {
-  std::vector<Flow> flows;
-  std::vector<double> sizes;
-  flows.reserve(coflow.flows.size());
-  sizes.reserve(coflow.flows.size());
-  for (const ActiveFlow& f : coflow.flows) {
-    flows.push_back(Flow{f.id, f.coflow, f.src, f.dst, 0.0});
-    sizes.push_back(info.remaining_bits(f.id));
-  }
-  return compute_demand(fabric, flows, sizes);
-}
-
-}  // namespace
 
 double DrfScheduler::optimal_progress(const ScheduleInput& input) {
   NCDRF_CHECK(input.clairvoyant != nullptr,
               "DRF requires clairvoyant remaining-size information");
-  const Fabric& fabric = *input.fabric;
-  // Σ_k c_k^i per link, then P* = min_i C_i / Σ_k c_k^i.
-  std::vector<double> load(static_cast<std::size_t>(fabric.num_links()), 0.0);
-  for (const ActiveCoflow& coflow : input.coflows) {
-    NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
-    const DemandVectors d = remaining_demand(fabric, coflow,
-                                             *input.clairvoyant);
-    if (d.bottleneck_demand <= 0.0) continue;
-    const std::vector<double> c = d.correlation();
-    for (std::size_t i = 0; i < c.size(); ++i) {
-      load[i] += coflow.weight * c[i];
-    }
-  }
-  double p_star = std::numeric_limits<double>::infinity();
-  for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (load[idx] > 0.0) {
-      p_star = std::min(p_star, fabric.capacity(i) / load[idx]);
-    }
-  }
-  return std::isfinite(p_star) ? p_star : 0.0;
+  DemandCache cache;
+  cache.refresh(input);
+  return cache.drf_progress(input);
 }
 
 Allocation DrfScheduler::allocate(const ScheduleInput& input) {
   NCDRF_CHECK(input.clairvoyant != nullptr,
               "DRF requires clairvoyant remaining-size information");
+  const auto start = std::chrono::steady_clock::now();
+  perf_.allocate_calls += 1;
   Allocation alloc;
-  const double p_star = optimal_progress(input);
-  if (p_star <= 0.0) return alloc;
-
-  for (const ActiveCoflow& coflow : input.coflows) {
-    const DemandVectors d =
-        remaining_demand(*input.fabric, coflow, *input.clairvoyant);
-    if (d.bottleneck_demand <= 0.0) {
-      // Nothing left to send; flows will be retired by the driver.
-      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
-      continue;
-    }
-    // rate_f = w_k · remaining_f · P* / d̄_k — flows (and links) finish
-    // together; weights default to 1.
-    for (const ActiveFlow& f : coflow.flows) {
-      const double remaining = input.clairvoyant->remaining_bits(f.id);
-      alloc.set_rate(f.id, coflow.weight * remaining * p_star /
-                               d.bottleneck_demand);
-    }
-  }
-  if (options_.work_conserving) {
+  cache_.refresh(input);
+  const double p_star = drf_allocate(input, cache_, alloc);
+  if (p_star > 0.0 && options_.work_conserving) {
+    perf_.backfill_rounds += options_.backfill_rounds;
     even_backfill(input, alloc, options_.backfill_rounds);
   }
+  perf_.allocate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return alloc;
 }
 

@@ -8,8 +8,14 @@
 // of a coflow's flows — and all links it uses — finish simultaneously;
 // this keeps the instantaneous progress of every coflow exactly equal
 // (disparity 1, the Fig. 5a reference line).
+//
+// Demand vectors come from the kernel layer's DemandCache: one
+// remaining-demand computation per coflow per call instead of the two the
+// legacy implementation paid (P* pass + rate pass).
 #pragma once
 
+#include "alloc/demand_cache.h"
+#include "obs/perf.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
@@ -28,6 +34,7 @@ class DrfScheduler : public Scheduler {
   std::string name() const override { return "DRF"; }
   bool clairvoyant() const override { return true; }
   Allocation allocate(const ScheduleInput& input) override;
+  const SchedPerf* perf_counters() const override { return &perf_; }
 
   // The optimal isolation guarantee P* (Eq. 2) for the snapshot, in
   // progress units (bps on the bottleneck of a unit-correlation coflow).
@@ -36,6 +43,8 @@ class DrfScheduler : public Scheduler {
 
  private:
   DrfOptions options_;
+  DemandCache cache_;
+  SchedPerf perf_;
 };
 
 }  // namespace ncdrf

@@ -1,46 +1,97 @@
 #include "sched/endpoint_fair.h"
 
-#include <map>
-#include <utility>
-#include <vector>
-
-#include "sched/maxmin.h"
+#include "common/check.h"
 
 namespace ncdrf {
 
-Allocation EndpointFairScheduler::allocate(const ScheduleInput& input) {
-  const Fabric& fabric = *input.fabric;
+void EndpointFairScheduler::on_reset(const Fabric& fabric) {
+  KernelScheduler::on_reset(fabric);
+  entity_size_.clear();
+  coflow_keys_.clear();
+}
 
-  // Count flows per entity, then weight each flow by 1 / |entity|.
-  std::map<std::pair<MachineId, MachineId>, int> entity_size;
-  auto key = [&](const ActiveFlow& f) {
-    return entity_ == FairnessEntity::kSource
-               ? std::make_pair(f.src, MachineId{-1})
-               : std::make_pair(f.src, f.dst);
-  };
+void EndpointFairScheduler::on_coflow_arrival(const ActiveCoflow& coflow) {
+  KernelScheduler::on_coflow_arrival(coflow);
+  if (!event_driven_) return;
+  std::vector<EntityKey>& keys = coflow_keys_[coflow.id];
+  keys.reserve(coflow.flows.size());
+  for (const ActiveFlow& f : coflow.flows) {
+    const EntityKey k = key(f);
+    entity_size_[k] += 1;
+    keys.push_back(k);
+  }
+}
+
+void EndpointFairScheduler::on_flow_finish(const ActiveFlow& flow) {
+  KernelScheduler::on_flow_finish(flow);
+  if (!event_driven_) return;
+  const EntityKey k = key(flow);
+  auto it = entity_size_.find(k);
+  NCDRF_CHECK(it != entity_size_.end() && it->second > 0,
+              "flow finish for untracked fairness entity");
+  if (--it->second == 0) entity_size_.erase(it);
+  std::vector<EntityKey>& keys = coflow_keys_.at(flow.coflow);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == k) {
+      keys[i] = keys.back();
+      keys.pop_back();
+      return;
+    }
+  }
+  NCDRF_CHECK(false, "finished flow not among its coflow's tracked keys");
+}
+
+void EndpointFairScheduler::on_coflow_departure(CoflowId id) {
+  KernelScheduler::on_coflow_departure(id);
+  if (!event_driven_) return;
+  auto it = coflow_keys_.find(id);
+  if (it == coflow_keys_.end()) return;
+  for (const EntityKey& k : it->second) {
+    auto sit = entity_size_.find(k);
+    NCDRF_CHECK(sit != entity_size_.end() && sit->second > 0,
+                "departure releases untracked fairness entity");
+    if (--sit->second == 0) entity_size_.erase(sit);
+  }
+  coflow_keys_.erase(it);
+}
+
+void EndpointFairScheduler::rebuild_entities(const ScheduleInput& input) {
+  entity_size_.clear();
+  coflow_keys_.clear();
   for (const ActiveCoflow& coflow : input.coflows) {
-    for (const ActiveFlow& f : coflow.flows) entity_size[key(f)] += 1;
+    std::vector<EntityKey>& keys = coflow_keys_[coflow.id];
+    keys.reserve(coflow.flows.size());
+    for (const ActiveFlow& f : coflow.flows) {
+      const EntityKey k = key(f);
+      entity_size_[k] += 1;
+      keys.push_back(k);
+    }
+  }
+}
+
+Allocation EndpointFairScheduler::allocate(const ScheduleInput& input) {
+  AllocScope scope(perf_);
+  const Fabric& fabric = *input.fabric;
+  if (sync(input)) rebuild_entities(input);
+
+  capacities_.resize(static_cast<std::size_t>(fabric.num_links()));
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
-  std::vector<MaxMinFlow> flows;
+  flows_.clear();
+  flows_.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   for (const ActiveCoflow& coflow : input.coflows) {
     for (const ActiveFlow& f : coflow.flows) {
-      flows.push_back(
-          {f.id, f.src, f.dst, 1.0 / entity_size.at(key(f))});
+      flows_.push_back({f.id, f.src, f.dst, 1.0 / entity_size_.at(key(f))});
     }
   }
 
-  std::vector<double> capacities(
-      static_cast<std::size_t>(fabric.num_links()));
-  for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    capacities[static_cast<std::size_t>(i)] = fabric.capacity(i);
-  }
-  const std::vector<double> rates =
-      weighted_max_min(fabric, flows, capacities);
-
+  kernel_.solve(fabric, flows_, capacities_, rates_);
   Allocation alloc;
-  for (std::size_t k = 0; k < flows.size(); ++k) {
-    alloc.set_rate(flows[k].id, rates[k]);
+  alloc.reserve(flows_.size());
+  for (std::size_t k = 0; k < flows_.size(); ++k) {
+    alloc.set_rate(flows_[k].id, rates_[k]);
   }
   return alloc;
 }

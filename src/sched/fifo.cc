@@ -4,52 +4,55 @@
 #include <numeric>
 #include <vector>
 
-#include "sched/maxmin.h"
-
 namespace ncdrf {
 
 Allocation FifoScheduler::allocate(const ScheduleInput& input) {
+  AllocScope scope(perf_);
   const Fabric& fabric = *input.fabric;
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  sync(input);
 
-  std::vector<std::size_t> order(input.coflows.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (input.coflows[a].arrival_time != input.coflows[b].arrival_time) {
-      return input.coflows[a].arrival_time < input.coflows[b].arrival_time;
-    }
-    return input.coflows[a].id < input.coflows[b].id;
-  });
+  order_.resize(input.coflows.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (input.coflows[a].arrival_time !=
+                  input.coflows[b].arrival_time) {
+                return input.coflows[a].arrival_time <
+                       input.coflows[b].arrival_time;
+              }
+              return input.coflows[a].id < input.coflows[b].id;
+            });
 
-  std::vector<double> residual(num_links);
+  residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+    residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
   Allocation alloc;
-  for (const std::size_t k : order) {
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+  for (const std::size_t k : order_) {
     const ActiveCoflow& coflow = input.coflows[k];
-    std::vector<int> counts(num_links, 0);
-    for (const ActiveFlow& f : coflow.flows) {
-      counts[static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
-      counts[static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
-    }
+    const LinkLoadState::CoflowLoad& load = *state_.find(coflow.id);
     for (const ActiveFlow& f : coflow.flows) {
       const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
       const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      alloc.set_rate(f.id, std::max(std::min(residual[u] / counts[u],
-                                             residual[d] / counts[d]),
+      alloc.set_rate(f.id, std::max(std::min(residual_[u] / load.live[u],
+                                             residual_[d] / load.live[d]),
                                     0.0));
     }
     for (const ActiveFlow& f : coflow.flows) {
       const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
       const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      residual[u] = std::max(residual[u] - alloc.rate(f.id), 0.0);
-      residual[d] = std::max(residual[d] - alloc.rate(f.id), 0.0);
+      residual_[u] = std::max(residual_[u] - alloc.rate(f.id), 0.0);
+      residual_[d] = std::max(residual_[d] - alloc.rate(f.id), 0.0);
     }
   }
 
-  if (options_.work_conserving) max_min_backfill(input, alloc);
+  if (options_.work_conserving) {
+    perf_.backfill_rounds += 1;
+    backfill_.run(input, alloc);
+  }
   return alloc;
 }
 

@@ -7,9 +7,15 @@
 // across the two endpoints); later coflows get what is left, in order —
 // i.e. D-CLAS with a single queue. Head-of-line blocking is the cost the
 // paper's Sec. II-B attributes to FIFO schedulers.
+//
+// Backed by the kernel layer: per-coflow link counts from LinkLoadState,
+// work conservation via the shared residual water-filling kernel.
 #pragma once
 
-#include "sched/scheduler.h"
+#include <vector>
+
+#include "alloc/kernel_scheduler.h"
+#include "alloc/waterfill.h"
 
 namespace ncdrf {
 
@@ -17,9 +23,10 @@ struct FifoOptions {
   bool work_conserving = true;
 };
 
-class FifoScheduler : public Scheduler {
+class FifoScheduler : public KernelScheduler {
  public:
-  explicit FifoScheduler(FifoOptions options = {}) : options_(options) {}
+  explicit FifoScheduler(FifoOptions options = {})
+      : KernelScheduler(/*count_finished_flows=*/false), options_(options) {}
 
   std::string name() const override { return "FIFO"; }
   bool clairvoyant() const override { return false; }
@@ -27,6 +34,9 @@ class FifoScheduler : public Scheduler {
 
  private:
   FifoOptions options_;
+  std::vector<std::size_t> order_;
+  std::vector<double> residual_;
+  ResidualBackfill backfill_;
 };
 
 }  // namespace ncdrf

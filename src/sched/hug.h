@@ -9,9 +9,19 @@
 //   at P* · C_i. Spare is split evenly among capped coflows per link, and a
 //   flow only realizes the minimum of its uplink/downlink extra shares
 //   (flow conservation).
+//
+// Kernel-layer backing: stage 1 shares the DemandCache with DRF (one
+// remaining-demand pass instead of the three the legacy implementation
+// paid), and stage 2 runs on a sparse (coflow, link) slot arena sized by
+// LinkLoadState's touched-links lists instead of dense coflows × links
+// usage/budget matrices rebuilt every round.
 #pragma once
 
-#include "sched/scheduler.h"
+#include <cstdint>
+#include <vector>
+
+#include "alloc/demand_cache.h"
+#include "alloc/kernel_scheduler.h"
 
 namespace ncdrf {
 
@@ -21,9 +31,10 @@ struct HugOptions {
   int spare_rounds = 2;
 };
 
-class HugScheduler : public Scheduler {
+class HugScheduler : public KernelScheduler {
  public:
-  explicit HugScheduler(HugOptions options = {}) : options_(options) {}
+  explicit HugScheduler(HugOptions options = {})
+      : KernelScheduler(/*count_finished_flows=*/false), options_(options) {}
 
   std::string name() const override { return "HUG"; }
   bool clairvoyant() const override { return true; }
@@ -31,6 +42,22 @@ class HugScheduler : public Scheduler {
 
  private:
   HugOptions options_;
+  DemandCache cache_;
+
+  // Stage-2 arena: one slot per (coflow, link the coflow has live flows
+  // on). Rebuilt each allocate() in O(Σ touched links + flows); rounds
+  // then cost O(slots + flows) instead of O(coflows · links).
+  std::vector<std::int32_t> slot_offset_;   // per coflow index, size K+1
+  std::vector<LinkId> slot_links_;          // slot -> link id
+  std::vector<int> slot_live_;              // slot -> coflow's live count
+  std::vector<std::int32_t> flow_slots_;    // 2 per flow: up slot, down slot
+  std::vector<std::int32_t> link_offsets_;  // CSR link -> slots, size L+1
+  std::vector<std::int32_t> link_entries_;  // slots, coflow-ascending
+  std::vector<std::int32_t> link_cursor_;
+  std::vector<std::int32_t> link_slot_scratch_;
+  std::vector<double> usage_;        // slot -> coflow usage on link
+  std::vector<double> budget_;       // slot -> extra budget on link
+  std::vector<double> total_usage_;  // per link
 };
 
 }  // namespace ncdrf

@@ -1,8 +1,4 @@
-#include <cmath>
 #include "sched/maxmin.h"
-
-#include <algorithm>
-#include <limits>
 
 #include "common/check.h"
 
@@ -14,89 +10,15 @@ std::vector<double> weighted_max_min(
   NCDRF_CHECK(available_bps.size() ==
                   static_cast<std::size_t>(fabric.num_links()),
               "available-capacity vector must cover all links");
-  const std::size_t n = flows.size();
-  std::vector<double> rates(n, 0.0);
-  if (n == 0) return rates;
-
-  std::vector<double> residual = available_bps;
-  for (double& r : residual) r = std::max(r, 0.0);
-  std::vector<bool> frozen(n, false);
-
-  // Unfrozen weight crossing each link.
-  std::vector<double> link_weight(
-      static_cast<std::size_t>(fabric.num_links()), 0.0);
-  auto up = [&](const MaxMinFlow& f) {
-    return static_cast<std::size_t>(fabric.uplink(f.src));
-  };
-  auto down = [&](const MaxMinFlow& f) {
-    return static_cast<std::size_t>(fabric.downlink(f.dst));
-  };
-  for (const MaxMinFlow& f : flows) {
-    NCDRF_CHECK(f.weight > 0.0, "max-min weights must be positive");
-    link_weight[up(f)] += f.weight;
-    link_weight[down(f)] += f.weight;
-  }
-
-  std::size_t remaining = n;
-  // Each round saturates at least one link and freezes its flows, so the
-  // loop runs at most num_links() times.
-  for (int round = 0; round <= fabric.num_links() && remaining > 0; ++round) {
-    // Fill rate theta: smallest residual/weight over loaded links.
-    double theta = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < residual.size(); ++i) {
-      if (link_weight[i] > 0.0) {
-        theta = std::min(theta, residual[i] / link_weight[i]);
-      }
-    }
-    if (!std::isfinite(theta)) break;  // no unfrozen flow crosses any link
-    theta = std::max(theta, 0.0);
-
-    for (std::size_t k = 0; k < n; ++k) {
-      if (!frozen[k]) rates[k] += theta * flows[k].weight;
-    }
-    for (std::size_t i = 0; i < residual.size(); ++i) {
-      if (link_weight[i] > 0.0) {
-        residual[i] = std::max(residual[i] - theta * link_weight[i], 0.0);
-      }
-    }
-
-    // Freeze flows on saturated links.
-    for (std::size_t k = 0; k < n; ++k) {
-      if (frozen[k]) continue;
-      const std::size_t u = up(flows[k]);
-      const std::size_t d = down(flows[k]);
-      const double tol_u = 1e-9 * std::max(available_bps[u], 1.0);
-      const double tol_d = 1e-9 * std::max(available_bps[d], 1.0);
-      if (residual[u] <= tol_u || residual[d] <= tol_d) {
-        frozen[k] = true;
-        --remaining;
-        link_weight[u] -= flows[k].weight;
-        link_weight[d] -= flows[k].weight;
-      }
-    }
-  }
+  WaterfillKernel kernel;
+  std::vector<double> rates;
+  kernel.solve(fabric, flows, available_bps, rates);
   return rates;
 }
 
 void max_min_backfill(const ScheduleInput& input, Allocation& alloc) {
-  const Fabric& fabric = *input.fabric;
-  std::vector<double> residual(static_cast<std::size_t>(fabric.num_links()));
-  const std::vector<double> usage = link_usage(input, alloc);
-  for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    residual[idx] = std::max(fabric.capacity(i) - usage[idx], 0.0);
-  }
-
-  std::vector<MaxMinFlow> flows;
-  for (const ActiveCoflow& coflow : input.coflows) {
-    for (const ActiveFlow& flow : coflow.flows) {
-      flows.push_back({flow.id, flow.src, flow.dst, 1.0});
-    }
-  }
-  const std::vector<double> extra = weighted_max_min(fabric, flows, residual);
-  for (std::size_t k = 0; k < flows.size(); ++k) {
-    if (extra[k] > 0.0) alloc.add_rate(flows[k].id, extra[k]);
-  }
+  ResidualBackfill backfill;
+  backfill.run(input, alloc);
 }
 
 }  // namespace ncdrf

@@ -5,20 +5,23 @@
 // unfrozen flow's rate grows in proportion to its weight until some link
 // saturates, freezing the flows crossing that link (classic bottleneck
 // algorithm, cf. Bertsekas & Gallager §6.5.2).
+//
+// The solver itself lives in the allocation-kernel layer
+// (alloc/waterfill.h, a saturation-heap kernel); these free functions are
+// thin convenience wrappers over one-shot kernel instances for callers
+// without per-call state. Policies on the allocate() hot path hold a
+// WaterfillKernel / ResidualBackfill member instead and reuse its scratch.
 #pragma once
 
 #include <vector>
 
+#include "alloc/waterfill.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
 
-struct MaxMinFlow {
-  FlowId id = -1;
-  MachineId src = -1;
-  MachineId dst = -1;
-  double weight = 1.0;  // must be positive
-};
+// Flow descriptor shared with the kernel layer.
+using MaxMinFlow = WaterfillFlow;
 
 // Computes the weighted max-min rates for `flows` given per-link available
 // capacity `available_bps` (indexed by LinkId; entries may be 0). Returns

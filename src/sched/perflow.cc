@@ -1,30 +1,36 @@
 #include "sched/perflow.h"
 
-#include "sched/maxmin.h"
+#include <chrono>
 
 namespace ncdrf {
 
 Allocation PerFlowScheduler::allocate(const ScheduleInput& input) {
+  const auto start = std::chrono::steady_clock::now();
+  perf_.allocate_calls += 1;
   const Fabric& fabric = *input.fabric;
-  std::vector<double> capacities(
-      static_cast<std::size_t>(fabric.num_links()));
+
+  capacities_.resize(static_cast<std::size_t>(fabric.num_links()));
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    capacities[static_cast<std::size_t>(i)] = fabric.capacity(i);
+    capacities_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
-  std::vector<MaxMinFlow> flows;
+  flows_.clear();
+  flows_.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   for (const ActiveCoflow& coflow : input.coflows) {
     for (const ActiveFlow& flow : coflow.flows) {
-      flows.push_back({flow.id, flow.src, flow.dst, 1.0});
+      flows_.push_back({flow.id, flow.src, flow.dst, 1.0});
     }
   }
 
-  const std::vector<double> rates =
-      weighted_max_min(fabric, flows, capacities);
+  kernel_.solve(fabric, flows_, capacities_, rates_);
   Allocation alloc;
-  for (std::size_t k = 0; k < flows.size(); ++k) {
-    alloc.set_rate(flows[k].id, rates[k]);
+  alloc.reserve(flows_.size());
+  for (std::size_t k = 0; k < flows_.size(); ++k) {
+    alloc.set_rate(flows_[k].id, rates_[k]);
   }
+  perf_.allocate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return alloc;
 }
 

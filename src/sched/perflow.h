@@ -6,6 +6,10 @@
 // grabs proportionally more bandwidth.
 #pragma once
 
+#include <vector>
+
+#include "alloc/waterfill.h"
+#include "obs/perf.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
@@ -15,6 +19,16 @@ class PerFlowScheduler : public Scheduler {
   std::string name() const override { return "TCP"; }
   bool clairvoyant() const override { return false; }
   Allocation allocate(const ScheduleInput& input) override;
+  const SchedPerf* perf_counters() const override { return &perf_; }
+
+ private:
+  // Water-filling kernel plus scratch, reused across allocate() calls so
+  // the hot path performs no per-call vector growth once warmed up.
+  WaterfillKernel kernel_;
+  std::vector<WaterfillFlow> flows_;
+  std::vector<double> capacities_;
+  std::vector<double> rates_;
+  SchedPerf perf_;
 };
 
 }  // namespace ncdrf

@@ -8,39 +8,32 @@
 namespace ncdrf {
 
 Allocation PspScheduler::allocate(const ScheduleInput& input) {
+  AllocScope scope(perf_);
   NCDRF_CHECK(options_.backfill_rounds >= 0,
               "backfill rounds must be non-negative");
   const Fabric& fabric = *input.fabric;
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
 
   // Coflows present per link (inter-coflow equal split is per coflow, not
-  // per flow — that is what distinguishes PS-P from per-flow fairness).
-  std::vector<int> coflows_on_link(num_links, 0);
-  std::vector<std::vector<int>> coflow_counts(
-      input.coflows.size(), std::vector<int>(num_links, 0));
-  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-    for (const ActiveFlow& f : input.coflows[k].flows) {
-      coflow_counts[k][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
-      coflow_counts[k][static_cast<std::size_t>(fabric.downlink(f.dst))] += 1;
-    }
-    if (options_.count_finished_flows) {
-      for (const ActiveFlow& f : input.coflows[k].finished_flows) {
-        coflow_counts[k][static_cast<std::size_t>(fabric.uplink(f.src))] += 1;
-        coflow_counts[k][static_cast<std::size_t>(fabric.downlink(f.dst))] +=
-            1;
-      }
-    }
-    for (std::size_t i = 0; i < num_links; ++i) {
-      if (coflow_counts[k][i] > 0) coflows_on_link[i] += 1;
-    }
+  // per flow — that is what distinguishes PS-P from per-flow fairness) and
+  // each coflow's per-link flow counts, both served by LinkLoadState.
+  sync(input);
+  const std::vector<int>& coflows_on_link = state_.counted_coflows_on_link();
+
+  loads_.clear();
+  loads_.reserve(input.coflows.size());
+  for (const ActiveCoflow& coflow : input.coflows) {
+    loads_.push_back(state_.find(coflow.id));
   }
 
-  std::vector<double> residual(num_links);
+  residual_.resize(num_links);
+  coflow_share_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+    residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
   Allocation alloc;
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   // One PS-P pass per round: each link's residual is divided equally among
   // the coflows present on it, a coflow's slice is divided evenly among
   // its flows there, and a flow realizes the min of its two per-link
@@ -53,14 +46,20 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
                          : 1;
   for (int round = 0; round < rounds; ++round) {
     double assigned = 0.0;
+    // residual / coflows_on_link hoisted per link: the flow loop divides
+    // only by the intra-coflow count, the exact second division of the
+    // legacy residual/coflows/counted chain.
+    for (std::size_t i = 0; i < num_links; ++i) {
+      coflow_share_[i] =
+          coflows_on_link[i] > 0 ? residual_[i] / coflows_on_link[i] : 0.0;
+    }
     for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+      const LinkLoadState::CoflowLoad& load = *loads_[k];
       for (const ActiveFlow& f : input.coflows[k].flows) {
         const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
         const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-        const double up_share =
-            residual[u] / coflows_on_link[u] / coflow_counts[k][u];
-        const double down_share =
-            residual[d] / coflows_on_link[d] / coflow_counts[k][d];
+        const double up_share = coflow_share_[u] / load.counted[u];
+        const double down_share = coflow_share_[d] / load.counted[d];
         const double r = std::max(std::min(up_share, down_share), 0.0);
         if (r > 0.0) {
           alloc.add_rate(f.id, r);
@@ -72,16 +71,16 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
     // Recompute residuals for the next redistribution round.
     if (round + 1 < rounds) {
       for (std::size_t i = 0; i < num_links; ++i) {
-        residual[i] = fabric.capacity(static_cast<LinkId>(i));
+        residual_[i] = fabric.capacity(static_cast<LinkId>(i));
       }
-      for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-        for (const ActiveFlow& f : input.coflows[k].flows) {
+      for (const ActiveCoflow& coflow : input.coflows) {
+        for (const ActiveFlow& f : coflow.flows) {
           const double r = alloc.rate(f.id);
-          residual[static_cast<std::size_t>(fabric.uplink(f.src))] -= r;
-          residual[static_cast<std::size_t>(fabric.downlink(f.dst))] -= r;
+          residual_[static_cast<std::size_t>(fabric.uplink(f.src))] -= r;
+          residual_[static_cast<std::size_t>(fabric.downlink(f.dst))] -= r;
         }
       }
-      for (double& r : residual) r = std::max(r, 0.0);
+      for (double& r : residual_) r = std::max(r, 0.0);
     }
   }
   return alloc;

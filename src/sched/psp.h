@@ -10,9 +10,15 @@
 // paper attributes to PS-P's unawareness of coflow demand correlation.
 // PS-P is work-conserving in FairCloud, so the same even backfilling used
 // by NC-DRF is applied afterwards — any waste left is structural.
+//
+// Per-link presence counts come from the allocation-kernel layer's
+// LinkLoadState, maintained incrementally under event-driven drivers
+// instead of rebuilt as a dense coflows × links matrix every call.
 #pragma once
 
-#include "sched/scheduler.h"
+#include <vector>
+
+#include "alloc/kernel_scheduler.h"
 
 namespace ncdrf {
 
@@ -28,9 +34,10 @@ struct PspOptions {
   bool count_finished_flows = true;
 };
 
-class PspScheduler : public Scheduler {
+class PspScheduler : public KernelScheduler {
  public:
-  explicit PspScheduler(PspOptions options = {}) : options_(options) {}
+  explicit PspScheduler(PspOptions options = {})
+      : KernelScheduler(options.count_finished_flows), options_(options) {}
 
   std::string name() const override { return "PS-P"; }
   bool clairvoyant() const override { return false; }
@@ -38,6 +45,11 @@ class PspScheduler : public Scheduler {
 
  private:
   PspOptions options_;
+  std::vector<double> residual_;
+  std::vector<double> coflow_share_;  // residual_[i] / coflows_on_link[i]
+  // Per-snapshot-slot CoflowLoad pointers, resolved once per allocate so
+  // the redistribution rounds skip the per-coflow hash lookups.
+  std::vector<const LinkLoadState::CoflowLoad*> loads_;
 };
 
 }  // namespace ncdrf

@@ -10,6 +10,11 @@ int count_active_flows(const ScheduleInput& input) {
   return count;
 }
 
+int live_flows_hint(const ScheduleInput& input) {
+  return input.total_live_flows >= 0 ? input.total_live_flows
+                                     : count_active_flows(input);
+}
+
 std::vector<int> link_flow_counts(const ScheduleInput& input) {
   const Fabric& fabric = *input.fabric;
   std::vector<int> counts(static_cast<std::size_t>(fabric.num_links()), 0);

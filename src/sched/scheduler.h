@@ -90,6 +90,12 @@ struct ScheduleInput {
   std::vector<ActiveCoflow> coflows;
   // Non-null iff the driver is serving a clairvoyant scheduler.
   const ClairvoyantInfo* clairvoyant = nullptr;
+  // Total unfinished flows across all coflows, when the driver tracks it
+  // (the simulator engine and the cluster master do); -1 when unknown.
+  // Purely a sizing hint — schedulers use it to pre-size their rate tables
+  // and flow lists without an extra O(coflows) pass; it never affects the
+  // allocation itself.
+  int total_live_flows = -1;
 };
 
 class Scheduler {
@@ -156,6 +162,10 @@ class Scheduler {
 
 // Total number of active flows in the snapshot.
 int count_active_flows(const ScheduleInput& input);
+
+// The snapshot's live-flow total: the driver-maintained hint when present,
+// otherwise one O(coflows) counting pass.
+int live_flows_hint(const ScheduleInput& input);
 
 // Per-link active-flow counts over all coflows, indexed by LinkId.
 std::vector<int> link_flow_counts(const ScheduleInput& input);

@@ -1,103 +1,96 @@
-#include <cmath>
 #include "sched/varys.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <vector>
 
-#include "coflow/coflow.h"
 #include "common/check.h"
-#include "sched/maxmin.h"
 
 namespace ncdrf {
-namespace {
-
-DemandVectors remaining_demand(const Fabric& fabric,
-                               const ActiveCoflow& coflow,
-                               const ClairvoyantInfo& info) {
-  std::vector<Flow> flows;
-  std::vector<double> sizes;
-  flows.reserve(coflow.flows.size());
-  sizes.reserve(coflow.flows.size());
-  for (const ActiveFlow& f : coflow.flows) {
-    flows.push_back(Flow{f.id, f.coflow, f.src, f.dst, 0.0});
-    sizes.push_back(info.remaining_bits(f.id));
-  }
-  return compute_demand(fabric, flows, sizes);
-}
-
-}  // namespace
 
 Allocation VarysScheduler::allocate(const ScheduleInput& input) {
   NCDRF_CHECK(input.clairvoyant != nullptr,
               "Varys requires clairvoyant remaining-size information");
+  const auto start = std::chrono::steady_clock::now();
+  perf_.allocate_calls += 1;
   const Fabric& fabric = *input.fabric;
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
 
   // Effective bottleneck completion time of each coflow at full capacity.
-  std::vector<DemandVectors> demands;
-  demands.reserve(input.coflows.size());
-  std::vector<double> gamma(input.coflows.size(), 0.0);
+  cache_.refresh(input);
+  gamma_.assign(input.coflows.size(), 0.0);
   for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-    demands.push_back(
-        remaining_demand(fabric, input.coflows[k], *input.clairvoyant));
+    const DemandVectors& d = cache_.demand(k);
     double g = 0.0;
     for (LinkId i = 0; i < fabric.num_links(); ++i) {
       const auto idx = static_cast<std::size_t>(i);
-      g = std::max(g, demands.back().demand[idx] / fabric.capacity(i));
+      g = std::max(g, d.demand[idx] / fabric.capacity(i));
     }
-    gamma[k] = g;
+    gamma_[k] = g;
   }
 
   // SEBF order: smallest Γ first, id as a deterministic tiebreak.
-  std::vector<std::size_t> order(input.coflows.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (gamma[a] != gamma[b]) return gamma[a] < gamma[b];
-    return input.coflows[a].id < input.coflows[b].id;
-  });
+  order_.resize(input.coflows.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (gamma_[a] != gamma_[b]) return gamma_[a] < gamma_[b];
+              return input.coflows[a].id < input.coflows[b].id;
+            });
 
-  std::vector<double> residual(num_links);
+  residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    residual[static_cast<std::size_t>(i)] = fabric.capacity(i);
+    residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
   Allocation alloc;
-  for (const std::size_t k : order) {
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+  for (const std::size_t k : order_) {
     const ActiveCoflow& coflow = input.coflows[k];
-    if (gamma[k] <= 0.0) {
+    if (gamma_[k] <= 0.0) {
       for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
       continue;
     }
     // MADD against *residual* capacity: the coflow finishes as fast as the
     // bandwidth left by smaller coflows allows.
+    const DemandVectors& d = cache_.demand(k);
     double g = 0.0;
     bool blocked = false;
     for (LinkId i = 0; i < fabric.num_links(); ++i) {
       const auto idx = static_cast<std::size_t>(i);
-      if (demands[k].demand[idx] <= 0.0) continue;
-      if (residual[idx] <= 0.0) {
+      if (d.demand[idx] <= 0.0) continue;
+      if (residual_[idx] <= 0.0) {
         blocked = true;
         break;
       }
-      g = std::max(g, demands[k].demand[idx] / residual[idx]);
+      g = std::max(g, d.demand[idx] / residual_[idx]);
     }
     if (blocked || g <= 0.0) {
       for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
       continue;
     }
-    for (const ActiveFlow& f : coflow.flows) {
-      const double r = input.clairvoyant->remaining_bits(f.id) / g;
+    const std::vector<double>& remaining = cache_.remaining(k);
+    for (std::size_t j = 0; j < coflow.flows.size(); ++j) {
+      const ActiveFlow& f = coflow.flows[j];
+      const double r = remaining[j] / g;
       alloc.set_rate(f.id, r);
       const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      residual[u] = std::max(residual[u] - r, 0.0);
-      residual[d] = std::max(residual[d] - r, 0.0);
+      const auto d2 = static_cast<std::size_t>(fabric.downlink(f.dst));
+      residual_[u] = std::max(residual_[u] - r, 0.0);
+      residual_[d2] = std::max(residual_[d2] - r, 0.0);
     }
   }
 
-  if (options_.work_conserving) max_min_backfill(input, alloc);
+  if (options_.work_conserving) {
+    perf_.backfill_rounds += 1;
+    backfill_.run(input, alloc);
+  }
+  perf_.allocate_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return alloc;
 }
 

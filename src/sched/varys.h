@@ -9,8 +9,17 @@
 // remaining_f / Γ, just fast enough for all flows to finish with the
 // bottleneck — any faster would waste bandwidth the next coflow can use.
 // Residual capacity is water-filled max-min across all flows.
+//
+// Demand vectors come from the kernel layer's DemandCache (one
+// remaining-demand computation per coflow per call) and the residual pass
+// is the shared water-filling kernel.
 #pragma once
 
+#include <vector>
+
+#include "alloc/demand_cache.h"
+#include "alloc/waterfill.h"
+#include "obs/perf.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
@@ -26,9 +35,16 @@ class VarysScheduler : public Scheduler {
   std::string name() const override { return "Varys"; }
   bool clairvoyant() const override { return true; }
   Allocation allocate(const ScheduleInput& input) override;
+  const SchedPerf* perf_counters() const override { return &perf_; }
 
  private:
   VarysOptions options_;
+  DemandCache cache_;
+  std::vector<double> gamma_;
+  std::vector<std::size_t> order_;
+  std::vector<double> residual_;
+  ResidualBackfill backfill_;
+  SchedPerf perf_;
 };
 
 }  // namespace ncdrf

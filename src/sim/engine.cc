@@ -430,6 +430,7 @@ struct DynamicSimulator::Impl {
       // Bring the persistent snapshot up to date for the scheduler.
       refresh_views();
       input.now = now;
+      input.total_live_flows = static_cast<int>(unfinished_flows);
       if (options.verify_snapshot) check_snapshot_consistent();
 
       Allocation alloc;

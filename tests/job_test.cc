@@ -8,8 +8,8 @@
 #include "common/units.h"
 #include "core/registry.h"
 #include "job/job.h"
-#include "trace/patterns.h"
 #include "sim/engine.h"
+#include "trace/patterns.h"
 
 namespace ncdrf {
 namespace {

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Distills the scheduler-scalability benchmark JSON into BENCH_sched.json.
+
+Reads the google-benchmark JSON produced by bench_sched_scalability
+(--benchmark_out), extracts the per-policy kernel-vs-legacy EventReplay
+events/sec matrix, writes a compact BENCH_sched.json, and enforces the
+allocation-kernel speedup floor: for the guarded policies the kernel path
+must move at least MIN_SPEEDUP x the legacy events/sec at 500 concurrent
+coflows. Kernel and legacy run in the same process on the same instance,
+so the ratio is robust to machine speed.
+
+Usage: tools/bench_sched_report.py <benchmark.json> [<out.json>]
+Exits non-zero when a guarded ratio falls below the floor.
+"""
+import json
+import re
+import sys
+
+MIN_SPEEDUP = 2.0
+GUARD_COFLOWS = "500"
+# Registry names: tcp is the per-flow fairness baseline ("perflow" in the
+# paper's terms); psp/psp-live are HUG's PS-P with stale/live counting.
+GUARDED_POLICIES = ("drf", "hug", "psp", "tcp")
+
+NAME_RE = re.compile(r"^BM_EventReplay(Kernel|Legacy)_(\w+)/(\d+)$")
+
+# Benchmark tag -> registry policy name.
+TAGS = {
+    "Tcp": "tcp",
+    "Persource": "persource",
+    "Perpair": "perpair",
+    "Psp": "psp",
+    "PspLive": "psp-live",
+    "Drf": "drf",
+    "Hug": "hug",
+    "Aalo": "aalo",
+    "Varys": "varys",
+    "Baraat": "baraat",
+    "Fifo": "fifo",
+}
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = argv[1]
+    out_path = argv[2] if len(argv) == 3 else "BENCH_sched.json"
+
+    with open(bench_path) as f:
+        report = json.load(f)
+
+    matrix = {}
+    for bench in report.get("benchmarks", []):
+        match = NAME_RE.match(bench.get("name", ""))
+        if match is None or "items_per_second" not in bench:
+            continue
+        mode, tag, coflows = match.groups()
+        policy = TAGS.get(tag)
+        if policy is None:
+            print(f"::error::unknown benchmark tag {tag!r} in {bench['name']}")
+            return 1
+        cell = matrix.setdefault(policy, {}).setdefault(coflows, {})
+        cell[mode.lower() + "_events_per_s"] = bench["items_per_second"]
+
+    failures = []
+    for policy, by_coflows in sorted(matrix.items()):
+        for coflows, cell in sorted(by_coflows.items(), key=lambda kv: int(kv[0])):
+            kernel = cell.get("kernel_events_per_s")
+            legacy = cell.get("legacy_events_per_s")
+            if kernel is None or legacy is None:
+                failures.append(
+                    f"{policy}@{coflows}: missing "
+                    f"{'kernel' if kernel is None else 'legacy'} run"
+                )
+                continue
+            cell["speedup"] = kernel / legacy
+            guarded = policy in GUARDED_POLICIES and coflows == GUARD_COFLOWS
+            line = (
+                f"{policy:>10} @{coflows:>5} coflows: "
+                f"kernel {kernel:12.0f} ev/s, legacy {legacy:12.0f} ev/s, "
+                f"speedup {cell['speedup']:5.2f}x"
+            )
+            if guarded:
+                line += f"  [guard >= {MIN_SPEEDUP}x]"
+                if cell["speedup"] < MIN_SPEEDUP:
+                    failures.append(
+                        f"{policy}@{coflows}: kernel speedup "
+                        f"{cell['speedup']:.2f}x below floor {MIN_SPEEDUP}x"
+                    )
+            print(line)
+
+    for policy in GUARDED_POLICIES:
+        if GUARD_COFLOWS not in matrix.get(policy, {}):
+            failures.append(f"{policy}@{GUARD_COFLOWS}: no benchmark data")
+
+    out = {
+        "description": (
+            "EventReplay events/sec per policy: allocation-kernel scheduler "
+            "vs frozen pre-refactor implementation, same process and "
+            "instance; speedup = kernel/legacy"
+        ),
+        "source": "bench/bench_sched_scalability.cc",
+        "guard": {
+            "min_speedup": MIN_SPEEDUP,
+            "coflows": int(GUARD_COFLOWS),
+            "policies": list(GUARDED_POLICIES),
+        },
+        "matrix": matrix,
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"::error::{failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Include-order lint for the C++ tree (no clang-format dependency).
+
+Enforces the two include conventions the codebase follows (Google style):
+
+1. Self-header first: a file src/<mod>/<name>.cc whose directory holds
+   <name>.h must include "<mod>/<name>.h" as its very first include,
+   separated from everything after it.
+2. Sorted blocks: within every contiguous run of #include lines (a
+   "block", delimited by blank lines, comments, or any other code),
+   includes must be lexicographically sorted. Blocks themselves may be
+   ordered freely (<system> before "project" is convention, not checked —
+   the self-header rule pins the one ordering bugs were found in).
+
+Preprocessor conditionals reset the current block, so platform-gated
+includes are exempt from cross-#if ordering.
+
+Usage: tools/check_include_order.py [root]
+Exits non-zero listing every violation.
+"""
+import os
+import re
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+
+def include_blocks(lines):
+    """Yields (start_line, [(line_no, include_target), ...]) blocks."""
+    block = []
+    for number, line in enumerate(lines, start=1):
+        match = INCLUDE_RE.match(line)
+        if match:
+            block.append((number, match.group(1)))
+            continue
+        if block:
+            yield block
+            block = []
+    if block:
+        yield block
+
+
+def check_file(path, repo_root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    blocks = list(include_blocks(lines))
+
+    # Rule 1: self-header first, in a block of its own.
+    if path.endswith(".cc"):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        header = os.path.join(os.path.dirname(path), stem + ".h")
+        if os.path.exists(header) and blocks:
+            rel = os.path.relpath(header, os.path.join(repo_root, "src"))
+            expected = '"' + rel.replace(os.sep, "/") + '"'
+            first_line, first_include = blocks[0][0]
+            if first_include != expected:
+                errors.append(
+                    f"{path}:{first_line}: first include is {first_include},"
+                    f" expected self-header {expected}"
+                )
+            elif len(blocks[0]) > 1:
+                errors.append(
+                    f"{path}:{blocks[0][1][0]}: self-header must stand alone"
+                    f" (blank line after {expected})"
+                )
+
+    # Rule 2: every block internally sorted.
+    for block in blocks:
+        targets = [t for _, t in block]
+        if targets != sorted(targets):
+            for (num_a, inc_a), (num_b, inc_b) in zip(block, block[1:]):
+                if inc_b < inc_a:
+                    errors.append(
+                        f"{path}:{num_b}: {inc_b} sorts before {inc_a}"
+                        f" (line {num_a}) — keep include blocks sorted"
+                    )
+    return errors
+
+
+def main(argv):
+    repo_root = os.path.abspath(argv[1] if len(argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for scan in SCAN_DIRS:
+        base = os.path.join(repo_root, scan)
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith((".cc", ".h")):
+                    checked += 1
+                    errors.extend(
+                        check_file(os.path.join(dirpath, name), repo_root)
+                    )
+    for error in errors:
+        print(error)
+    print(f"checked {checked} files: "
+          f"{'OK' if not errors else f'{len(errors)} violation(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
