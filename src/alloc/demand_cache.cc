@@ -4,22 +4,43 @@
 #include <cmath>
 #include <limits>
 
+#include "alloc/shard.h"
 #include "common/check.h"
 
 namespace ncdrf {
 
 void DemandCache::refresh(const ScheduleInput& input) {
+  refresh(input, /*runtime=*/nullptr);
+}
+
+void DemandCache::refresh(const ScheduleInput& input, ShardRuntime* runtime) {
   NCDRF_CHECK(input.clairvoyant != nullptr,
               "demand cache requires clairvoyant remaining-size info");
-  const Fabric& fabric = *input.fabric;
-  const ClairvoyantInfo& info = *input.clairvoyant;
-  const auto num_links = static_cast<std::size_t>(fabric.num_links());
-
   size_ = input.coflows.size();
   if (demands_.size() < size_) demands_.resize(size_);
   if (touched_.size() < size_) touched_.resize(size_);
   if (remaining_.size() < size_) remaining_.resize(size_);
+  if (runtime != nullptr) {
+    // Slots are disjoint per coflow, so the per-slot recomputations are
+    // free to run in parallel once the vectors above are sized.
+    runtime->parallel_blocks(size_,
+                             [&](int, std::size_t begin, std::size_t end) {
+                               for (std::size_t k = begin; k < end; ++k) {
+                                 refresh_slot(input, k);
+                               }
+                             });
+    return;
+  }
   for (std::size_t k = 0; k < size_; ++k) {
+    refresh_slot(input, k);
+  }
+}
+
+void DemandCache::refresh_slot(const ScheduleInput& input, std::size_t k) {
+  const Fabric& fabric = *input.fabric;
+  const ClairvoyantInfo& info = *input.clairvoyant;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
+  {
     const ActiveCoflow& coflow = input.coflows[k];
     DemandVectors& out = demands_[k];
     std::vector<LinkId>& touched = touched_[k];
@@ -86,21 +107,63 @@ void DemandCache::refresh(const ScheduleInput& input) {
 }
 
 double DemandCache::drf_progress(const ScheduleInput& input) const {
+  return drf_progress(input, /*runtime=*/nullptr);
+}
+
+double DemandCache::drf_progress(const ScheduleInput& input,
+                                 ShardRuntime* runtime) const {
   NCDRF_CHECK(size_ == input.coflows.size(),
               "demand cache stale for this snapshot");
   const Fabric& fabric = *input.fabric;
+  const auto num_links = static_cast<std::size_t>(fabric.num_links());
   std::vector<double>& load = load_;
-  load.assign(static_cast<std::size_t>(fabric.num_links()), 0.0);
-  for (std::size_t k = 0; k < size_; ++k) {
-    const ActiveCoflow& coflow = input.coflows[k];
-    NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
-    const DemandVectors& d = demands_[k];
-    if (d.bottleneck_demand <= 0.0) continue;
-    // Untouched links hold exactly 0.0 demand and would contribute an
-    // exact +0.0; skipping them leaves every accumulated bit unchanged.
-    for (const LinkId l : touched_[k]) {
-      const auto i = static_cast<std::size_t>(l);
-      load[i] += coflow.weight * (d.demand[i] / d.bottleneck_demand);
+  if (runtime != nullptr) {
+    // Per-block partial loads over contiguous coflow ranges, reduced in
+    // block order — the only serial-vs-sharded difference is the
+    // floating-point grouping of that sum.
+    const auto blocks = static_cast<std::size_t>(runtime->num_shards());
+    if (block_load_.size() < blocks) block_load_.resize(blocks);
+    // Zeroed serially: parallel_blocks skips empty ranges, which must not
+    // leave a stale partial behind.
+    for (std::size_t b = 0; b < blocks; ++b) {
+      block_load_[b].assign(num_links, 0.0);
+    }
+    runtime->parallel_blocks(
+        size_, [&](int block, std::size_t begin, std::size_t end) {
+          std::vector<double>& partial =
+              block_load_[static_cast<std::size_t>(block)];
+          for (std::size_t k = begin; k < end; ++k) {
+            const ActiveCoflow& coflow = input.coflows[k];
+            NCDRF_CHECK(coflow.weight > 0.0,
+                        "coflow weights must be positive");
+            const DemandVectors& d = demands_[k];
+            if (d.bottleneck_demand <= 0.0) continue;
+            for (const LinkId l : touched_[k]) {
+              const auto i = static_cast<std::size_t>(l);
+              partial[i] +=
+                  coflow.weight * (d.demand[i] / d.bottleneck_demand);
+            }
+          }
+        });
+    load.assign(num_links, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t i = 0; i < num_links; ++i) {
+        load[i] += block_load_[b][i];
+      }
+    }
+  } else {
+    load.assign(num_links, 0.0);
+    for (std::size_t k = 0; k < size_; ++k) {
+      const ActiveCoflow& coflow = input.coflows[k];
+      NCDRF_CHECK(coflow.weight > 0.0, "coflow weights must be positive");
+      const DemandVectors& d = demands_[k];
+      if (d.bottleneck_demand <= 0.0) continue;
+      // Untouched links hold exactly 0.0 demand and would contribute an
+      // exact +0.0; skipping them leaves every accumulated bit unchanged.
+      for (const LinkId l : touched_[k]) {
+        const auto i = static_cast<std::size_t>(l);
+        load[i] += coflow.weight * (d.demand[i] / d.bottleneck_demand);
+      }
     }
   }
   double p_star = std::numeric_limits<double>::infinity();
@@ -115,7 +178,12 @@ double DemandCache::drf_progress(const ScheduleInput& input) const {
 
 double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
                     Allocation& alloc) {
-  const double p_star = cache.drf_progress(input);
+  return drf_allocate(input, cache, /*runtime=*/nullptr, alloc);
+}
+
+double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
+                    ShardRuntime* runtime, Allocation& alloc) {
+  const double p_star = cache.drf_progress(input, runtime);
   if (p_star <= 0.0) return p_star;
   if (input.total_live_flows >= 0) {
     alloc.reserve(static_cast<std::size_t>(input.total_live_flows));

@@ -22,11 +22,19 @@
 
 namespace ncdrf {
 
+class ShardRuntime;
+
 class DemandCache {
  public:
   // Recomputes every coflow's remaining-demand vectors for this snapshot.
   // Requires input.clairvoyant != nullptr.
   void refresh(const ScheduleInput& input);
+
+  // Sharded refresh: the per-coflow slots are disjoint, so a non-null
+  // runtime recomputes them in parallel blocks — each slot's arithmetic
+  // is the serial refresh's, so the cached vectors are identical either
+  // way. A null runtime is the serial refresh above.
+  void refresh(const ScheduleInput& input, ShardRuntime* runtime);
 
   // Demand vectors of input.coflows[coflow_index], valid until the next
   // refresh().
@@ -50,7 +58,17 @@ class DemandCache {
   // same snapshot.
   double drf_progress(const ScheduleInput& input) const;
 
+  // Sharded P*: a non-null runtime accumulates the per-link loads into
+  // per-block partials in parallel and reduces them in block order —
+  // same value as the serial scan up to floating-point accumulation
+  // order (blocks sum contiguous coflow ranges). Null runtime delegates
+  // to the serial scan.
+  double drf_progress(const ScheduleInput& input,
+                      ShardRuntime* runtime) const;
+
  private:
+  void refresh_slot(const ScheduleInput& input, std::size_t k);
+
   std::vector<DemandVectors> demands_;  // slots reused across refreshes
   std::vector<std::vector<double>> remaining_;  // per-flow bits, flow order
   // Links each slot wrote in its last refresh, in first-touch order. Dense
@@ -62,6 +80,8 @@ class DemandCache {
   // visit order never changes any sum.
   std::vector<std::vector<LinkId>> touched_;
   mutable std::vector<double> load_;  // Σ_k w_k·c_k^i scratch
+  // Per-block load partials for the sharded drf_progress reduction.
+  mutable std::vector<std::vector<double>> block_load_;
   std::size_t size_ = 0;
 };
 
@@ -72,5 +92,11 @@ class DemandCache {
 // `input`.
 double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
                     Allocation& alloc);
+
+// Sharded variant: P* comes from the parallel block reduction; the rate
+// pass stays serial (Allocation is a hash map). Null runtime is the
+// serial drf_allocate above.
+double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
+                    ShardRuntime* runtime, Allocation& alloc);
 
 }  // namespace ncdrf

@@ -27,9 +27,24 @@ void WaterfillKernel::solve(const Fabric& fabric,
                             const std::vector<WaterfillFlow>& flows,
                             const std::vector<double>& available_bps,
                             std::vector<double>& rates_out) {
+  solve(fabric, flows, available_bps, /*link_mask=*/nullptr, rates_out);
+}
+
+void WaterfillKernel::solve(const Fabric& fabric,
+                            const std::vector<WaterfillFlow>& flows,
+                            const std::vector<double>& available_bps,
+                            const std::vector<char>* link_mask,
+                            std::vector<double>& rates_out) {
   NCDRF_CHECK(available_bps.size() ==
                   static_cast<std::size_t>(fabric.num_links()),
               "available-capacity vector must cover all links");
+  NCDRF_CHECK(link_mask == nullptr ||
+                  link_mask->size() ==
+                      static_cast<std::size_t>(fabric.num_links()),
+              "link mask must cover all links");
+  const auto masked_out = [link_mask](std::size_t link) {
+    return link_mask != nullptr && (*link_mask)[link] == 0;
+  };
   const std::size_t n = flows.size();
   rates_out.assign(n, 0.0);
   if (n == 0) return;
@@ -80,7 +95,7 @@ void WaterfillKernel::solve(const Fabric& fabric,
   }
 
   for (std::size_t i = 0; i < num_links; ++i) {
-    if (weight_[i] > 0.0) push_link(i);
+    if (weight_[i] > 0.0 && !masked_out(i)) push_link(i);
   }
 
   // Freezes `link` at fill level theta: all its unfrozen flows get their
@@ -97,7 +112,7 @@ void WaterfillKernel::solve(const Fabric& fabric,
       rates_out[k] = flows[k].weight * theta;
       const std::size_t u = up(flows[k]);
       const std::size_t other = (u == link) ? down(flows[k]) : u;
-      if (frozen_link_[other]) continue;
+      if (frozen_link_[other] || masked_out(other)) continue;
       avail_[other] = std::max(
           avail_[other] - (theta - theta_last_[other]) * weight_[other],
           0.0);

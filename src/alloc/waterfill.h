@@ -44,6 +44,18 @@ class WaterfillKernel {
              const std::vector<double>& available_bps,
              std::vector<double>& rates_out);
 
+  // Shard-masked variant: links with link_mask[link] == 0 never saturate
+  // and never cap a flow (they belong to another shard's subproblem), so
+  // every flow's rate is decided by its in-mask links alone. Every flow
+  // must touch at least one in-mask link or it would fill forever. A null
+  // mask is the unmasked solve above, with arithmetic untouched — the
+  // mask only prunes heap pushes and freeze updates, so shards == 1
+  // remains bit-identical to the serial kernel.
+  void solve(const Fabric& fabric, const std::vector<WaterfillFlow>& flows,
+             const std::vector<double>& available_bps,
+             const std::vector<char>* link_mask,
+             std::vector<double>& rates_out);
+
  private:
   struct HeapEntry {
     double key = 0.0;     // fill level Θ at which the link saturates

@@ -15,8 +15,36 @@
 namespace ncdrf {
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
-  if (name == "ncdrf") return std::make_unique<NcDrfScheduler>();
+  const std::size_t at = name.rfind('@');
+  if (at != std::string::npos) {
+    const std::string suffix = name.substr(at + 1);
+    NCDRF_CHECK(!suffix.empty() &&
+                    suffix.find_first_not_of("0123456789") ==
+                        std::string::npos,
+                "malformed shard suffix in scheduler name: " + name);
+    SchedulerOptions options;
+    options.shards = std::stoi(suffix);
+    NCDRF_CHECK(options.shards >= 1,
+                "shard count must be positive in: " + name);
+    return make_scheduler(name.substr(0, at), options);
+  }
+  return make_scheduler(name, SchedulerOptions{});
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerOptions& options) {
+  const auto serial_only = [&](const char* policy) {
+    NCDRF_CHECK(options.shards <= 1,
+                std::string(policy) +
+                    " runs the incremental core engine and has no sharded "
+                    "path; use shards == 1");
+  };
+  if (name == "ncdrf") {
+    serial_only("ncdrf");
+    return std::make_unique<NcDrfScheduler>();
+  }
   if (name == "ncdrf-live") {
+    serial_only("ncdrf-live");
     return std::make_unique<NcDrfScheduler>(
         NcDrfOptions{.count_finished_flows = false});
   }
@@ -24,27 +52,37 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
     // Incremental engine pinned off: every allocate() rescans the
     // snapshot. Same results as "ncdrf" (within fp rounding); kept for
     // A/B perf measurement and as a cross-check in the property suite.
+    serial_only("ncdrf-scratch");
     return std::make_unique<NcDrfScheduler>(
         NcDrfOptions{.incremental = false});
   }
   if (name == "psp-live") {
     return std::make_unique<PspScheduler>(
-        PspOptions{.count_finished_flows = false});
+        PspOptions{.count_finished_flows = false}, options);
   }
-  if (name == "drf") return std::make_unique<DrfScheduler>();
-  if (name == "hug") return std::make_unique<HugScheduler>();
-  if (name == "psp") return std::make_unique<PspScheduler>();
-  if (name == "tcp") return std::make_unique<PerFlowScheduler>();
-  if (name == "aalo") return std::make_unique<AaloScheduler>();
-  if (name == "varys") return std::make_unique<VarysScheduler>();
-  if (name == "fifo") return std::make_unique<FifoScheduler>();
-  if (name == "baraat") return std::make_unique<BaraatScheduler>();
+  if (name == "drf") return std::make_unique<DrfScheduler>(DrfOptions{}, options);
+  if (name == "hug") return std::make_unique<HugScheduler>(HugOptions{}, options);
+  if (name == "psp") return std::make_unique<PspScheduler>(PspOptions{}, options);
+  if (name == "tcp") return std::make_unique<PerFlowScheduler>(options);
+  if (name == "aalo") {
+    return std::make_unique<AaloScheduler>(AaloOptions{}, options);
+  }
+  if (name == "varys") {
+    return std::make_unique<VarysScheduler>(VarysOptions{}, options);
+  }
+  if (name == "fifo") {
+    return std::make_unique<FifoScheduler>(FifoOptions{}, options);
+  }
+  if (name == "baraat") {
+    return std::make_unique<BaraatScheduler>(BaraatOptions{}, options);
+  }
   if (name == "persource") {
-    return std::make_unique<EndpointFairScheduler>(FairnessEntity::kSource);
+    return std::make_unique<EndpointFairScheduler>(FairnessEntity::kSource,
+                                                   options);
   }
   if (name == "perpair") {
     return std::make_unique<EndpointFairScheduler>(
-        FairnessEntity::kSourceDestinationPair);
+        FairnessEntity::kSourceDestinationPair, options);
   }
   NCDRF_CHECK(false, "unknown scheduler name: " + name);
   return nullptr;

@@ -24,8 +24,18 @@ namespace ncdrf {
 //   "varys"       SEBF+MADD (clairvoyant performance-optimal)
 //   "fifo"        Orchestra-style FIFO
 //   "baraat"      FIFO-LM (decentralized task-aware)
+//
+// Any kernel-backed name takes an optional "@N" suffix ("drf@4",
+// "fifo@8") selecting the sharded execution path with N link shards —
+// shorthand for the SchedulerOptions overload below. The ncdrf* policies
+// run the incremental core engine and accept only N == 1.
 // Throws CheckError on an unknown name.
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+// Same factory with explicit scheduler-wide options (shard count). The
+// plain overload parses the "@N" suffix and delegates here.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerOptions& options);
 
 // All registered names, in the order the paper's evaluation lists them.
 std::vector<std::string> scheduler_names();

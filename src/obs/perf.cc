@@ -16,6 +16,9 @@ SchedPerf& SchedPerf::operator+=(const SchedPerf& other) {
   backfill_rounds += other.backfill_rounds;
   backfill_seconds += other.backfill_seconds;
   allocate_seconds += other.allocate_seconds;
+  shard_regions += other.shard_regions;
+  shard_busy_seconds += other.shard_busy_seconds;
+  shard_critical_seconds += other.shard_critical_seconds;
   return *this;
 }
 
@@ -32,7 +35,11 @@ std::string to_json(const SchedPerf& perf) {
       << "\"consistency_checks\":" << perf.consistency_checks << ","
       << "\"backfill_rounds\":" << perf.backfill_rounds << ","
       << "\"backfill_seconds\":" << perf.backfill_seconds << ","
-      << "\"allocate_seconds\":" << perf.allocate_seconds << "}";
+      << "\"allocate_seconds\":" << perf.allocate_seconds << ","
+      << "\"shard_regions\":" << perf.shard_regions << ","
+      << "\"shard_busy_seconds\":" << perf.shard_busy_seconds << ","
+      << "\"shard_critical_seconds\":" << perf.shard_critical_seconds
+      << "}";
   return out.str();
 }
 
@@ -56,6 +63,13 @@ void merge_sched_perf(obs::MetricsRegistry& registry, const SchedPerf& perf,
   registry.gauge(prefix + "allocate_seconds")
       .set(registry.gauge(prefix + "allocate_seconds").value +
            perf.allocate_seconds);
+  registry.counter(prefix + "shard_regions").inc(perf.shard_regions);
+  registry.gauge(prefix + "shard_busy_seconds")
+      .set(registry.gauge(prefix + "shard_busy_seconds").value +
+           perf.shard_busy_seconds);
+  registry.gauge(prefix + "shard_critical_seconds")
+      .set(registry.gauge(prefix + "shard_critical_seconds").value +
+           perf.shard_critical_seconds);
 }
 
 }  // namespace ncdrf

@@ -52,6 +52,17 @@ struct SchedPerf {
   // Total wall-clock spent inside allocate().
   double allocate_seconds = 0.0;
 
+  // Sharded-path accounting (alloc/shard.h). One "region" is one parallel
+  // dispatch over the shard pool; busy is the summed thread-CPU of every
+  // shard task and critical is the per-region maximum summed over regions
+  // — the modeled parallel wall-clock of the shard work, independent of
+  // how many cores the host actually has. bench_scale gates its speedup
+  // floor on serial CPU + critical, so the guard holds on single-core CI
+  // runners too.
+  long long shard_regions = 0;
+  double shard_busy_seconds = 0.0;
+  double shard_critical_seconds = 0.0;
+
   long long events() const {
     return arrival_events + flow_finish_events + departure_events;
   }

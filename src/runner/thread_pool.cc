@@ -3,6 +3,14 @@
 #include "common/check.h"
 
 namespace ncdrf {
+namespace {
+
+// Workers stamp their owning pool here, so run() can detect a nested
+// dispatch from one of its own workers and execute it inline instead of
+// deadlocking on a batch slot the worker itself would have to drain.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   NCDRF_CHECK(num_threads >= 1, "thread pool needs at least one thread");
@@ -24,8 +32,26 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
   NCDRF_CHECK(num_tasks >= 0, "task count must be non-negative");
   if (num_tasks == 0) return;
+
+  if (tls_worker_pool == this) {
+    // Nested dispatch from this pool's own worker: run the whole batch
+    // inline, preserving the contract that every task executes and the
+    // first error is rethrown after the batch.
+    std::exception_ptr first_error;
+    for (int i = 0; i < num_tasks; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
   std::unique_lock<std::mutex> lock(mutex_);
-  NCDRF_CHECK(task_ == nullptr, "ThreadPool::run is not reentrant");
+  // A second dispatching thread waits its turn; batches never interleave.
+  dispatch_free_.wait(lock, [this] { return task_ == nullptr; });
   task_ = &task;
   next_index_ = 0;
   num_tasks_ = num_tasks;
@@ -34,10 +60,15 @@ void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
   work_ready_.notify_all();
   batch_done_.wait(lock, [this] { return remaining_ == 0; });
   task_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  const std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  dispatch_free_.notify_one();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_ready_.wait(lock, [this] {

@@ -8,7 +8,16 @@
 // One batch at a time: run() dispatches indices [0, num_tasks) to the
 // workers, blocks until every task finished, and rethrows the first task
 // exception (remaining tasks still run to completion so the pool stays
-// consistent). run() itself is not thread-safe — one dispatching thread.
+// consistent). run() is safe against both ways nested dispatch can
+// happen:
+//
+//   * a task calling run() on its *own* pool (a sharded allocate() inside
+//     a sweep cell that shares the pool) executes the nested batch inline
+//     on the worker thread — blocking there would deadlock, since the
+//     worker can never drain the batch it is waiting on;
+//   * a second *thread* calling run() while a batch is in flight (two
+//     sweep cells each driving a sharded scheduler) queues up until the
+//     pool is free instead of tripping a check.
 #pragma once
 
 #include <condition_variable>
@@ -32,7 +41,8 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   // Runs task(0) ... task(num_tasks - 1) across the workers and blocks
-  // until all have finished. Tasks must not call run() reentrantly.
+  // until all have finished. Safe to call from a task running on this
+  // pool (executes inline) and from multiple threads (serialized).
   void run(int num_tasks, const std::function<void(int)>& task);
 
  private:
@@ -41,6 +51,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
+  std::condition_variable dispatch_free_;  // serializes outer dispatchers
   const std::function<void(int)>* task_ = nullptr;  // non-null while dispatching
   int next_index_ = 0;
   int num_tasks_ = 0;

@@ -10,8 +10,11 @@
 
 namespace ncdrf {
 
-AaloScheduler::AaloScheduler(AaloOptions options)
-    : KernelScheduler(/*count_finished_flows=*/false), options_(options) {
+AaloScheduler::AaloScheduler(AaloOptions options,
+                             SchedulerOptions sched_options)
+    : KernelScheduler(/*count_finished_flows=*/false),
+      options_(options),
+      runtime_(ShardRuntime::create(sched_options)) {
   NCDRF_CHECK(options_.initial_queue_limit_bits > 0.0,
               "Q0 must be positive");
   NCDRF_CHECK(options_.exchange_rate > 1.0, "exchange rate must exceed 1");
@@ -64,13 +67,24 @@ Allocation AaloScheduler::allocate(const ScheduleInput& input) {
               return input.coflows[a].id < input.coflows[b].id;
             });
 
+  Allocation alloc;
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+
+  if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+    sharded_fill_.run(input, state_, order_, *runtime_, alloc);
+    if (options_.work_conserving) {
+      perf_.backfill_rounds += 1;
+      sharded_backfill_.run(input, *runtime_, alloc);
+    }
+    runtime_->drain_timers(perf_);
+    return alloc;
+  }
+
   residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
     residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
-  Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   for (const std::size_t k : order_) {
     const ActiveCoflow& coflow = input.coflows[k];
     // The head coflow takes what is left of each link, split evenly among

@@ -20,9 +20,11 @@
 // the work-conserving pass is the shared residual water-filling kernel.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
 namespace ncdrf {
@@ -36,7 +38,8 @@ struct AaloOptions {
 
 class AaloScheduler : public KernelScheduler {
  public:
-  explicit AaloScheduler(AaloOptions options = {});
+  explicit AaloScheduler(AaloOptions options = {},
+                         SchedulerOptions sched_options = {});
 
   std::string name() const override { return "Aalo"; }
   bool clairvoyant() const override { return false; }
@@ -60,6 +63,9 @@ class AaloScheduler : public KernelScheduler {
   std::vector<int> queue_;
   std::vector<double> residual_;
   ResidualBackfill backfill_;
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  ShardedPriorityFill sharded_fill_;
+  ShardedBackfill sharded_backfill_;
 };
 
 }  // namespace ncdrf

@@ -10,8 +10,11 @@
 
 namespace ncdrf {
 
-BaraatScheduler::BaraatScheduler(BaraatOptions options)
-    : KernelScheduler(/*count_finished_flows=*/false), options_(options) {
+BaraatScheduler::BaraatScheduler(BaraatOptions options,
+                                 SchedulerOptions sched_options)
+    : KernelScheduler(/*count_finished_flows=*/false),
+      options_(options),
+      runtime_(ShardRuntime::create(sched_options)) {
   NCDRF_CHECK(options_.heavy_threshold_bits > 0.0,
               "heavy threshold must be positive");
 }
@@ -81,7 +84,12 @@ Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
 
   if (options_.work_conserving) {
     perf_.backfill_rounds += 1;
-    backfill_.run(input, alloc);
+    if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+      sharded_backfill_.run(input, *runtime_, alloc);
+      runtime_->drain_timers(perf_);
+    } else {
+      backfill_.run(input, alloc);
+    }
   }
   return alloc;
 }

@@ -20,9 +20,11 @@
 // links instead of rebuilding a dense served × links count matrix.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
 namespace ncdrf {
@@ -36,7 +38,8 @@ struct BaraatOptions {
 
 class BaraatScheduler : public KernelScheduler {
  public:
-  explicit BaraatScheduler(BaraatOptions options = {});
+  explicit BaraatScheduler(BaraatOptions options = {},
+                           SchedulerOptions sched_options = {});
 
   std::string name() const override { return "Baraat"; }
   bool clairvoyant() const override { return false; }
@@ -51,6 +54,11 @@ class BaraatScheduler : public KernelScheduler {
   std::vector<std::size_t> order_;
   std::vector<int> served_on_link_;
   ResidualBackfill backfill_;
+  // The FIFO-LM fill itself is a small served prefix and stays serial;
+  // only the work-conserving residual pass — the bulk of the per-call
+  // work at scale — runs sharded.
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  ShardedBackfill sharded_backfill_;
 };
 
 }  // namespace ncdrf

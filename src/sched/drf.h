@@ -14,7 +14,10 @@
 // legacy implementation paid (P* pass + rate pass).
 #pragma once
 
+#include <memory>
+
 #include "alloc/demand_cache.h"
+#include "alloc/shard.h"
 #include "obs/perf.h"
 #include "sched/scheduler.h"
 
@@ -29,7 +32,9 @@ struct DrfOptions {
 
 class DrfScheduler : public Scheduler {
  public:
-  explicit DrfScheduler(DrfOptions options = {}) : options_(options) {}
+  explicit DrfScheduler(DrfOptions options = {},
+                        SchedulerOptions sched_options = {})
+      : options_(options), runtime_(ShardRuntime::create(sched_options)) {}
 
   std::string name() const override { return "DRF"; }
   bool clairvoyant() const override { return true; }
@@ -44,6 +49,7 @@ class DrfScheduler : public Scheduler {
  private:
   DrfOptions options_;
   DemandCache cache_;
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
   SchedPerf perf_;
 };
 

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
 namespace ncdrf {
@@ -29,8 +31,11 @@ enum class FairnessEntity { kSource, kSourceDestinationPair };
 
 class EndpointFairScheduler : public KernelScheduler {
  public:
-  explicit EndpointFairScheduler(FairnessEntity entity)
-      : KernelScheduler(/*count_finished_flows=*/false), entity_(entity) {}
+  explicit EndpointFairScheduler(FairnessEntity entity,
+                                 SchedulerOptions options = {})
+      : KernelScheduler(/*count_finished_flows=*/false),
+        entity_(entity),
+        runtime_(ShardRuntime::create(options)) {}
 
   std::string name() const override {
     return entity_ == FairnessEntity::kSource ? "PerSource" : "PerPair";
@@ -60,6 +65,8 @@ class EndpointFairScheduler : public KernelScheduler {
   std::unordered_map<CoflowId, std::vector<EntityKey>> coflow_keys_;
 
   WaterfillKernel kernel_;
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  ShardedWaterfill sharded_;
   std::vector<WaterfillFlow> flows_;
   std::vector<double> capacities_;
   std::vector<double> rates_;

@@ -24,13 +24,24 @@ Allocation FifoScheduler::allocate(const ScheduleInput& input) {
               return input.coflows[a].id < input.coflows[b].id;
             });
 
+  Allocation alloc;
+  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+
+  if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+    sharded_fill_.run(input, state_, order_, *runtime_, alloc);
+    if (options_.work_conserving) {
+      perf_.backfill_rounds += 1;
+      sharded_backfill_.run(input, *runtime_, alloc);
+    }
+    runtime_->drain_timers(perf_);
+    return alloc;
+  }
+
   residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
     residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
-  Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   for (const std::size_t k : order_) {
     const ActiveCoflow& coflow = input.coflows[k];
     const LinkLoadState::CoflowLoad& load = *state_.find(coflow.id);

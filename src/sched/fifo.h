@@ -12,9 +12,11 @@
 // work conservation via the shared residual water-filling kernel.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
 namespace ncdrf {
@@ -25,8 +27,11 @@ struct FifoOptions {
 
 class FifoScheduler : public KernelScheduler {
  public:
-  explicit FifoScheduler(FifoOptions options = {})
-      : KernelScheduler(/*count_finished_flows=*/false), options_(options) {}
+  explicit FifoScheduler(FifoOptions options = {},
+                         SchedulerOptions sched_options = {})
+      : KernelScheduler(/*count_finished_flows=*/false),
+        options_(options),
+        runtime_(ShardRuntime::create(sched_options)) {}
 
   std::string name() const override { return "FIFO"; }
   bool clairvoyant() const override { return false; }
@@ -37,6 +42,9 @@ class FifoScheduler : public KernelScheduler {
   std::vector<std::size_t> order_;
   std::vector<double> residual_;
   ResidualBackfill backfill_;
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  ShardedPriorityFill sharded_fill_;
+  ShardedBackfill sharded_backfill_;
 };
 
 }  // namespace ncdrf

@@ -22,7 +22,13 @@ Allocation PerFlowScheduler::allocate(const ScheduleInput& input) {
     }
   }
 
-  kernel_.solve(fabric, flows_, capacities_, rates_);
+  if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+    sharded_.solve(fabric, *runtime_, flows_, capacities_, input.reconcile,
+                   rates_);
+    runtime_->drain_timers(perf_);
+  } else {
+    kernel_.solve(fabric, flows_, capacities_, rates_);
+  }
   Allocation alloc;
   alloc.reserve(flows_.size());
   for (std::size_t k = 0; k < flows_.size(); ++k) {

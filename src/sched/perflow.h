@@ -6,8 +6,10 @@
 // grabs proportionally more bandwidth.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "alloc/shard.h"
 #include "alloc/waterfill.h"
 #include "obs/perf.h"
 #include "sched/scheduler.h"
@@ -16,6 +18,9 @@ namespace ncdrf {
 
 class PerFlowScheduler : public Scheduler {
  public:
+  explicit PerFlowScheduler(SchedulerOptions options = {})
+      : runtime_(ShardRuntime::create(options)) {}
+
   std::string name() const override { return "TCP"; }
   bool clairvoyant() const override { return false; }
   Allocation allocate(const ScheduleInput& input) override;
@@ -25,6 +30,8 @@ class PerFlowScheduler : public Scheduler {
   // Water-filling kernel plus scratch, reused across allocate() calls so
   // the hot path performs no per-call vector growth once warmed up.
   WaterfillKernel kernel_;
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  ShardedWaterfill sharded_;
   std::vector<WaterfillFlow> flows_;
   std::vector<double> capacities_;
   std::vector<double> rates_;

@@ -53,17 +53,63 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
       coflow_share_[i] =
           coflows_on_link[i] > 0 ? residual_[i] / coflows_on_link[i] : 0.0;
     }
-    for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-      const LinkLoadState::CoflowLoad& load = *loads_[k];
-      for (const ActiveFlow& f : input.coflows[k].flows) {
-        const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-        const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-        const double up_share = coflow_share_[u] / load.counted[u];
-        const double down_share = coflow_share_[d] / load.counted[d];
-        const double r = std::max(std::min(up_share, down_share), 0.0);
-        if (r > 0.0) {
-          alloc.add_rate(f.id, r);
-          assigned += r;
+    if (runtime_ != nullptr) {
+      // Parallel share computation, serial apply in the serial order: the
+      // per-flow arithmetic reads only this round's hoisted shares, so the
+      // result is bit-identical to the serial loop below.
+      if (round == 0) {
+        flat_offset_.assign(input.coflows.size() + 1, 0);
+        for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+          flat_offset_[k + 1] =
+              flat_offset_[k] +
+              static_cast<std::int32_t>(input.coflows[k].flows.size());
+        }
+        flat_rate_.resize(
+            static_cast<std::size_t>(flat_offset_[input.coflows.size()]));
+      }
+      runtime_->parallel_blocks(
+          input.coflows.size(),
+          [&](int, std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+              const LinkLoadState::CoflowLoad& load = *loads_[k];
+              const auto base = static_cast<std::size_t>(flat_offset_[k]);
+              const std::vector<ActiveFlow>& flows = input.coflows[k].flows;
+              for (std::size_t j = 0; j < flows.size(); ++j) {
+                const auto u =
+                    static_cast<std::size_t>(fabric.uplink(flows[j].src));
+                const auto d =
+                    static_cast<std::size_t>(fabric.downlink(flows[j].dst));
+                const double up_share = coflow_share_[u] / load.counted[u];
+                const double down_share = coflow_share_[d] / load.counted[d];
+                flat_rate_[base + j] =
+                    std::max(std::min(up_share, down_share), 0.0);
+              }
+            }
+          });
+      for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+        const auto base = static_cast<std::size_t>(flat_offset_[k]);
+        const std::vector<ActiveFlow>& flows = input.coflows[k].flows;
+        for (std::size_t j = 0; j < flows.size(); ++j) {
+          const double r = flat_rate_[base + j];
+          if (r > 0.0) {
+            alloc.add_rate(flows[j].id, r);
+            assigned += r;
+          }
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+        const LinkLoadState::CoflowLoad& load = *loads_[k];
+        for (const ActiveFlow& f : input.coflows[k].flows) {
+          const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
+          const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
+          const double up_share = coflow_share_[u] / load.counted[u];
+          const double down_share = coflow_share_[d] / load.counted[d];
+          const double r = std::max(std::min(up_share, down_share), 0.0);
+          if (r > 0.0) {
+            alloc.add_rate(f.id, r);
+            assigned += r;
+          }
         }
       }
     }
@@ -83,6 +129,7 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
       for (double& r : residual_) r = std::max(r, 0.0);
     }
   }
+  if (runtime_ != nullptr) runtime_->drain_timers(perf_);
   return alloc;
 }
 

@@ -16,9 +16,12 @@
 // instead of rebuilt as a dense coflows × links matrix every call.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/shard.h"
 
 namespace ncdrf {
 
@@ -36,8 +39,11 @@ struct PspOptions {
 
 class PspScheduler : public KernelScheduler {
  public:
-  explicit PspScheduler(PspOptions options = {})
-      : KernelScheduler(options.count_finished_flows), options_(options) {}
+  explicit PspScheduler(PspOptions options = {},
+                        SchedulerOptions sched_options = {})
+      : KernelScheduler(options.count_finished_flows),
+        options_(options),
+        runtime_(ShardRuntime::create(sched_options)) {}
 
   std::string name() const override { return "PS-P"; }
   bool clairvoyant() const override { return false; }
@@ -50,6 +56,13 @@ class PspScheduler : public KernelScheduler {
   // Per-snapshot-slot CoflowLoad pointers, resolved once per allocate so
   // the redistribution rounds skip the per-coflow hash lookups.
   std::vector<const LinkLoadState::CoflowLoad*> loads_;
+  // Sharded path: per-flow shares are computed into the flat scratch in
+  // parallel (each flow's rate depends only on the round's residual
+  // snapshot), then applied serially in the exact serial order — the
+  // sharded PS-P is bit-identical to the serial one for every trace.
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  std::vector<std::int32_t> flat_offset_;  // coflow index -> first flat id
+  std::vector<double> flat_rate_;
 };
 
 }  // namespace ncdrf

@@ -20,16 +20,30 @@ Allocation VarysScheduler::allocate(const ScheduleInput& input) {
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
 
   // Effective bottleneck completion time of each coflow at full capacity.
-  cache_.refresh(input);
+  // Each coflow's Γ reads only its own cached vectors, so the dense scans
+  // parallelize over coflow blocks with per-k results unchanged.
+  cache_.refresh(input, runtime_.get());
   gamma_.assign(input.coflows.size(), 0.0);
-  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+  const auto gamma_of = [&](std::size_t k) {
     const DemandVectors& d = cache_.demand(k);
     double g = 0.0;
     for (LinkId i = 0; i < fabric.num_links(); ++i) {
       const auto idx = static_cast<std::size_t>(i);
       g = std::max(g, d.demand[idx] / fabric.capacity(i));
     }
-    gamma_[k] = g;
+    return g;
+  };
+  if (runtime_ != nullptr) {
+    runtime_->parallel_blocks(input.coflows.size(),
+                              [&](int, std::size_t begin, std::size_t end) {
+                                for (std::size_t k = begin; k < end; ++k) {
+                                  gamma_[k] = gamma_of(k);
+                                }
+                              });
+  } else {
+    for (std::size_t k = 0; k < input.coflows.size(); ++k) {
+      gamma_[k] = gamma_of(k);
+    }
   }
 
   // SEBF order: smallest Γ first, id as a deterministic tiebreak.
@@ -86,8 +100,13 @@ Allocation VarysScheduler::allocate(const ScheduleInput& input) {
 
   if (options_.work_conserving) {
     perf_.backfill_rounds += 1;
-    backfill_.run(input, alloc);
+    if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+      sharded_backfill_.run(input, *runtime_, alloc);
+    } else {
+      backfill_.run(input, alloc);
+    }
   }
+  if (runtime_ != nullptr) runtime_->drain_timers(perf_);
   perf_.allocate_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

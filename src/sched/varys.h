@@ -15,9 +15,11 @@
 // is the shared water-filling kernel.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "alloc/demand_cache.h"
+#include "alloc/shard.h"
 #include "alloc/waterfill.h"
 #include "obs/perf.h"
 #include "sched/scheduler.h"
@@ -30,7 +32,9 @@ struct VarysOptions {
 
 class VarysScheduler : public Scheduler {
  public:
-  explicit VarysScheduler(VarysOptions options = {}) : options_(options) {}
+  explicit VarysScheduler(VarysOptions options = {},
+                          SchedulerOptions sched_options = {})
+      : options_(options), runtime_(ShardRuntime::create(sched_options)) {}
 
   std::string name() const override { return "Varys"; }
   bool clairvoyant() const override { return true; }
@@ -40,6 +44,11 @@ class VarysScheduler : public Scheduler {
  private:
   VarysOptions options_;
   DemandCache cache_;
+  // Sharded path: demand refresh and the dense per-coflow Γ scans (the
+  // policy's O(K·L) hot spot) run in parallel blocks; the sequential MADD
+  // walk stays serial and the residual pass becomes ShardedBackfill.
+  std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
+  ShardedBackfill sharded_backfill_;
   std::vector<double> gamma_;
   std::vector<std::size_t> order_;
   std::vector<double> residual_;

@@ -72,6 +72,7 @@ struct DynamicSimulator::Impl {
     NCDRF_CHECK(options.completion_epsilon_bits > 0.0,
                 "completion epsilon must be positive");
     input.fabric = &fabric;
+    input.reconcile = options.reconcile;
     if (options.metrics != nullptr) {
       // Instruments are looked up once; per-event cost is an increment.
       m_arrivals = &options.metrics->counter("sim.coflow_arrivals");
