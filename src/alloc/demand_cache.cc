@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "alloc/shard.h"
@@ -19,7 +20,20 @@ void DemandCache::refresh(const ScheduleInput& input, ShardRuntime* runtime) {
   size_ = input.coflows.size();
   if (demands_.size() < size_) demands_.resize(size_);
   if (touched_.size() < size_) touched_.resize(size_);
-  if (remaining_.size() < size_) remaining_.resize(size_);
+  // Flat remaining-bits offsets are serial prefix sums; the buffer only
+  // grows, so steady-state refreshes reuse it without reallocating.
+  remaining_offset_.resize(size_ + 1);
+  remaining_offset_[0] = 0;
+  for (std::size_t k = 0; k < size_; ++k) {
+    remaining_offset_[k + 1] =
+        remaining_offset_[k] +
+        static_cast<std::int32_t>(input.coflows[k].flows.size());
+  }
+  const auto total_flows =
+      static_cast<std::size_t>(remaining_offset_[size_]);
+  if (remaining_flat_.size() < total_flows) {
+    remaining_flat_.resize(total_flows);
+  }
   if (runtime != nullptr) {
     // Slots are disjoint per coflow, so the per-slot recomputations are
     // free to run in parallel once the vectors above are sized.
@@ -44,9 +58,8 @@ void DemandCache::refresh_slot(const ScheduleInput& input, std::size_t k) {
     const ActiveCoflow& coflow = input.coflows[k];
     DemandVectors& out = demands_[k];
     std::vector<LinkId>& touched = touched_[k];
-    std::vector<double>& remaining = remaining_[k];
-    remaining.clear();
-    remaining.reserve(coflow.flows.size());
+    double* remaining =
+        remaining_flat_.data() + remaining_offset_[k];
     if (out.demand.size() != num_links) {
       // Fresh slot (or the fabric changed shape): dense zero once; from
       // then on the touched list zeroes only what the last refresh wrote.
@@ -68,10 +81,11 @@ void DemandCache::refresh_slot(const ScheduleInput& input, std::size_t k) {
     // Same accumulation order as coflow/compute_demand over the coflow's
     // live flows with remaining sizes — bitwise identical to the legacy
     // per-call remaining_demand helpers.
+    std::size_t row = 0;
     for (const ActiveFlow& f : coflow.flows) {
       const double size_bits = info.remaining_bits(f.id);
       NCDRF_CHECK(size_bits >= 0.0, "flow size must be non-negative");
-      remaining.push_back(size_bits);
+      remaining[row++] = size_bits;
       const auto up = static_cast<std::size_t>(fabric.uplink(f.src));
       const auto down = static_cast<std::size_t>(fabric.downlink(f.dst));
       if (out.flow_count[up] == 0) touched.push_back(fabric.uplink(f.src));
@@ -199,7 +213,7 @@ double drf_allocate(const ScheduleInput& input, const DemandCache& cache,
     // rate_f = w_k · remaining_f · P* / d̄_k — flows (and links) finish
     // together; weights default to 1. Remaining sizes were memoized by
     // refresh(), so this pass does no clairvoyant lookups.
-    const std::vector<double>& remaining = cache.remaining(k);
+    const double* remaining = cache.remaining(k);
     for (std::size_t j = 0; j < coflow.flows.size(); ++j) {
       alloc.set_rate(coflow.flows[j].id, coflow.weight * remaining[j] *
                                              p_star / d.bottleneck_demand);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "coflow/coflow.h"
@@ -45,10 +46,23 @@ class DemandCache {
 
   // Remaining bits of input.coflows[coflow_index].flows, in flow order,
   // memoized during refresh() so rate passes skip the per-flow
-  // ClairvoyantInfo lookup they already paid once.
-  const std::vector<double>& remaining(std::size_t coflow_index) const {
+  // ClairvoyantInfo lookup they already paid once. The values live in one
+  // flat coflow-major array reused across refreshes (per-slot vectors used
+  // to be cleared and re-reserved every call as the engine's swap-pop
+  // shuffled slots); the pointer is valid until the next refresh().
+  const double* remaining(std::size_t coflow_index) const {
     NCDRF_CHECK(coflow_index < size_, "demand-cache index out of range");
-    return remaining_[coflow_index];
+    return remaining_flat_.data() +
+           remaining_offset_[coflow_index];
+  }
+
+  // Links coflow_index's demand vector touches, in first-touch order —
+  // exactly the links that can hold a positive demand or flow count.
+  // Sparse consumers (Varys's Γ and MADD scans) visit only these instead
+  // of all 2m links; untouched links hold exactly 0.0 / 0.
+  const std::vector<LinkId>& touched(std::size_t coflow_index) const {
+    NCDRF_CHECK(coflow_index < size_, "demand-cache index out of range");
+    return touched_[coflow_index];
   }
 
   std::size_t size() const { return size_; }
@@ -70,7 +84,11 @@ class DemandCache {
   void refresh_slot(const ScheduleInput& input, std::size_t k);
 
   std::vector<DemandVectors> demands_;  // slots reused across refreshes
-  std::vector<std::vector<double>> remaining_;  // per-flow bits, flow order
+  // Per-flow remaining bits, coflow-major, one flat buffer grown to the
+  // high-water mark: refresh() computes the offsets serially, then the
+  // (possibly parallel) per-slot passes write disjoint ranges.
+  std::vector<double> remaining_flat_;
+  std::vector<std::int32_t> remaining_offset_;  // size K+1
   // Links each slot wrote in its last refresh, in first-touch order. Dense
   // vectors are zeroed sparsely through these lists, and the bottleneck /
   // load scans visit only them — refresh() is O(F) per coflow, not O(L).

@@ -6,12 +6,27 @@
 // The legacy solver ran a round loop — rescan all links for the smallest
 // residual/weight, raise every unfrozen flow, rescan all flows for freeze
 // candidates — which is O((F+L)·rounds) with up to L+1 rounds. The kernel
-// keeps a lazy min-heap of link saturation levels instead: links pop in
-// saturation order, each pop freezes that link's unfrozen flows at the
-// current fill level Θ (their final rate is weight·Θ) and re-keys the one
-// other link each frozen flow crosses. Every link pops at most once and
-// every flow freeze re-keys at most one link, so the whole solve is
-// O((F+L)·log L).
+// pops links from a min-heap of saturation levels instead: each pop
+// freezes that link's unfrozen flows at the current fill level Θ (their
+// final rate is weight·Θ) and re-keys the one other link each frozen flow
+// crosses.
+//
+// The heap is *indexed*: one slot per link with an in-place
+// increase-key/remove (position map pos_), so it never holds more than L
+// entries. The earlier lazy-invalidation variant pushed a fresh versioned
+// entry on every re-key — one per flow freeze — growing the heap to ~F
+// entries and making the solve O(F·log F); with F in the tens of
+// thousands and L a few hundred, the indexed heap's O(F + L·log L) is the
+// difference between the solver and the snapshot walk dominating a call.
+// Valid keys are identical in both schemes and ties break on link id, so
+// the pop order — and therefore every freeze and every rate — is bitwise
+// unchanged.
+//
+// The core solve consumes a structure-of-arrays problem (parallel
+// up/dn/weight columns, see alloc/kernel_scratch.h): the CSR build and
+// freeze sweeps run over flat int32/double arrays with no per-flow Fabric
+// checks, so the saturation updates vectorize. The AoS WaterfillFlow entry
+// points remain as thin adapters for the sharded path and the tests.
 //
 // Freeze semantics replicate the legacy solver's tolerance rule exactly
 // (a link whose residual falls within 1e-9·max(avail, 1) of zero is
@@ -22,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "alloc/kernel_scratch.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
@@ -31,6 +47,17 @@ struct WaterfillFlow {
   MachineId src = -1;
   MachineId dst = -1;
   double weight = 1.0;  // must be positive
+};
+
+// One max-min problem in structure-of-arrays form: index-aligned endpoint
+// columns (pre-validated LinkIds) and an optional weight column — null
+// means unit weights, letting the backfill pass skip the weight loads
+// entirely.
+struct WaterfillProblem {
+  std::size_t num_flows = 0;
+  const std::int32_t* up = nullptr;
+  const std::int32_t* dn = nullptr;
+  const double* weight = nullptr;  // null = all 1.0; else all positive
 };
 
 class WaterfillKernel {
@@ -56,23 +83,31 @@ class WaterfillKernel {
              const std::vector<char>* link_mask,
              std::vector<double>& rates_out);
 
+  // SoA core both adapters above feed. `rates_out` must hold
+  // problem.num_flows entries; it is zero-filled and then written once
+  // per flow at its freeze.
+  void solve(const Fabric& fabric, const WaterfillProblem& problem,
+             const std::vector<double>& available_bps,
+             const std::vector<char>* link_mask, double* rates_out);
+
  private:
-  struct HeapEntry {
-    double key = 0.0;     // fill level Θ at which the link saturates
-    LinkId link = -1;
-    std::uint32_t version = 0;
-
-    // Min-heap on key via std::push_heap's max-heap comparator; link id
-    // breaks ties deterministically.
-    bool operator<(const HeapEntry& other) const {
-      if (key != other.key) return key > other.key;
-      return link > other.link;
+  // (key, link-id)-lexicographic min ordering — the same total order the
+  // lazy heap's comparator induced on valid entries.
+  bool heap_less(std::int32_t a, std::int32_t b) const {
+    if (key_[static_cast<std::size_t>(a)] !=
+        key_[static_cast<std::size_t>(b)]) {
+      return key_[static_cast<std::size_t>(a)] <
+             key_[static_cast<std::size_t>(b)];
     }
-  };
+    return a < b;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_push(std::int32_t link);
+  void heap_remove(std::int32_t link);
+  std::int32_t heap_pop_root();
 
-  void push_link(std::size_t link);
-
-  // CSR adjacency: link → indices into `flows`.
+  // CSR adjacency: link → indices into the flow columns.
   std::vector<std::int32_t> csr_offsets_;
   std::vector<std::int32_t> csr_flows_;
   std::vector<std::int32_t> csr_cursor_;
@@ -82,11 +117,16 @@ class WaterfillKernel {
   std::vector<double> avail_;       // residual capacity at theta_last
   std::vector<double> theta_last_;  // fill level avail_/weight_ refer to
   std::vector<double> tol_;         // legacy freeze tolerance
-  std::vector<std::uint32_t> version_;
-  std::vector<char> frozen_link_;
+  std::vector<double> key_;         // saturation level while heaped
+  std::vector<std::int32_t> pos_;   // heap position; -1 = not in heap
+  std::vector<std::int32_t> heap_;  // link ids, binary-heap ordered
 
   std::vector<char> frozen_flow_;
-  std::vector<HeapEntry> heap_;
+
+  // AoS adapter columns.
+  std::vector<std::int32_t> up_;
+  std::vector<std::int32_t> dn_;
+  std::vector<double> w_;
 };
 
 // Writes capacity − usage per link into `out` (resized), accumulating the
@@ -96,13 +136,23 @@ class WaterfillKernel {
 void residual_capacity(const ScheduleInput& input, const Allocation& alloc,
                        std::vector<double>& out);
 
+// SoA twin: the same accumulation over a FlowTable's rate column (the
+// table's rows are already coflow-major, so sums land in the same order).
+void residual_capacity(const Fabric& fabric, const FlowTable& table,
+                       std::vector<double>& out);
+
 // Work-conserving last pass for the priority schedulers: water-fills the
-// residual capacity left by `alloc` max-min fairly (unit weights) across
-// every active flow and adds the result in place. Equivalent to the legacy
-// max_min_backfill; a persistent instance reuses all scratch.
+// residual capacity left by the current rates max-min fairly (unit
+// weights) across every active flow and adds the result in place.
+// Equivalent to the legacy max_min_backfill; a persistent instance reuses
+// all scratch.
 class ResidualBackfill {
  public:
   void run(const ScheduleInput& input, Allocation& alloc);
+
+  // SoA path: residual from (and fill added into) the table's rate
+  // column; no Allocation traffic until the caller commits.
+  void run(const Fabric& fabric, const FlowTable& table);
 
  private:
   WaterfillKernel kernel_;

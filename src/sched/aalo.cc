@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 #include <vector>
 
 #include "common/check.h"
@@ -19,6 +18,13 @@ AaloScheduler::AaloScheduler(AaloOptions options,
               "Q0 must be positive");
   NCDRF_CHECK(options_.exchange_rate > 1.0, "exchange rate must exceed 1");
   NCDRF_CHECK(options_.num_queues >= 1, "need at least one queue");
+  queue_upper_.resize(static_cast<std::size_t>(options_.num_queues));
+  double limit = options_.initial_queue_limit_bits;
+  for (int q = 0; q < options_.num_queues - 1; ++q) {
+    queue_upper_[static_cast<std::size_t>(q)] = limit;
+    limit *= options_.exchange_rate;
+  }
+  queue_upper_.back() = std::numeric_limits<double>::infinity();
 }
 
 int AaloScheduler::queue_of(double attained_bits) const {
@@ -34,12 +40,7 @@ int AaloScheduler::queue_of(double attained_bits) const {
 double AaloScheduler::queue_upper_bound(int queue) const {
   NCDRF_CHECK(queue >= 0 && queue < options_.num_queues,
               "queue index out of range");
-  if (queue == options_.num_queues - 1) {
-    return std::numeric_limits<double>::infinity();
-  }
-  double limit = options_.initial_queue_limit_bits;
-  for (int q = 0; q < queue; ++q) limit *= options_.exchange_rate;
-  return limit;
+  return queue_upper_[static_cast<std::size_t>(queue)];
 }
 
 Allocation AaloScheduler::allocate(const ScheduleInput& input) {
@@ -48,29 +49,23 @@ Allocation AaloScheduler::allocate(const ScheduleInput& input) {
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
   sync(input);
 
-  // Priority order: (queue, arrival time, id) — strict priority across
-  // queues, FIFO within a queue.
-  order_.resize(input.coflows.size());
-  std::iota(order_.begin(), order_.end(), std::size_t{0});
-  queue_.resize(input.coflows.size());
-  for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-    queue_[k] = queue_of(input.coflows[k].attained_bits);
+  // Priority order — (queue, arrival time, id): strict priority across
+  // queues, FIFO within a queue — served from the persistent state.
+  // resolve() repositions coflows whose attained service crossed a D-CLAS
+  // boundary since the last call; membership mismatches (no events
+  // delivered) fall back to one fresh sort.
+  if (!order_state_.resolve(input, queue_upper_, order_)) {
+    order_state_.rebuild(input, [this](const ActiveCoflow& c) {
+      return queue_of(c.attained_bits);
+    });
+    const bool ok = order_state_.resolve(input, queue_upper_, order_);
+    NCDRF_CHECK(ok, "Aalo: rebuilt priority order must cover the snapshot");
   }
-  std::sort(order_.begin(), order_.end(),
-            [&](std::size_t a, std::size_t b) {
-              if (queue_[a] != queue_[b]) return queue_[a] < queue_[b];
-              if (input.coflows[a].arrival_time !=
-                  input.coflows[b].arrival_time) {
-                return input.coflows[a].arrival_time <
-                       input.coflows[b].arrival_time;
-              }
-              return input.coflows[a].id < input.coflows[b].id;
-            });
 
   Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
 
   if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+    alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
     sharded_fill_.run(input, state_, order_, *runtime_, alloc);
     if (options_.work_conserving) {
       perf_.backfill_rounds += 1;
@@ -80,39 +75,42 @@ Allocation AaloScheduler::allocate(const ScheduleInput& input) {
     return alloc;
   }
 
+  const FlowTable& table =
+      scratch_.gather(input, &state_, GatherCounts::kLive);
+
   residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
     residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
   for (const std::size_t k : order_) {
-    const ActiveCoflow& coflow = input.coflows[k];
+    const std::size_t begin = table.begin_of(k);
+    const std::size_t end = table.end_of(k);
     // The head coflow takes what is left of each link, split evenly among
     // its own flows there; a flow realizes the min of its two shares. The
-    // per-link flow counts come from LinkLoadState.
-    const LinkLoadState::CoflowLoad& load = *state_.find(coflow.id);
-    for (const ActiveFlow& f : coflow.flows) {
-      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      const double r =
-          std::min(residual_[u] / load.live[u], residual_[d] / load.live[d]);
-      alloc.set_rate(f.id, std::max(r, 0.0));
+    // per-link flow counts were gathered from LinkLoadState.
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto u = static_cast<std::size_t>(table.up[j]);
+      const auto d = static_cast<std::size_t>(table.dn[j]);
+      table.rate[j] = std::max(std::min(residual_[u] / table.cnt_up[j],
+                                        residual_[d] / table.cnt_dn[j]),
+                               0.0);
     }
     // Subtract actual usage after the whole coflow is assigned so flows of
     // the same coflow see the same residual snapshot (even split).
-    for (const ActiveFlow& f : coflow.flows) {
-      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      const double r = alloc.rate(f.id);
-      residual_[u] = std::max(residual_[u] - r, 0.0);
-      residual_[d] = std::max(residual_[d] - r, 0.0);
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto u = static_cast<std::size_t>(table.up[j]);
+      const auto d = static_cast<std::size_t>(table.dn[j]);
+      residual_[u] = std::max(residual_[u] - table.rate[j], 0.0);
+      residual_[d] = std::max(residual_[d] - table.rate[j], 0.0);
     }
   }
 
   if (options_.work_conserving) {
     perf_.backfill_rounds += 1;
-    backfill_.run(input, alloc);
+    backfill_.run(fabric, table);
   }
+  KernelScratch::commit(table, alloc);
   return alloc;
 }
 

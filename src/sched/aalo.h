@@ -15,15 +15,20 @@
 // average CCT but provides *no isolation*: large coflows can be delayed
 // unboundedly (the >100 normalized-CCT tail in Fig. 6a).
 //
-// Per-coflow per-link flow counts come from the kernel layer's
-// LinkLoadState instead of a per-coflow dense count rebuild each call, and
-// the work-conserving pass is the shared residual water-filling kernel.
+// Kernel-layer backing: queue membership is maintained across calls by
+// PriorityOrder (event-hook insert/erase plus per-call promotion checks
+// against the D-CLAS thresholds — two comparisons per coflow — instead of
+// a per-call sort), per-coflow per-link flow counts come from
+// LinkLoadState, and the fill + work-conserving pass run over the
+// KernelScratch flow table.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/kernel_scratch.h"
+#include "alloc/priority_state.h"
 #include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
@@ -57,10 +62,31 @@ class AaloScheduler : public KernelScheduler {
   // Upper threshold of the given queue (infinity for the last queue).
   double queue_upper_bound(int queue) const;
 
+  void on_reset(const Fabric& fabric) override {
+    KernelScheduler::on_reset(fabric);
+    order_state_.reset();
+  }
+  void on_coflow_arrival(const ActiveCoflow& coflow) override {
+    KernelScheduler::on_coflow_arrival(coflow);
+    if (!event_driven_) return;
+    order_state_.add_coflow(coflow.id, queue_of(coflow.attained_bits),
+                            coflow.arrival_time);
+  }
+  void on_coflow_departure(CoflowId id) override {
+    KernelScheduler::on_coflow_departure(id);
+    if (!event_driven_) return;
+    order_state_.remove_coflow(id);
+  }
+
+  // Exposed for the golden event-churn suite's Debug consistency checks.
+  const PriorityOrder& priority_order() const { return order_state_; }
+
  private:
   AaloOptions options_;
+  std::vector<double> queue_upper_;  // D-CLAS thresholds; last = infinity
+  PriorityOrder order_state_;
+  KernelScratch scratch_;
   std::vector<std::size_t> order_;
-  std::vector<int> queue_;
   std::vector<double> residual_;
   ResidualBackfill backfill_;
   std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path

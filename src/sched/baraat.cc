@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 #include <vector>
 
 #include "common/check.h"
 
 namespace ncdrf {
+namespace {
+
+const std::vector<double> kNoBucketBounds;  // arrival order never changes
+
+}  // namespace
 
 BaraatScheduler::BaraatScheduler(BaraatOptions options,
                                  SchedulerOptions sched_options)
@@ -25,23 +29,20 @@ Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
   sync(input);
 
-  order_.resize(input.coflows.size());
-  std::iota(order_.begin(), order_.end(), std::size_t{0});
-  std::sort(order_.begin(), order_.end(),
-            [&](std::size_t a, std::size_t b) {
-              if (input.coflows[a].arrival_time !=
-                  input.coflows[b].arrival_time) {
-                return input.coflows[a].arrival_time <
-                       input.coflows[b].arrival_time;
-              }
-              return input.coflows[a].id < input.coflows[b].id;
-            });
+  // Arrival order from the persistent state; a driver that never delivered
+  // events falls back to one fresh sort, like LinkLoadState's rebuild.
+  if (!order_state_.resolve(input, kNoBucketBounds, order_)) {
+    order_state_.rebuild(input, [](const ActiveCoflow&) { return 0; });
+    const bool ok = order_state_.resolve(input, kNoBucketBounds, order_);
+    NCDRF_CHECK(ok,
+                "Baraat: rebuilt priority order must cover the snapshot");
+  }
 
   // FIFO-LM served set: FIFO prefix through the heavy coflows, ending at
   // (and including) the first light one.
-  std::vector<std::size_t> served;
+  served_.clear();
   for (const std::size_t k : order_) {
-    served.push_back(k);
+    served_.push_back(k);
     if (input.coflows[k].attained_bits <= options_.heavy_threshold_bits) {
       break;  // a light head serves alone behind the heavies before it
     }
@@ -50,7 +51,7 @@ Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
   // Coflows serving on each link; only the served coflows' touched links
   // are visited (the per-coflow counts themselves live in LinkLoadState).
   served_on_link_.assign(num_links, 0);
-  for (const std::size_t k : served) {
+  for (const std::size_t k : served_) {
     const LinkLoadState::CoflowLoad& load = *state_.find(input.coflows[k].id);
     for (const LinkId i : load.touched) {
       if (load.live[static_cast<std::size_t>(i)] > 0) {
@@ -59,38 +60,42 @@ Allocation BaraatScheduler::allocate(const ScheduleInput& input) {
     }
   }
 
-  // Equal per-link split among served coflows, even among a coflow's flows
-  // on the link, min across the two endpoints.
-  Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
-  for (const std::size_t k : served) {
-    const LinkLoadState::CoflowLoad& load = *state_.find(input.coflows[k].id);
-    for (const ActiveFlow& f : input.coflows[k].flows) {
-      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      const double up = fabric.capacity(static_cast<LinkId>(u)) /
-                        served_on_link_[u] / load.live[u];
-      const double down = fabric.capacity(static_cast<LinkId>(d)) /
-                          served_on_link_[d] / load.live[d];
-      alloc.set_rate(f.id, std::min(up, down));
-    }
+  const FlowTable& table =
+      scratch_.gather(input, &state_, GatherCounts::kLive);
+
+  capacities_.resize(num_links);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
-  // Coflows outside the served set wait (rate 0 before backfilling).
-  for (const ActiveCoflow& coflow : input.coflows) {
-    for (const ActiveFlow& f : coflow.flows) {
-      if (!alloc.has_rate(f.id)) alloc.set_rate(f.id, 0.0);
+
+  // Equal per-link split among served coflows, even among a coflow's flows
+  // on the link (the gathered live counts), min across the two endpoints.
+  // Coflows outside the served set keep the gather's zero rate.
+  for (const std::size_t k : served_) {
+    const std::size_t begin = table.begin_of(k);
+    const std::size_t end = table.end_of(k);
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto u = static_cast<std::size_t>(table.up[j]);
+      const auto d = static_cast<std::size_t>(table.dn[j]);
+      const double up = capacities_[u] / served_on_link_[u] / table.cnt_up[j];
+      const double down =
+          capacities_[d] / served_on_link_[d] / table.cnt_dn[j];
+      table.rate[j] = std::min(up, down);
     }
   }
 
+  Allocation alloc;
   if (options_.work_conserving) {
     perf_.backfill_rounds += 1;
     if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+      KernelScratch::commit(table, alloc);
       sharded_backfill_.run(input, *runtime_, alloc);
       runtime_->drain_timers(perf_);
-    } else {
-      backfill_.run(input, alloc);
+      return alloc;
     }
+    backfill_.run(fabric, table);
   }
+  KernelScratch::commit(table, alloc);
   return alloc;
 }
 

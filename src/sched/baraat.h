@@ -15,15 +15,19 @@
 // evenly (per coflow, then per flow, min across endpoints); leftover
 // capacity is max-min backfilled.
 //
-// Per-link flow counts come from the kernel layer's LinkLoadState; the
-// served-coflow-per-link tally only walks the served coflows' touched
-// links instead of rebuilding a dense served × links count matrix.
+// Kernel-layer backing: arrival order is maintained across calls by
+// PriorityOrder (event-hook insert/erase instead of a per-call sort), the
+// per-link flow counts come from LinkLoadState, and the fill + backfill
+// run over the KernelScratch flow table. The served-coflow-per-link tally
+// walks only the served coflows' touched links.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/kernel_scratch.h"
+#include "alloc/priority_state.h"
 #include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
@@ -49,10 +53,32 @@ class BaraatScheduler : public KernelScheduler {
   std::optional<double> next_internal_event(
       const ScheduleInput& input, const Allocation& current) const override;
 
+  void on_reset(const Fabric& fabric) override {
+    KernelScheduler::on_reset(fabric);
+    order_state_.reset();
+  }
+  void on_coflow_arrival(const ActiveCoflow& coflow) override {
+    KernelScheduler::on_coflow_arrival(coflow);
+    if (!event_driven_) return;
+    order_state_.add_coflow(coflow.id, /*bucket=*/0, coflow.arrival_time);
+  }
+  void on_coflow_departure(CoflowId id) override {
+    KernelScheduler::on_coflow_departure(id);
+    if (!event_driven_) return;
+    order_state_.remove_coflow(id);
+  }
+
+  // Exposed for the golden event-churn suite's Debug consistency checks.
+  const PriorityOrder& priority_order() const { return order_state_; }
+
  private:
   BaraatOptions options_;
+  PriorityOrder order_state_;
+  KernelScratch scratch_;
   std::vector<std::size_t> order_;
+  std::vector<std::size_t> served_;
   std::vector<int> served_on_link_;
+  std::vector<double> capacities_;
   ResidualBackfill backfill_;
   // The FIFO-LM fill itself is a small served prefix and stays serial;
   // only the work-conserving residual pass — the bulk of the per-call

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/kernel_scratch.h"
 #include "alloc/shard.h"
 #include "alloc/waterfill.h"
 
@@ -65,9 +66,10 @@ class EndpointFairScheduler : public KernelScheduler {
   std::unordered_map<CoflowId, std::vector<EntityKey>> coflow_keys_;
 
   WaterfillKernel kernel_;
+  KernelScratch scratch_;  // serial path solves over the gathered columns
   std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
   ShardedWaterfill sharded_;
-  std::vector<WaterfillFlow> flows_;
+  std::vector<WaterfillFlow> flows_;  // sharded-solver AoS build only
   std::vector<double> capacities_;
   std::vector<double> rates_;
 };

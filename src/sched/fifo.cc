@@ -1,10 +1,16 @@
 #include "sched/fifo.h"
 
 #include <algorithm>
-#include <numeric>
 #include <vector>
 
+#include "common/check.h"
+
 namespace ncdrf {
+namespace {
+
+const std::vector<double> kNoBucketBounds;  // arrival order never changes
+
+}  // namespace
 
 Allocation FifoScheduler::allocate(const ScheduleInput& input) {
   AllocScope scope(perf_);
@@ -12,22 +18,19 @@ Allocation FifoScheduler::allocate(const ScheduleInput& input) {
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
   sync(input);
 
-  order_.resize(input.coflows.size());
-  std::iota(order_.begin(), order_.end(), std::size_t{0});
-  std::sort(order_.begin(), order_.end(),
-            [&](std::size_t a, std::size_t b) {
-              if (input.coflows[a].arrival_time !=
-                  input.coflows[b].arrival_time) {
-                return input.coflows[a].arrival_time <
-                       input.coflows[b].arrival_time;
-              }
-              return input.coflows[a].id < input.coflows[b].id;
-            });
+  // Arrival order from the persistent state; a driver that never delivered
+  // events (or a snapshot the tracked set does not cover) falls back to
+  // one fresh sort, exactly like LinkLoadState's rebuild.
+  if (!order_state_.resolve(input, kNoBucketBounds, order_)) {
+    order_state_.rebuild(input, [](const ActiveCoflow&) { return 0; });
+    const bool ok = order_state_.resolve(input, kNoBucketBounds, order_);
+    NCDRF_CHECK(ok, "FIFO: rebuilt priority order must cover the snapshot");
+  }
 
   Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
 
   if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+    alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
     sharded_fill_.run(input, state_, order_, *runtime_, alloc);
     if (options_.work_conserving) {
       perf_.backfill_rounds += 1;
@@ -37,33 +40,41 @@ Allocation FifoScheduler::allocate(const ScheduleInput& input) {
     return alloc;
   }
 
+  const FlowTable& table =
+      scratch_.gather(input, &state_, GatherCounts::kLive);
+
   residual_.resize(num_links);
   for (LinkId i = 0; i < fabric.num_links(); ++i) {
     residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
   for (const std::size_t k : order_) {
-    const ActiveCoflow& coflow = input.coflows[k];
-    const LinkLoadState::CoflowLoad& load = *state_.find(coflow.id);
-    for (const ActiveFlow& f : coflow.flows) {
-      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      alloc.set_rate(f.id, std::max(std::min(residual_[u] / load.live[u],
-                                             residual_[d] / load.live[d]),
-                                    0.0));
+    const std::size_t begin = table.begin_of(k);
+    const std::size_t end = table.end_of(k);
+    // The head coflow takes what is left of each link, split evenly among
+    // its own flows there; a flow realizes the min of its two shares.
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto u = static_cast<std::size_t>(table.up[j]);
+      const auto d = static_cast<std::size_t>(table.dn[j]);
+      table.rate[j] = std::max(std::min(residual_[u] / table.cnt_up[j],
+                                        residual_[d] / table.cnt_dn[j]),
+                               0.0);
     }
-    for (const ActiveFlow& f : coflow.flows) {
-      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-      residual_[u] = std::max(residual_[u] - alloc.rate(f.id), 0.0);
-      residual_[d] = std::max(residual_[d] - alloc.rate(f.id), 0.0);
+    // Subtract actual usage after the whole coflow is assigned so flows of
+    // the same coflow see the same residual snapshot (even split).
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto u = static_cast<std::size_t>(table.up[j]);
+      const auto d = static_cast<std::size_t>(table.dn[j]);
+      residual_[u] = std::max(residual_[u] - table.rate[j], 0.0);
+      residual_[d] = std::max(residual_[d] - table.rate[j], 0.0);
     }
   }
 
   if (options_.work_conserving) {
     perf_.backfill_rounds += 1;
-    backfill_.run(input, alloc);
+    backfill_.run(fabric, table);
   }
+  KernelScratch::commit(table, alloc);
   return alloc;
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "alloc/kernel_scratch.h"
 #include "alloc/shard.h"
 #include "alloc/waterfill.h"
 #include "obs/perf.h"
@@ -28,8 +29,11 @@ class PerFlowScheduler : public Scheduler {
 
  private:
   // Water-filling kernel plus scratch, reused across allocate() calls so
-  // the hot path performs no per-call vector growth once warmed up.
+  // the hot path performs no per-call vector growth once warmed up. The
+  // serial path solves directly over the gathered SoA columns; the AoS
+  // flow records are built only for the sharded solver.
   WaterfillKernel kernel_;
+  KernelScratch scratch_;
   std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
   ShardedWaterfill sharded_;
   std::vector<WaterfillFlow> flows_;

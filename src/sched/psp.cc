@@ -16,15 +16,13 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
 
   // Coflows present per link (inter-coflow equal split is per coflow, not
   // per flow — that is what distinguishes PS-P from per-flow fairness) and
-  // each coflow's per-link flow counts, both served by LinkLoadState.
+  // each coflow's per-link flow counts, both served by LinkLoadState; the
+  // gather mirrors the presence counts into the cnt columns so the round
+  // sweeps below never look a coflow up again.
   sync(input);
   const std::vector<int>& coflows_on_link = state_.counted_coflows_on_link();
-
-  loads_.clear();
-  loads_.reserve(input.coflows.size());
-  for (const ActiveCoflow& coflow : input.coflows) {
-    loads_.push_back(state_.find(coflow.id));
-  }
+  const FlowTable& table =
+      scratch_.gather(input, &state_, GatherCounts::kCounted);
 
   residual_.resize(num_links);
   coflow_share_.resize(num_links);
@@ -32,8 +30,6 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
     residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
   }
 
-  Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
   // One PS-P pass per round: each link's residual is divided equally among
   // the coflows present on it, a coflow's slice is divided evenly among
   // its flows there, and a flow realizes the min of its two per-link
@@ -45,90 +41,66 @@ Allocation PspScheduler::allocate(const ScheduleInput& input) {
                          ? 1 + std::max(options_.backfill_rounds, 0)
                          : 1;
   for (int round = 0; round < rounds; ++round) {
-    double assigned = 0.0;
-    // residual / coflows_on_link hoisted per link: the flow loop divides
+    // residual / coflows_on_link hoisted per link: the flow sweep divides
     // only by the intra-coflow count, the exact second division of the
     // legacy residual/coflows/counted chain.
     for (std::size_t i = 0; i < num_links; ++i) {
       coflow_share_[i] =
           coflows_on_link[i] > 0 ? residual_[i] / coflows_on_link[i] : 0.0;
     }
-    if (runtime_ != nullptr) {
-      // Parallel share computation, serial apply in the serial order: the
-      // per-flow arithmetic reads only this round's hoisted shares, so the
-      // result is bit-identical to the serial loop below.
-      if (round == 0) {
-        flat_offset_.assign(input.coflows.size() + 1, 0);
-        for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-          flat_offset_[k + 1] =
-              flat_offset_[k] +
-              static_cast<std::int32_t>(input.coflows[k].flows.size());
+    // The round's rate for row j depends only on the hoisted shares, and
+    // parallel blocks accumulate disjoint rows, so the sharded sweep is
+    // bit-identical to the serial one. A round that assigns nothing ends
+    // the redistribution (same break the legacy `assigned` sum produced:
+    // only positive rates were ever added to it).
+    const auto sweep = [&](std::size_t begin, std::size_t end) {
+      bool any = false;
+      for (std::size_t j = begin; j < end; ++j) {
+        const auto u = static_cast<std::size_t>(table.up[j]);
+        const auto d = static_cast<std::size_t>(table.dn[j]);
+        const double up_share = coflow_share_[u] / table.cnt_up[j];
+        const double down_share = coflow_share_[d] / table.cnt_dn[j];
+        const double r = std::max(std::min(up_share, down_share), 0.0);
+        if (r > 0.0) {
+          table.rate[j] += r;
+          any = true;
         }
-        flat_rate_.resize(
-            static_cast<std::size_t>(flat_offset_[input.coflows.size()]));
       }
+      return any;
+    };
+    bool any_assigned = false;
+    if (runtime_ != nullptr) {
+      block_any_.assign(
+          static_cast<std::size_t>(runtime_->num_shards()), 0);
       runtime_->parallel_blocks(
-          input.coflows.size(),
-          [&](int, std::size_t begin, std::size_t end) {
-            for (std::size_t k = begin; k < end; ++k) {
-              const LinkLoadState::CoflowLoad& load = *loads_[k];
-              const auto base = static_cast<std::size_t>(flat_offset_[k]);
-              const std::vector<ActiveFlow>& flows = input.coflows[k].flows;
-              for (std::size_t j = 0; j < flows.size(); ++j) {
-                const auto u =
-                    static_cast<std::size_t>(fabric.uplink(flows[j].src));
-                const auto d =
-                    static_cast<std::size_t>(fabric.downlink(flows[j].dst));
-                const double up_share = coflow_share_[u] / load.counted[u];
-                const double down_share = coflow_share_[d] / load.counted[d];
-                flat_rate_[base + j] =
-                    std::max(std::min(up_share, down_share), 0.0);
-              }
+          table.num_coflows,
+          [&](int block, std::size_t begin, std::size_t end) {
+            if (sweep(table.begin_of(begin), table.begin_of(end))) {
+              block_any_[static_cast<std::size_t>(block)] = 1;
             }
           });
-      for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-        const auto base = static_cast<std::size_t>(flat_offset_[k]);
-        const std::vector<ActiveFlow>& flows = input.coflows[k].flows;
-        for (std::size_t j = 0; j < flows.size(); ++j) {
-          const double r = flat_rate_[base + j];
-          if (r > 0.0) {
-            alloc.add_rate(flows[j].id, r);
-            assigned += r;
-          }
-        }
-      }
+      for (const char flag : block_any_) any_assigned |= flag != 0;
     } else {
-      for (std::size_t k = 0; k < input.coflows.size(); ++k) {
-        const LinkLoadState::CoflowLoad& load = *loads_[k];
-        for (const ActiveFlow& f : input.coflows[k].flows) {
-          const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-          const auto d = static_cast<std::size_t>(fabric.downlink(f.dst));
-          const double up_share = coflow_share_[u] / load.counted[u];
-          const double down_share = coflow_share_[d] / load.counted[d];
-          const double r = std::max(std::min(up_share, down_share), 0.0);
-          if (r > 0.0) {
-            alloc.add_rate(f.id, r);
-            assigned += r;
-          }
-        }
-      }
+      any_assigned = sweep(0, table.num_flows);
     }
-    if (assigned <= 0.0) break;
-    // Recompute residuals for the next redistribution round.
+    if (!any_assigned) break;
+    // Recompute residuals for the next redistribution round from the
+    // accumulated totals (the same sums the legacy alloc.rate() held).
     if (round + 1 < rounds) {
       for (std::size_t i = 0; i < num_links; ++i) {
         residual_[i] = fabric.capacity(static_cast<LinkId>(i));
       }
-      for (const ActiveCoflow& coflow : input.coflows) {
-        for (const ActiveFlow& f : coflow.flows) {
-          const double r = alloc.rate(f.id);
-          residual_[static_cast<std::size_t>(fabric.uplink(f.src))] -= r;
-          residual_[static_cast<std::size_t>(fabric.downlink(f.dst))] -= r;
-        }
+      for (std::size_t j = 0; j < table.num_flows; ++j) {
+        residual_[static_cast<std::size_t>(table.up[j])] -= table.rate[j];
+        residual_[static_cast<std::size_t>(table.dn[j])] -= table.rate[j];
       }
       for (double& r : residual_) r = std::max(r, 0.0);
     }
   }
+  Allocation alloc;
+  // skip_zero: the legacy path only ever add_rate'd positive rates, so
+  // flows whose total stayed 0.0 must stay absent from the allocation.
+  KernelScratch::commit(table, alloc, /*skip_zero=*/true);
   if (runtime_ != nullptr) runtime_->drain_timers(perf_);
   return alloc;
 }

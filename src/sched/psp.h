@@ -13,14 +13,17 @@
 //
 // Per-link presence counts come from the allocation-kernel layer's
 // LinkLoadState, maintained incrementally under event-driven drivers
-// instead of rebuilt as a dense coflows × links matrix every call.
+// instead of rebuilt as a dense coflows × links matrix every call. The
+// redistribution rounds accumulate into the KernelScratch rate column —
+// one flat sweep per round, serial and sharded paths sharing the same
+// arithmetic — and positive totals are committed once at the end.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "alloc/kernel_scheduler.h"
+#include "alloc/kernel_scratch.h"
 #include "alloc/shard.h"
 
 namespace ncdrf {
@@ -51,18 +54,15 @@ class PspScheduler : public KernelScheduler {
 
  private:
   PspOptions options_;
+  KernelScratch scratch_;
   std::vector<double> residual_;
   std::vector<double> coflow_share_;  // residual_[i] / coflows_on_link[i]
-  // Per-snapshot-slot CoflowLoad pointers, resolved once per allocate so
-  // the redistribution rounds skip the per-coflow hash lookups.
-  std::vector<const LinkLoadState::CoflowLoad*> loads_;
-  // Sharded path: per-flow shares are computed into the flat scratch in
-  // parallel (each flow's rate depends only on the round's residual
-  // snapshot), then applied serially in the exact serial order — the
-  // sharded PS-P is bit-identical to the serial one for every trace.
+  // Sharded path: per-flow shares accumulate into disjoint rate-column
+  // rows in parallel (each flow's rate depends only on the round's hoisted
+  // shares), so the sharded PS-P is bit-identical to the serial one for
+  // every trace.
   std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
-  std::vector<std::int32_t> flat_offset_;  // coflow index -> first flat id
-  std::vector<double> flat_rate_;
+  std::vector<char> block_any_;  // per-block "assigned anything" flags
 };
 
 }  // namespace ncdrf

@@ -19,17 +19,25 @@ Allocation VarysScheduler::allocate(const ScheduleInput& input) {
   const Fabric& fabric = *input.fabric;
   const auto num_links = static_cast<std::size_t>(fabric.num_links());
 
+  capacities_.resize(num_links);
+  for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    capacities_[static_cast<std::size_t>(i)] = fabric.capacity(i);
+  }
+
   // Effective bottleneck completion time of each coflow at full capacity.
-  // Each coflow's Γ reads only its own cached vectors, so the dense scans
-  // parallelize over coflow blocks with per-k results unchanged.
+  // Only the cache's touched links are scanned — untouched links hold
+  // exactly 0.0 demand and cannot raise the max, so the sparse scan equals
+  // the dense one bit for bit. Each coflow's Γ reads only its own cached
+  // vectors, so the scans parallelize over coflow blocks with per-k
+  // results unchanged.
   cache_.refresh(input, runtime_.get());
   gamma_.assign(input.coflows.size(), 0.0);
   const auto gamma_of = [&](std::size_t k) {
     const DemandVectors& d = cache_.demand(k);
     double g = 0.0;
-    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    for (const LinkId i : cache_.touched(k)) {
       const auto idx = static_cast<std::size_t>(i);
-      g = std::max(g, d.demand[idx] / fabric.capacity(i));
+      g = std::max(g, d.demand[idx] / capacities_[idx]);
     }
     return g;
   };
@@ -56,24 +64,21 @@ Allocation VarysScheduler::allocate(const ScheduleInput& input) {
             });
 
   residual_.resize(num_links);
-  for (LinkId i = 0; i < fabric.num_links(); ++i) {
-    residual_[static_cast<std::size_t>(i)] = fabric.capacity(i);
-  }
+  for (std::size_t i = 0; i < num_links; ++i) residual_[i] = capacities_[i];
 
-  Allocation alloc;
-  alloc.reserve(static_cast<std::size_t>(live_flows_hint(input)));
+  const FlowTable& table =
+      scratch_.gather(input, /*state=*/nullptr, GatherCounts::kNone);
+
   for (const std::size_t k : order_) {
-    const ActiveCoflow& coflow = input.coflows[k];
-    if (gamma_[k] <= 0.0) {
-      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
-      continue;
-    }
+    if (gamma_[k] <= 0.0) continue;  // rows keep the gather's zero rate
     // MADD against *residual* capacity: the coflow finishes as fast as the
-    // bandwidth left by smaller coflows allows.
+    // bandwidth left by smaller coflows allows. Blocked means some
+    // demanded link has no residual — an order-independent ∃-check, so
+    // walking the touched list instead of ascending links changes nothing.
     const DemandVectors& d = cache_.demand(k);
     double g = 0.0;
     bool blocked = false;
-    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+    for (const LinkId i : cache_.touched(k)) {
       const auto idx = static_cast<std::size_t>(i);
       if (d.demand[idx] <= 0.0) continue;
       if (residual_[idx] <= 0.0) {
@@ -82,30 +87,36 @@ Allocation VarysScheduler::allocate(const ScheduleInput& input) {
       }
       g = std::max(g, d.demand[idx] / residual_[idx]);
     }
-    if (blocked || g <= 0.0) {
-      for (const ActiveFlow& f : coflow.flows) alloc.set_rate(f.id, 0.0);
-      continue;
-    }
-    const std::vector<double>& remaining = cache_.remaining(k);
-    for (std::size_t j = 0; j < coflow.flows.size(); ++j) {
-      const ActiveFlow& f = coflow.flows[j];
-      const double r = remaining[j] / g;
-      alloc.set_rate(f.id, r);
-      const auto u = static_cast<std::size_t>(fabric.uplink(f.src));
-      const auto d2 = static_cast<std::size_t>(fabric.downlink(f.dst));
+    if (blocked || g <= 0.0) continue;
+    const double* remaining = cache_.remaining(k);
+    const std::size_t begin = table.begin_of(k);
+    const std::size_t end = table.end_of(k);
+    for (std::size_t j = begin; j < end; ++j) {
+      const double r = remaining[j - begin] / g;
+      table.rate[j] = r;
+      const auto u = static_cast<std::size_t>(table.up[j]);
+      const auto d2 = static_cast<std::size_t>(table.dn[j]);
       residual_[u] = std::max(residual_[u] - r, 0.0);
       residual_[d2] = std::max(residual_[d2] - r, 0.0);
     }
   }
 
+  Allocation alloc;
   if (options_.work_conserving) {
     perf_.backfill_rounds += 1;
     if (runtime_ != nullptr && runtime_->bind(fabric).num_shards() > 1) {
+      KernelScratch::commit(table, alloc);
       sharded_backfill_.run(input, *runtime_, alloc);
-    } else {
-      backfill_.run(input, alloc);
+      runtime_->drain_timers(perf_);
+      perf_.allocate_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      return alloc;
     }
+    backfill_.run(fabric, table);
   }
+  KernelScratch::commit(table, alloc);
   if (runtime_ != nullptr) runtime_->drain_timers(perf_);
   perf_.allocate_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -11,14 +11,18 @@
 // Residual capacity is water-filled max-min across all flows.
 //
 // Demand vectors come from the kernel layer's DemandCache (one
-// remaining-demand computation per coflow per call) and the residual pass
-// is the shared water-filling kernel.
+// remaining-demand computation per coflow per call), the Γ and MADD scans
+// walk only the cache's touched-link lists (untouched links hold exactly
+// zero demand, so the sparse max/∃-blocked checks reproduce the dense
+// scans bit for bit), the rate walk runs over the KernelScratch flow
+// table, and the residual pass is the shared water-filling kernel.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "alloc/demand_cache.h"
+#include "alloc/kernel_scratch.h"
 #include "alloc/shard.h"
 #include "alloc/waterfill.h"
 #include "obs/perf.h"
@@ -49,9 +53,11 @@ class VarysScheduler : public Scheduler {
   // walk stays serial and the residual pass becomes ShardedBackfill.
   std::unique_ptr<ShardRuntime> runtime_;  // null on the serial path
   ShardedBackfill sharded_backfill_;
+  KernelScratch scratch_;
   std::vector<double> gamma_;
   std::vector<std::size_t> order_;
   std::vector<double> residual_;
+  std::vector<double> capacities_;
   ResidualBackfill backfill_;
   SchedPerf perf_;
 };

@@ -18,6 +18,9 @@
 #include "core/ncdrf.h"
 #include "core/registry.h"
 #include "obs/perf.h"
+#include "sched/aalo.h"
+#include "sched/baraat.h"
+#include "sched/fifo.h"
 #include "sched/scheduler.h"
 
 namespace ncdrf {
@@ -211,6 +214,84 @@ TEST(AllocGoldenTest, EventDrivenMatchesLegacyForEveryPolicy) {
         EXPECT_EQ(perf->full_rebuilds, 0)
             << name << " seed " << seed
             << ": event-driven run fell back to snapshot rebuilds";
+      }
+    }
+  }
+}
+
+// The persistent priority-queue state (PriorityOrder) must make the
+// event-driven path *exactly* the rebuild-every-call path: same order,
+// same fill, bitwise-identical rates. 50 seeded churn instances per
+// priority policy (200 total) with arrivals, finishes, departures and
+// attained-service drift (Aalo queue promotions), cross-checked every
+// step; the tracked order is additionally audited against the fresh-sort
+// oracle (check_consistent) after each resolve.
+TEST(AllocGoldenTest, PriorityQueueChurnMatchesRebuildBitwise) {
+  const std::vector<std::string> names = {"aalo", "baraat", "fifo", "varys"};
+  constexpr int kChurnSeeds = 50;
+  for (const std::string& name : names) {
+    for (int seed = 0; seed < kChurnSeeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 3571u + 41u);
+      GoldenWorld world(rng);
+      auto incremental = make_scheduler(name);
+      auto rebuild = make_scheduler(name);  // never sees an event
+      Scheduler* hooks =
+          incremental->wants_events() ? incremental.get() : nullptr;
+      if (hooks != nullptr) {
+        hooks->on_reset(world.fabric());
+        for (const ActiveCoflow& view : world.input().coflows) {
+          hooks->on_coflow_arrival(view);
+        }
+      }
+      auto* aalo = dynamic_cast<AaloScheduler*>(incremental.get());
+      auto* baraat = dynamic_cast<BaraatScheduler*>(incremental.get());
+      auto* fifo = dynamic_cast<FifoScheduler*>(incremental.get());
+      const auto audit_order = [&]() {
+        // After allocate()'s resolve the tracked buckets are current, so
+        // the maintained order must equal a fresh sort of the snapshot.
+        if (aalo != nullptr) {
+          aalo->priority_order().check_consistent(
+              world.input(), [&](const ActiveCoflow& c) {
+                return aalo->queue_of(c.attained_bits);
+              });
+        }
+        const auto zero_bucket = [](const ActiveCoflow&) { return 0; };
+        if (baraat != nullptr) {
+          baraat->priority_order().check_consistent(world.input(),
+                                                    zero_bucket);
+        }
+        if (fifo != nullptr) {
+          fifo->priority_order().check_consistent(world.input(),
+                                                  zero_bucket);
+        }
+      };
+      for (int step = 0; step < kEventSteps && !world.empty(); ++step) {
+        const Allocation got = incremental->allocate(world.input());
+        const Allocation want = rebuild->allocate(world.input());
+        ASSERT_NO_THROW(audit_order())
+            << name << " seed " << seed << " step " << step;
+        for (const ActiveCoflow& coflow : world.input().coflows) {
+          for (const ActiveFlow& f : coflow.flows) {
+            ASSERT_EQ(got.rate(f.id), want.rate(f.id))
+                << name << " seed " << seed << " step " << step << " flow "
+                << f.id;
+          }
+        }
+        world.advance_service();
+        if (rng.bernoulli(0.3)) {
+          const ActiveCoflow& arrived = world.add_coflow();
+          if (hooks != nullptr) hooks->on_coflow_arrival(arrived);
+        }
+        if (!world.empty() && rng.bernoulli(0.9)) {
+          world.finish_random_flow(hooks);
+        }
+      }
+      if (hooks != nullptr) {
+        const SchedPerf* perf = incremental->perf_counters();
+        ASSERT_NE(perf, nullptr) << name;
+        EXPECT_EQ(perf->full_rebuilds, 0)
+            << name << " seed " << seed
+            << ": churn run fell back to snapshot rebuilds";
       }
     }
   }

@@ -280,6 +280,159 @@ TEST(ShardEquivalence, PspShardedIsBitwiseExactEvenCrossShard) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded priority fill over the incremental (event-maintained) queue
+// state: the run_alloc cases above feed arrivals once and allocate once,
+// so they never exercise ShardedPriorityFill consuming an order that
+// PriorityOrder maintained through churn. These do — the serial and
+// sharded schedulers see the identical event stream (finishes,
+// departures, pristine re-arrivals, attained-service drift) and must stay
+// in lockstep at every step.
+
+// One churned world driving a serial and a sharded build of the same
+// policy through identical event hooks.
+class ChurnPair {
+ public:
+  ChurnPair(const std::string& name, const Fabric& fabric,
+            const Trace& trace, std::uint64_t seed)
+      : rng_(seed), snap_(snapshot_all_active(fabric, trace, true)) {
+    SchedulerOptions four;
+    four.shards = 4;
+    serial_ = make_scheduler(name);
+    sharded_ = make_scheduler(name, four);
+    for (const ActiveCoflow& view : snap_.input.coflows) {
+      pristine_.push_back(view);
+    }
+    pristine_sizes_ = *snap_.remaining;
+    for (Scheduler* s : schedulers()) {
+      if (!s->wants_events()) continue;
+      s->on_reset(fabric);
+      for (const ActiveCoflow& c : snap_.input.coflows) {
+        s->on_coflow_arrival(c);
+      }
+    }
+  }
+
+  ScheduleInput& input() { return snap_.input; }
+  Allocation allocate_serial() { return serial_->allocate(snap_.input); }
+  Allocation allocate_sharded() { return sharded_->allocate(snap_.input); }
+
+  // Drift + one flow finish (departing a drained coflow) + an occasional
+  // pristine re-arrival of a departed coflow, all mirrored into both
+  // schedulers' hooks.
+  void step() {
+    for (ActiveCoflow& view : snap_.input.coflows) {
+      double moved = 0.0;
+      for (const ActiveFlow& f : view.flows) {
+        double& rem = (*snap_.remaining)[static_cast<std::size_t>(f.id)];
+        const double delta = rem * rng_.uniform(0.0, 0.4);
+        rem -= delta;
+        moved += delta;
+      }
+      view.attained_bits += moved;
+    }
+    if (!snap_.input.coflows.empty()) {
+      const auto k = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(snap_.input.coflows.size()) - 1));
+      ActiveCoflow& view = snap_.input.coflows[k];
+      const ActiveFlow finished = view.flows.back();
+      view.flows.pop_back();
+      view.finished_flows.push_back(finished);
+      auto& rem = (*snap_.remaining)[static_cast<std::size_t>(finished.id)];
+      view.attained_bits += rem;
+      rem = 0.0;
+      for (Scheduler* s : schedulers()) {
+        if (s->wants_events()) s->on_flow_finish(finished);
+      }
+      if (view.flows.empty()) {
+        const CoflowId id = view.id;
+        parked_.push_back(id);
+        snap_.input.coflows[k] = std::move(snap_.input.coflows.back());
+        snap_.input.coflows.pop_back();
+        for (Scheduler* s : schedulers()) {
+          if (s->wants_events()) s->on_coflow_departure(id);
+        }
+      }
+    }
+    if (!parked_.empty() && rng_.bernoulli(0.5)) {
+      const CoflowId id = parked_.back();
+      parked_.pop_back();
+      ActiveCoflow revived = pristine_[static_cast<std::size_t>(id)];
+      for (const ActiveFlow& f : revived.flows) {
+        (*snap_.remaining)[static_cast<std::size_t>(f.id)] =
+            pristine_sizes_[static_cast<std::size_t>(f.id)];
+      }
+      revived.attained_bits = rng_.uniform(0.0, 5e8);
+      snap_.input.coflows.push_back(std::move(revived));
+      for (Scheduler* s : schedulers()) {
+        if (s->wants_events()) {
+          s->on_coflow_arrival(snap_.input.coflows.back());
+        }
+      }
+    }
+  }
+
+  bool empty() const { return snap_.input.coflows.empty(); }
+
+ private:
+  std::vector<Scheduler*> schedulers() {
+    return {serial_.get(), sharded_.get()};
+  }
+
+  Rng rng_;
+  Snapshot snap_;
+  std::unique_ptr<Scheduler> serial_;
+  std::unique_ptr<Scheduler> sharded_;
+  std::vector<ActiveCoflow> pristine_;   // indexed by CoflowId
+  std::vector<double> pristine_sizes_;   // indexed by FlowId
+  std::vector<CoflowId> parked_;         // departed, eligible to revive
+};
+
+TEST(ShardedPriorityState, LocalTraceChurnStaysBitwiseIdentical) {
+  // Shard-local trace: the sharded priority fill must track the serial
+  // one bit for bit at every churn step, for every policy whose sharded
+  // path is exact.
+  const Fabric fabric(32, gbps(1.0));
+  for (const char* policy : {"fifo", "aalo", "varys"}) {
+    const Trace trace = grouped_trace(fabric, 4, 19, 30, 6,
+                                      /*locality=*/1.0);
+    ChurnPair pair(policy, fabric, trace, /*seed=*/77);
+    for (int step = 0; step < 30 && !pair.empty(); ++step) {
+      const Allocation serial = pair.allocate_serial();
+      const Allocation sharded = pair.allocate_sharded();
+      for (const ActiveCoflow& c : pair.input().coflows) {
+        for (const ActiveFlow& f : c.flows) {
+          ASSERT_EQ(serial.rate(f.id), sharded.rate(f.id))
+              << policy << " step " << step << " flow " << f.id;
+        }
+      }
+      pair.step();
+    }
+  }
+}
+
+TEST(ShardedPriorityState, CrossShardChurnKeepsTotalRateAndFeasibility) {
+  // Cross-shard traffic: rates may diverge through the reconcile rounds,
+  // but the churned sharded path must stay feasible and keep >= 95% of
+  // the serial total rate at every step.
+  const Fabric fabric(32, gbps(1.0));
+  for (const char* policy : {"fifo", "aalo", "baraat"}) {
+    const Trace trace = grouped_trace(fabric, 4, 23, 30, 6,
+                                      /*locality=*/0.6);
+    ChurnPair pair(policy, fabric, trace, /*seed=*/131);
+    for (int step = 0; step < 30 && !pair.empty(); ++step) {
+      const Allocation serial = pair.allocate_serial();
+      const Allocation sharded = pair.allocate_sharded();
+      EXPECT_NO_THROW(check_capacity(pair.input(), sharded, 1e-6))
+          << policy << " step " << step;
+      const double base = total_rate(pair.input(), serial);
+      const double got = total_rate(pair.input(), sharded);
+      EXPECT_GE(got, 0.95 * base) << policy << " step " << step;
+      pair.step();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Cross-shard traces: feasibility, bounded divergence, determinism
 
 class ShardCrossTraffic : public ::testing::TestWithParam<int> {};

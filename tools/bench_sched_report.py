@@ -4,27 +4,44 @@
 Reads the google-benchmark JSON produced by bench_sched_scalability
 (--benchmark_out), extracts the per-policy kernel-vs-legacy EventReplay
 events/sec matrix, writes a compact BENCH_sched.json, and enforces the
-allocation-kernel speedup floor: for the guarded policies the kernel path
-must move at least MIN_SPEEDUP x the legacy events/sec at 500 concurrent
-coflows. Kernel and legacy run in the same process on the same instance,
-so the ratio is robust to machine speed.
+ratcheted allocation-kernel speedup floors: for each guarded (policy,
+coflows) pair in POLICY_FLOORS the kernel path must move at least that
+many times the legacy events/sec. Kernel and legacy run in the same
+process on the same instance, so the ratio is robust to machine speed.
+
+When the benchmark ran with --benchmark_repetitions, entries sharing a
+name are folded with max(): best-of-N events/sec per mode is the standard
+noise-robust estimator (a transient CPU steal can only slow a run down),
+so the guarded ratio compares the two paths' unloaded speeds instead of
+whichever repetition the noise happened to hit.
+
+Floors are ratcheted to measured-minus-margin, never aspirational: each
+value sits comfortably below the best-of-reps speedup the current tree
+reproduces on CI-class hardware (tcp ~20x, hug ~4.5x-5x, drf ~3.5x/~2x,
+psp ~2.15x/~2.1x at 500/1000 coflows), so a regression below a floor
+means a real perf loss on the kernel hot path, not machine noise.
 
 Usage: tools/bench_sched_report.py <benchmark.json> [<out.json>]
-Exits non-zero when a guarded ratio falls below the floor.
+Exits non-zero when a guarded ratio falls below its floor.
 """
 import json
 import re
 import sys
 
-MIN_SPEEDUP = 2.0
-GUARD_COFLOWS = "500"
-# Registry names: tcp is the per-flow fairness baseline ("perflow" in the
-# paper's terms); psp/psp-live are HUG's PS-P with stale/live counting.
-GUARDED_POLICIES = ("drf", "hug", "psp", "tcp")
+# Per-(coflows, policy) kernel/legacy speedup floors. The 500-coflow block
+# is the original >=2x refactor guard ratcheted per policy after the SoA
+# scratch + indexed-heap waterfill landed; the 1000-coflow block guards the
+# larger instances where cache effects dominate.
+POLICY_FLOORS = {
+    "500": {"tcp": 12.0, "hug": 3.5, "drf": 3.0, "psp": 2.05},
+    "1000": {"tcp": 12.0, "hug": 3.5, "drf": 1.8, "psp": 1.8},
+}
 
 NAME_RE = re.compile(r"^BM_EventReplay(Kernel|Legacy)_(\w+)/(\d+)$")
 
-# Benchmark tag -> registry policy name.
+# Benchmark tag -> registry policy name. tcp is the per-flow fairness
+# baseline ("perflow" in the paper's terms); psp/psp-live are HUG's PS-P
+# with stale/live counting.
 TAGS = {
     "Tcp": "tcp",
     "Persource": "persource",
@@ -61,7 +78,8 @@ def main(argv):
             print(f"::error::unknown benchmark tag {tag!r} in {bench['name']}")
             return 1
         cell = matrix.setdefault(policy, {}).setdefault(coflows, {})
-        cell[mode.lower() + "_events_per_s"] = bench["items_per_second"]
+        key = mode.lower() + "_events_per_s"
+        cell[key] = max(cell.get(key, 0.0), bench["items_per_second"])
 
     failures = []
     for policy, by_coflows in sorted(matrix.items()):
@@ -75,24 +93,25 @@ def main(argv):
                 )
                 continue
             cell["speedup"] = kernel / legacy
-            guarded = policy in GUARDED_POLICIES and coflows == GUARD_COFLOWS
+            floor = POLICY_FLOORS.get(coflows, {}).get(policy)
             line = (
                 f"{policy:>10} @{coflows:>5} coflows: "
                 f"kernel {kernel:12.0f} ev/s, legacy {legacy:12.0f} ev/s, "
                 f"speedup {cell['speedup']:5.2f}x"
             )
-            if guarded:
-                line += f"  [guard >= {MIN_SPEEDUP}x]"
-                if cell["speedup"] < MIN_SPEEDUP:
+            if floor is not None:
+                line += f"  [guard >= {floor}x]"
+                if cell["speedup"] < floor:
                     failures.append(
                         f"{policy}@{coflows}: kernel speedup "
-                        f"{cell['speedup']:.2f}x below floor {MIN_SPEEDUP}x"
+                        f"{cell['speedup']:.2f}x below floor {floor}x"
                     )
             print(line)
 
-    for policy in GUARDED_POLICIES:
-        if GUARD_COFLOWS not in matrix.get(policy, {}):
-            failures.append(f"{policy}@{GUARD_COFLOWS}: no benchmark data")
+    for coflows, floors in POLICY_FLOORS.items():
+        for policy in floors:
+            if coflows not in matrix.get(policy, {}):
+                failures.append(f"{policy}@{coflows}: no benchmark data")
 
     out = {
         "description": (
@@ -102,9 +121,12 @@ def main(argv):
         ),
         "source": "bench/bench_sched_scalability.cc",
         "guard": {
-            "min_speedup": MIN_SPEEDUP,
-            "coflows": int(GUARD_COFLOWS),
-            "policies": list(GUARDED_POLICIES),
+            "policy_floors": {
+                coflows: dict(sorted(floors.items()))
+                for coflows, floors in sorted(
+                    POLICY_FLOORS.items(), key=lambda kv: int(kv[0])
+                )
+            },
         },
         "matrix": matrix,
     }
