@@ -1,5 +1,7 @@
 #include "cluster/bus.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ncdrf {
@@ -33,8 +35,14 @@ bool SimBus::send_with_retry(double now, Address to, MessagePayload payload,
               "retry backoff must be non-negative and non-shrinking");
   // All attempts are drawn up front (the outcome is deterministic in the
   // seed either way); the first surviving attempt is the one transmitted.
+  //
+  // The backoff ladder resumes from the destination's stored state, so
+  // overlapping repair loops to one slow destination keep escalating
+  // instead of each restarting at backoff_s. Any surviving attempt resets
+  // the destination.
+  double& pending = retry_backoff_[destination_key(to)];
   double send_time = now;
-  double backoff = policy.backoff_s;
+  double backoff = std::max(policy.backoff_s, pending);
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
       send_time += backoff;
@@ -42,12 +50,21 @@ bool SimBus::send_with_retry(double now, Address to, MessagePayload payload,
       ++retries_;
     }
     if (loss_probability_ <= 0.0 || !rng_.bernoulli(loss_probability_)) {
+      pending = 0.0;
       send(send_time, to, std::move(payload));
       return true;
     }
     ++dropped_;
+    // The delay the next transmission to this destination should wait —
+    // whether it is this call's next attempt or a later call's first retry.
+    pending = backoff;
   }
   return false;
+}
+
+double SimBus::pending_backoff(Address to) const {
+  const auto it = retry_backoff_.find(destination_key(to));
+  return it != retry_backoff_.end() ? it->second : 0.0;
 }
 
 void SimBus::set_loss_probability(double loss_probability) {

@@ -20,6 +20,13 @@ namespace ncdrf {
 // transmissions, the i-th retry delayed by backoff_s * multiplier^(i-1)
 // after the previous attempt — the client-side repair loop of the
 // prototype's best-effort reports.
+//
+// Backoff state is kept *per destination*, not per call: when a call to a
+// destination exhausts its attempts, the next send_with_retry to the same
+// destination resumes the escalated backoff ladder instead of restarting
+// at backoff_s (concurrent repair loops to one slow slave must not reset
+// each other's backoff). Any successfully transmitted attempt resets the
+// destination to the base backoff.
 struct RetryPolicy {
   int max_attempts = 1;     // total transmission attempts; >= 1
   double backoff_s = 0.05;  // delay before the first retransmission
@@ -67,11 +74,23 @@ class SimBus {
   long long total_dropped() const { return dropped_; }
   long long total_retries() const { return retries_; }
 
+  // The retry delay the next send_with_retry to this destination starts
+  // from: 0 while the destination is healthy (next retry waits
+  // policy.backoff_s), the escalated delay after exhausted attempts.
+  // Exposed for tests of the per-destination backoff contract.
+  double pending_backoff(Address to) const;
+
  private:
   struct Envelope {
     Address to;
     MessagePayload payload;
   };
+
+  // Map key for per-destination state: the master is -1, slaves are their
+  // machine id.
+  static int destination_key(Address to) {
+    return to.is_master ? -1 : to.machine;
+  }
 
   double latency_;
   double loss_probability_;
@@ -82,6 +101,9 @@ class SimBus {
   // Ordered by (deliver_time, send sequence): earliest first, FIFO within
   // an instant.
   std::map<std::pair<double, long long>, Envelope> queue_;
+  // Per-destination retry state: the delay the next retransmission to the
+  // destination should wait (see RetryPolicy). Absent or 0 = base backoff.
+  std::map<int, double> retry_backoff_;
 };
 
 }  // namespace ncdrf

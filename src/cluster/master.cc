@@ -24,9 +24,7 @@ void Master::on_register(const RegisterCoflowMsg& msg) {
   const FlowId probe =
       msg.flows.empty() ? msg.finished_flows.front().id : msg.flows.front().id;
   const bool known =
-      flow_states_.contains(probe) ||
-      std::any_of(coflows_.begin(), coflows_.end(),
-                  [&](const CoflowState& c) { return c.id == msg.coflow; });
+      flow_states_.contains(probe) || unfinished_.contains(msg.coflow);
   if (known) {
     ++registrations_ignored_;
     return;
@@ -47,6 +45,8 @@ void Master::on_register(const RegisterCoflowMsg& msg) {
     flow_states_[f.id] = FlowState{f, true, f.size_bits};
     state.flows.push_back(f.id);
   }
+  unfinished_[msg.coflow] = static_cast<int>(msg.flows.size());
+  if (msg.flows.empty()) ++retirable_;  // everything already delivered
   coflows_.push_back(std::move(state));
   dirty_ = true;
 }
@@ -58,16 +58,25 @@ bool Master::mark_finished(FlowId flow) {
   // finished_flows list of that re-registration.
   if (it == flow_states_.end() || it->second.finished) return false;
   it->second.finished = true;
+  // An unfinished flow state implies its coflow is still active, so the
+  // counter entry exists.
+  if (--unfinished_.at(it->second.flow.coflow) == 0) ++retirable_;
   dirty_ = true;
   return true;
 }
 
 void Master::retire_done_coflows() {
+  if (retirable_ == 0) return;
   std::erase_if(coflows_, [&](const CoflowState& c) {
-    return std::all_of(c.flows.begin(), c.flows.end(), [&](FlowId f) {
-      return flow_states_.at(f).finished;
-    });
+    const auto it = unfinished_.find(c.id);
+    if (it == unfinished_.end() || it->second != 0) return false;
+    unfinished_.erase(it);
+    if (options_.forget_retired) {
+      for (const FlowId f : c.flows) flow_states_.erase(f);
+    }
+    return true;
   });
+  retirable_ = 0;
 }
 
 void Master::on_flow_finished(const FlowFinishedMsg& msg) {
@@ -77,6 +86,18 @@ void Master::on_flow_finished(const FlowFinishedMsg& msg) {
     note_alive(it->second.flow.src, msg.finish_time);
   }
   if (mark_finished(msg.flow)) retire_done_coflows();
+}
+
+void Master::on_flows_finished(const std::vector<FlowFinishedMsg>& msgs) {
+  bool any = false;
+  for (const FlowFinishedMsg& msg : msgs) {
+    const auto it = flow_states_.find(msg.flow);
+    if (it != flow_states_.end()) {
+      note_alive(it->second.flow.src, msg.finish_time);
+    }
+    any = mark_finished(msg.flow) || any;
+  }
+  if (any) retire_done_coflows();
 }
 
 void Master::on_heartbeat(const HeartbeatMsg& msg, double now) {
@@ -168,45 +189,73 @@ ScheduleInput Master::build_view(double now) const {
   return input;
 }
 
-int Master::reallocate(double now, SimBus& bus) {
-  ScheduleInput input = build_view(now);
+const ScheduleInput& Master::compute_allocation(
+    double now, Allocation& alloc, std::vector<SlaveRates>& per_slave) {
+  view_ = build_view(now);
   dirty_ = false;
-  if (input.coflows.empty()) return 0;
+  alloc = Allocation();
+  per_slave.clear();
+  if (view_.coflows.empty()) return view_;
 
-  ClairvoyantInfo info(&remaining_estimate_);
   if (scheduler_.clairvoyant()) {
     // Remaining = registered size − attained (heartbeat view). Registered
-    // sizes are required for clairvoyant policies.
+    // sizes are required for clairvoyant policies. Filled for the *active*
+    // flows only — they are the only ids the scheduler may query, and a
+    // scan over every flow ever registered would make epoch cost grow with
+    // history instead of load.
     FlowId max_id = 0;
-    for (const auto& [id, fs] : flow_states_) max_id = std::max(max_id, id);
+    for (const ActiveCoflow& coflow : view_.coflows) {
+      for (const ActiveFlow& f : coflow.flows) max_id = std::max(max_id, f.id);
+    }
     remaining_estimate_.assign(static_cast<std::size_t>(max_id) + 1, 0.0);
-    for (const auto& [id, fs] : flow_states_) {
-      NCDRF_CHECK(fs.flow.size_bits > 0.0 || fs.finished,
-                  "clairvoyant scheduler needs registered flow sizes");
-      remaining_estimate_[static_cast<std::size_t>(id)] =
-          std::max(fs.flow.size_bits - fs.attained_bits, 0.0);
+    for (const ActiveCoflow& coflow : view_.coflows) {
+      for (const ActiveFlow& f : coflow.flows) {
+        const FlowState& fs = flow_states_.at(f.id);
+        NCDRF_CHECK(fs.flow.size_bits > 0.0,
+                    "clairvoyant scheduler needs registered flow sizes");
+        remaining_estimate_[static_cast<std::size_t>(f.id)] =
+            std::max(fs.flow.size_bits - fs.attained_bits, 0.0);
+      }
     }
-    input.clairvoyant = &info;
+    clairvoyant_info_ = std::make_unique<ClairvoyantInfo>(&remaining_estimate_);
+    view_.clairvoyant = clairvoyant_info_.get();
   }
 
-  Allocation alloc = scheduler_.allocate(input);
-  clamp_to_capacity(input, alloc);
+  alloc = scheduler_.allocate(view_);
+  clamp_to_capacity(view_, alloc, clamp_scratch_);
 
-  // One RateUpdate per originating machine (rates are enforced at the
-  // sender, like tc/htb egress shaping).
-  std::unordered_map<MachineId, RateUpdateMsg> per_slave;
-  for (const ActiveCoflow& coflow : input.coflows) {
+  // One rate vector per originating machine (rates are enforced at the
+  // sender, like tc/htb egress shaping), sorted by machine id so callers
+  // iterate slaves in a deterministic order.
+  std::vector<int> slot_of(static_cast<std::size_t>(fabric_.num_machines()),
+                           -1);
+  for (const ActiveCoflow& coflow : view_.coflows) {
     for (const ActiveFlow& flow : coflow.flows) {
-      per_slave[flow.src].rates_bps.emplace_back(flow.id,
-                                                 alloc.rate(flow.id));
+      int& slot = slot_of[static_cast<std::size_t>(flow.src)];
+      if (slot < 0) {
+        slot = static_cast<int>(per_slave.size());
+        per_slave.push_back(SlaveRates{flow.src, {}});
+      }
+      per_slave[static_cast<std::size_t>(slot)].msg.rates_bps.emplace_back(
+          flow.id, alloc.rate(flow.id));
     }
   }
-  const int updates = static_cast<int>(per_slave.size());
-  for (auto& [machine, msg] : per_slave) {
+  std::sort(per_slave.begin(), per_slave.end(),
+            [](const SlaveRates& a, const SlaveRates& b) {
+              return a.machine < b.machine;
+            });
+  return view_;
+}
+
+int Master::reallocate(double now, SimBus& bus) {
+  Allocation alloc;
+  std::vector<SlaveRates> per_slave;
+  compute_allocation(now, alloc, per_slave);
+  for (SlaveRates& sr : per_slave) {
     // Rate updates are best-effort; the periodic refresh re-sends them.
-    bus.send_unreliable(now, slave_address(machine), std::move(msg));
+    bus.send_unreliable(now, slave_address(sr.machine), std::move(sr.msg));
   }
-  return updates;
+  return static_cast<int>(per_slave.size());
 }
 
 }  // namespace ncdrf

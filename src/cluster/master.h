@@ -15,6 +15,7 @@
 // and stale messages around a master restart are harmless.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +31,20 @@ struct MasterOptions {
   // this is declared dead by check_liveness. <= 0 disables liveness
   // tracking (every slave is trusted forever — the pre-fault behaviour).
   double heartbeat_timeout_s = 0.0;
+
+  // Erase a coflow's per-flow states when it retires. The default keeps
+  // them forever, which is what makes re-registration after a master
+  // restart idempotent even for already-retired coflows; long-running
+  // serving masters (src/serve/) set this so memory stays proportional to
+  // the *active* set under a sustained arrival stream. Only safe when
+  // clients never re-register (the serving front-end's contract).
+  bool forget_retired = false;
+};
+
+// One slave's fresh rate vector from compute_allocation.
+struct SlaveRates {
+  MachineId machine = -1;
+  RateUpdateMsg msg;
 };
 
 class Master {
@@ -41,6 +56,10 @@ class Master {
   // machine counts as a sign of life and revives it if declared dead.
   void on_register(const RegisterCoflowMsg& msg);
   void on_flow_finished(const FlowFinishedMsg& msg);
+  // Batched intake for drivers that learn about many finishes at once (the
+  // serving front-end retires whole coflows per epoch): marks every flow,
+  // then runs the retirement sweep once instead of per message.
+  void on_flows_finished(const std::vector<FlowFinishedMsg>& msgs);
   void on_heartbeat(const HeartbeatMsg& msg, double now);
 
   bool dirty() const { return dirty_; }
@@ -55,6 +74,17 @@ class Master {
   // RateUpdate per machine that originates flows. Clears the dirty flag.
   // Returns the number of RateUpdate messages enqueued.
   int reallocate(double now, SimBus& bus);
+
+  // The kernel half of reallocate, with the push policy left to the
+  // caller: rebuilds the view, runs one Scheduler::allocate over it,
+  // clamps to capacity, and fills `per_slave` with one rate vector per
+  // machine that originates live flows, sorted by machine id
+  // (deterministic order). Clears the dirty flag. The returned view stays
+  // valid until the next compute_allocation/reallocate call; `alloc` is
+  // overwritten. The serving front-end (src/serve/) calls this once per
+  // epoch and applies its own bounded-staleness push schedule.
+  const ScheduleInput& compute_allocation(double now, Allocation& alloc,
+                                          std::vector<SlaveRates>& per_slave);
 
   int active_coflows() const;
   bool slave_dead(MachineId machine) const {
@@ -87,7 +117,9 @@ class Master {
   void note_alive(MachineId machine, double now);
   // Marks one flow finished; returns true if it was a state change.
   bool mark_finished(FlowId flow);
-  // Drops coflows whose flows have all finished.
+  // Drops coflows whose flows have all finished. O(1) when nothing became
+  // retirable since the last sweep — the per-coflow unfinished counters
+  // keep epoch cost proportional to load, not to finish-report volume.
   void retire_done_coflows();
 
   const Fabric& fabric_;
@@ -95,6 +127,11 @@ class Master {
   MasterOptions options_;
   std::vector<CoflowState> coflows_;
   std::unordered_map<FlowId, FlowState> flow_states_;
+  // Live (unfinished, per mark_finished) flow count per *active* coflow —
+  // one entry per element of coflows_, erased on retirement. Makes the
+  // duplicate-registration check and the all-flows-finished test O(1).
+  std::unordered_map<CoflowId, int> unfinished_;
+  int retirable_ = 0;  // active coflows whose unfinished count hit zero
   // Last sign of life per machine; machines never heard from default to
   // the master's start time (a freshly registered flow is not instantly
   // orphaned).
@@ -108,6 +145,12 @@ class Master {
   // Remaining-size estimates (size − attained) for clairvoyant policies,
   // indexed by FlowId; grown on demand.
   mutable std::vector<double> remaining_estimate_;
+  // The view and clairvoyant wrapper of the last compute_allocation call;
+  // members so the returned ScheduleInput reference stays valid and the
+  // buffers are reused across epochs.
+  ScheduleInput view_;
+  std::unique_ptr<ClairvoyantInfo> clairvoyant_info_;
+  std::vector<double> clamp_scratch_;
   bool dirty_ = false;
 };
 

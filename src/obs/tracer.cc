@@ -41,6 +41,12 @@ const KindInfo& kind_info(EventKind kind) {
       /*kPartition=*/{"partition", nullptr, nullptr, nullptr},
       /*kLossBurst=*/{"loss_burst", nullptr, nullptr, "loss_probability"},
       /*kRecovery=*/{"recovery", "machine", nullptr, "latency_s"},
+      /*kServeEpoch=*/{"serve_epoch", "admitted", "active_coflows", nullptr},
+      /*kServeRatePush=*/{"serve_rate_push", "machine", nullptr,
+                          "staleness_s"},
+      /*kServeShed=*/{"serve_shed", "client", "count", nullptr},
+      /*kServeBackpressure=*/{"serve_backpressure", "level", nullptr,
+                              nullptr},
   };
   return kTable[static_cast<std::size_t>(kind)];
 }

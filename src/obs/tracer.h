@@ -49,6 +49,11 @@ enum class EventKind : std::uint8_t {
   kPartition,          // async span (id=machine): start→heal
   kLossBurst,          // async span (id=0): d0=loss_probability
   kRecovery,           // instant: a0=machine, d0=latency_s
+  // Serving front-end events (src/serve/).
+  kServeEpoch,         // span: one epoch; a0=admitted, a1=active_coflows
+  kServeRatePush,      // instant: a0=machine, d0=staleness_s
+  kServeShed,          // instant: a0=client, a1=count
+  kServeBackpressure,  // instant: a0=level (0 ok, 1 slowdown, 2 shed)
 };
 
 // Stable exporter name for a kind (e.g. "allocate", "slave_down").

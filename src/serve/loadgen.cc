@@ -1,0 +1,194 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ncdrf::serve {
+namespace {
+
+// Piecewise-constant rate multiplier of the square-wave burst process at
+// time t, normalized so the time average is 1.
+double burst_multiplier(const LoadGenOptions& o, double t) {
+  if (o.burst_factor == 1.0 || o.burst_duty <= 0.0 || o.burst_duty >= 1.0) {
+    return 1.0;
+  }
+  const double phase = std::fmod(t, o.burst_period_s) / o.burst_period_s;
+  if (phase < o.burst_duty) return o.burst_factor;
+  // Off-phase rate chosen so duty*factor + (1-duty)*off == 1.
+  const double off =
+      (1.0 - o.burst_duty * o.burst_factor) / (1.0 - o.burst_duty);
+  return std::max(off, 0.0);
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(const LoadGenOptions& options)
+    : options_(options) {
+  NCDRF_CHECK(options.num_clients >= 1, "loadgen needs >= 1 client");
+  NCDRF_CHECK(options.num_machines >= 2, "loadgen needs >= 2 machines");
+  NCDRF_CHECK(options.arrival_rate_per_s > 0.0,
+              "loadgen arrival rate must be positive");
+  NCDRF_CHECK(options.duration_s > 0.0, "loadgen duration must be positive");
+  NCDRF_CHECK(options.min_flows_per_coflow >= 1 &&
+                  options.max_flows_per_coflow >= options.min_flows_per_coflow,
+              "loadgen flow-count range invalid");
+  NCDRF_CHECK(options.mean_flow_bits > 0.0,
+              "loadgen mean flow size must be positive");
+  NCDRF_CHECK(options.flow_size_sigma >= 0.0,
+              "loadgen size sigma must be non-negative");
+  NCDRF_CHECK(options.burst_factor >= 1.0, "loadgen burst factor must be >= 1");
+  NCDRF_CHECK(options.burst_duty >= 0.0 && options.burst_duty <= 1.0,
+              "loadgen burst duty must be in [0, 1]");
+  NCDRF_CHECK(options.burst_factor == 1.0 || options.burst_period_s > 0.0,
+              "loadgen burst period must be positive when bursting");
+  NCDRF_CHECK(options.burst_duty * options.burst_factor <= 1.0,
+              "loadgen burst duty * factor must be <= 1 (mean-preserving)");
+}
+
+std::vector<std::vector<Submission>> LoadGenerator::generate() const {
+  const LoadGenOptions& o = options_;
+  const double client_rate = o.arrival_rate_per_s / o.num_clients;
+  // Peak rate for the thinning bound: the square wave never exceeds
+  // burst_factor × base.
+  const double peak_rate = client_rate * o.burst_factor;
+  // Lognormal mu chosen so the distribution's mean is mean_flow_bits.
+  const double size_mu = std::log(o.mean_flow_bits) -
+                         0.5 * o.flow_size_sigma * o.flow_size_sigma;
+
+  std::vector<std::vector<Submission>> per_client(
+      static_cast<std::size_t>(o.num_clients));
+  for (int client = 0; client < o.num_clients; ++client) {
+    // Independent stream per client: same splitmix-style decorrelation the
+    // shard kernels use for per-shard seeds.
+    Rng rng(o.seed + 0x9e3779b97f4a7c15ULL * (client + 1));
+    auto& out = per_client[static_cast<std::size_t>(client)];
+    double t = 0.0;
+    while (true) {
+      // Non-homogeneous Poisson via thinning (Lewis & Shedler): draw at
+      // the peak rate, accept with rate(t)/peak.
+      t += rng.exponential(peak_rate);
+      if (t >= o.duration_s) break;
+      const double accept = burst_multiplier(o, t) / o.burst_factor;
+      if (accept < 1.0 && !rng.bernoulli(accept)) continue;
+
+      Submission s;
+      s.client = client;
+      s.submit_time = t;
+      s.weight = o.weight;
+      s.sizes_known = o.sizes_known;
+      s.lifetime_s = o.mean_lifetime_s > 0.0
+                         ? rng.exponential(1.0 / o.mean_lifetime_s)
+                         : 0.0;
+      const int num_flows = static_cast<int>(rng.uniform_int(
+          o.min_flows_per_coflow, o.max_flows_per_coflow));
+      s.flows.reserve(static_cast<std::size_t>(num_flows));
+      for (int f = 0; f < num_flows; ++f) {
+        Flow flow;
+        flow.src =
+            static_cast<MachineId>(rng.uniform_int(0, o.num_machines - 1));
+        flow.dst =
+            static_cast<MachineId>(rng.uniform_int(0, o.num_machines - 2));
+        if (flow.dst >= flow.src) ++flow.dst;  // distinct endpoints
+        flow.size_bits =
+            o.flow_size_sigma > 0.0
+                ? rng.lognormal(size_mu, o.flow_size_sigma)
+                : o.mean_flow_bits;
+        s.flows.push_back(flow);
+      }
+      out.push_back(std::move(s));
+    }
+  }
+
+  // Assign dense global ids in (submit_time, client) order — the order
+  // TraceBuilder sorts into, so as_trace() ids match these exactly.
+  struct Slot {
+    double time;
+    int client;
+    std::size_t index;
+  };
+  std::vector<Slot> order;
+  for (int client = 0; client < o.num_clients; ++client) {
+    const auto& sched = per_client[static_cast<std::size_t>(client)];
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      order.push_back(Slot{sched[i].submit_time, client, i});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Slot& a, const Slot& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.client < b.client;  // per-client indices already time-ordered
+  });
+  CoflowId next_coflow = 0;
+  FlowId next_flow = 0;
+  for (const Slot& slot : order) {
+    Submission& s =
+        per_client[static_cast<std::size_t>(slot.client)][slot.index];
+    s.coflow = next_coflow++;
+    for (Flow& f : s.flows) {
+      f.id = next_flow++;
+      f.coflow = s.coflow;
+    }
+  }
+  return per_client;
+}
+
+Trace LoadGenerator::as_trace() const {
+  const auto per_client = generate();
+  // Feed TraceBuilder in global id order; it re-sorts by (arrival,
+  // original id) and reassigns dense ids in that same order, so the built
+  // trace's ids coincide with the Submission ids.
+  struct Ref {
+    const Submission* s;
+  };
+  std::vector<Ref> in_order;
+  for (const auto& sched : per_client) {
+    for (const Submission& s : sched) in_order.push_back(Ref{&s});
+  }
+  std::sort(in_order.begin(), in_order.end(),
+            [](const Ref& a, const Ref& b) {
+              return a.s->coflow < b.s->coflow;
+            });
+  TraceBuilder builder(options_.num_machines);
+  for (const Ref& ref : in_order) {
+    builder.begin_coflow(ref.s->submit_time, ref.s->weight);
+    for (const Flow& f : ref.s->flows) {
+      builder.add_flow(f.src, f.dst, f.size_bits);
+    }
+  }
+  return builder.build();
+}
+
+int LoadGenerator::total_coflows() const {
+  const auto per_client = generate();
+  std::size_t total = 0;
+  for (const auto& sched : per_client) total += sched.size();
+  return static_cast<int>(total);
+}
+
+long long replay_client_wall(const std::vector<Submission>& schedule,
+                             SubmissionQueue& queue,
+                             std::chrono::steady_clock::time_point origin,
+                             double time_scale) {
+  NCDRF_CHECK(time_scale > 0.0, "replay time scale must be positive");
+  long long accepted = 0;
+  for (const Submission& planned : schedule) {
+    const auto due =
+        origin + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(planned.submit_time /
+                                                   time_scale));
+    std::this_thread::sleep_until(due);
+    Submission s = planned;
+    s.submit_time =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      origin)
+            .count();
+    if (queue.try_enqueue(std::move(s))) ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace ncdrf::serve

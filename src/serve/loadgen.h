@@ -1,0 +1,104 @@
+// LoadGenerator: seeded open-loop coflow arrival streams for the serving
+// front-end (serve/server.h) — the client half of the bpfhv-sched-style
+// harness (SNIPPETS.md Snippet 3: client threads → bounded queues →
+// polling scheduler).
+//
+// The generator is *open loop*: arrival times are drawn up front from the
+// configured rate process and never react to the server (a client whose
+// enqueue is rejected walks away; nothing is retried), which is what makes
+// overload measurements honest. The whole schedule is a pure function of
+// the options — per-client xoshiro streams, square-wave-modulated Poisson
+// arrivals for burstiness, lognormal flow sizes, exponential dwell times —
+// so virtual-time runs are bit-reproducible and the identical workload can
+// be handed to the event-driven simulator via as_trace() for equivalence
+// tests.
+//
+// Two consumption modes:
+//   * virtual time — the driver (server run loop, bench, tests) enqueues
+//     each Submission at its submit_time on the virtual clock;
+//   * wall clock  — replay_client_wall paces one client's schedule against
+//     steady_clock from a shared origin (the soak tier runs one such call
+//     per generator thread).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "serve/submission_queue.h"
+#include "trace/trace.h"
+
+namespace ncdrf::serve {
+
+struct LoadGenOptions {
+  std::uint64_t seed = 1;
+  int num_clients = 1;
+  int num_machines = 150;
+
+  // Aggregate mean arrival rate (coflows/s) across all clients; each
+  // client draws an independent Poisson stream at rate / num_clients.
+  double arrival_rate_per_s = 1000.0;
+  double duration_s = 1.0;
+
+  // Flow-count and flow-size mix: flows per coflow uniform in
+  // [min_flows_per_coflow, max_flows_per_coflow], endpoints uniform over
+  // machines, sizes lognormal with the given mean and shape.
+  int min_flows_per_coflow = 1;
+  int max_flows_per_coflow = 4;
+  double mean_flow_bits = 8e6;
+  double flow_size_sigma = 1.0;
+
+  // Burstiness: a square wave of period burst_period_s spends burst_duty
+  // of each period at burst_factor × the base rate and the rest at a
+  // compensating lower rate, preserving the aggregate mean. factor 1 (or
+  // duty 0/1) = homogeneous Poisson.
+  double burst_factor = 1.0;
+  double burst_duty = 0.5;
+  double burst_period_s = 0.1;
+
+  // Modeled dwell time (exponential mean): how long an admitted coflow
+  // stays in the scheduler's active set before the server retires it in
+  // virtual-time runs. <= 0: coflows never depart.
+  double mean_lifetime_s = 0.02;
+
+  // Register flow sizes with the master (clairvoyant policies only).
+  bool sizes_known = false;
+  double weight = 1.0;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenOptions& options);
+
+  const LoadGenOptions& options() const { return options_; }
+
+  // One schedule per client, each sorted by submit_time. Coflow and flow
+  // ids are dense and unique across clients, assigned in global
+  // (submit_time, client) order — the same order TraceBuilder would use,
+  // so ids here and in as_trace() coincide. Deterministic in the options.
+  std::vector<std::vector<Submission>> generate() const;
+
+  // The identical workload as a simulator Trace (sizes always populated;
+  // the driver strips them for non-clairvoyant policies, as everywhere).
+  Trace as_trace() const;
+
+  // Total coflows the schedule contains (== as_trace().coflows.size()).
+  int total_coflows() const;
+
+ private:
+  LoadGenOptions options_;
+};
+
+// Replays one client's schedule open-loop against the wall clock: each
+// submission is enqueued when steady_clock reaches origin +
+// submit_time / time_scale, with submit_time restamped to the *actual*
+// elapsed wall seconds (the latency the server measures includes any
+// pacing jitter). Rejected submissions are dropped (open loop). Returns
+// the number accepted. Runs on the calling thread — the soak tier calls
+// it from one ThreadPool task per client.
+long long replay_client_wall(const std::vector<Submission>& schedule,
+                             SubmissionQueue& queue,
+                             std::chrono::steady_clock::time_point origin,
+                             double time_scale = 1.0);
+
+}  // namespace ncdrf::serve

@@ -1,0 +1,332 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace ncdrf::serve {
+namespace {
+
+// Magnitude divergence between one pushed rate and its fresh value,
+// relative to the larger of the two (symmetric, scale-free).
+bool diverged(double pushed, double fresh, double threshold) {
+  const double scale = std::max(std::abs(pushed), std::abs(fresh));
+  return std::abs(fresh - pushed) > threshold * scale;
+}
+
+}  // namespace
+
+ServeFront::ServeFront(const Fabric& fabric, Scheduler& scheduler,
+                       int num_clients, const ServeOptions& options)
+    : options_([&] {
+        ServeOptions o = options;
+        // Serving-contract invariant: a serving master lives forever, so
+        // retired state must be dropped or memory grows with history. The
+        // front-end assigns ids and never re-registers, which is what
+        // makes forgetting safe (see MasterOptions::forget_retired).
+        o.master.forget_retired = true;
+        return o;
+      }()),
+      master_(fabric, scheduler, options_.master) {
+  NCDRF_CHECK(num_clients >= 1, "serving front-end needs >= 1 client");
+  NCDRF_CHECK(options_.epoch_s > 0.0, "epoch length must be positive");
+  NCDRF_CHECK(options_.staleness_s >= 0.0,
+              "staleness budget must be non-negative");
+  NCDRF_CHECK(options_.push_threshold >= 0.0,
+              "push threshold must be non-negative");
+  NCDRF_CHECK(options_.slowdown_watermark <= options_.shed_watermark,
+              "slowdown watermark must not exceed the shed watermark");
+  queues_.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    queues_.push_back(
+        std::make_unique<SubmissionQueue>(c, options_.queue_capacity));
+  }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    admitted_counter_ = &m.counter("serve.admitted");
+    shed_counter_ = &m.counter("serve.shed");
+    push_counter_ = &m.counter("serve.rate_pushes");
+    deferred_counter_ = &m.counter("serve.pushes_deferred");
+    epoch_counter_ = &m.counter("serve.epochs");
+    backlog_gauge_ = &m.gauge("serve.backlog");
+    active_gauge_ = &m.gauge("serve.active_coflows");
+    admit_latency_ = &m.histogram("serve.admit_latency_s");
+    alloc_latency_ = &m.histogram("serve.alloc_latency_s");
+    push_latency_ = &m.histogram("serve.push_latency_s");
+    batch_size_ = &m.histogram("serve.batch_size");
+  }
+}
+
+ServeFront::~ServeFront() = default;
+
+void ServeFront::retire_due(double now) {
+  finish_batch_.clear();
+  while (!departures_.empty() && departures_.top().time <= now) {
+    const CoflowId coflow = departures_.top().coflow;
+    departures_.pop();
+    const auto it = live_flows_.find(coflow);
+    if (it == live_flows_.end()) continue;
+    for (const FlowId f : it->second) {
+      finish_batch_.push_back(FlowFinishedMsg{f, coflow, now});
+      awaiting_push_.erase(f);
+    }
+    live_flows_.erase(it);
+  }
+  // One bulk report per epoch: the master marks every flow, then sweeps
+  // its retirement list once (per-finish sweeps made epoch cost quadratic
+  // in the arrival rate).
+  if (!finish_batch_.empty()) master_.on_flows_finished(finish_batch_);
+}
+
+int ServeFront::admit_batch(double now) {
+  batch_.clear();
+  // Round-robin, one submission per client per round: the batch cap can
+  // never starve a client behind another's burst.
+  bool any = true;
+  while (any && (options_.max_batch_per_epoch <= 0 ||
+                 static_cast<int>(batch_.size()) <
+                     options_.max_batch_per_epoch)) {
+    any = false;
+    for (auto& queue : queues_) {
+      if (options_.max_batch_per_epoch > 0 &&
+          static_cast<int>(batch_.size()) >= options_.max_batch_per_epoch) {
+        break;
+      }
+      any = queue->drain(1, batch_) > 0 || any;
+    }
+  }
+  for (Submission& s : batch_) {
+    RegisterCoflowMsg msg;
+    msg.coflow = s.coflow;
+    msg.arrival_time = s.submit_time;
+    msg.weight = s.weight;
+    msg.sizes_known = s.sizes_known;
+    msg.flows = s.flows;
+    if (!s.sizes_known) {
+      // The non-clairvoyant contract: sizes never cross the register API.
+      for (Flow& f : msg.flows) f.size_bits = 0.0;
+    }
+    master_.on_register(msg);
+    auto& flows = live_flows_[s.coflow];
+    flows.reserve(s.flows.size());
+    for (const Flow& f : s.flows) {
+      flows.push_back(f.id);
+      awaiting_push_.emplace(f.id, s.submit_time);
+    }
+    if (s.lifetime_s > 0.0) {
+      departures_.push(Departure{now + s.lifetime_s, s.coflow});
+    }
+    ++admitted_;
+    if (admitted_counter_ != nullptr) admitted_counter_->inc();
+    if (admit_latency_ != nullptr) {
+      admit_latency_->observe(now - s.submit_time);
+    }
+    if (admit_hook) {
+      double bits = 0.0;
+      for (const Flow& f : s.flows) bits += f.size_bits;
+      admit_hook(AdmitRecord{s.coflow, s.client, s.submit_time, now,
+                             static_cast<int>(s.flows.size()), bits});
+    }
+  }
+  if (batch_size_ != nullptr && !batch_.empty()) {
+    batch_size_->observe(static_cast<double>(batch_.size()));
+  }
+  return static_cast<int>(batch_.size());
+}
+
+void ServeFront::shed_over_watermark(double now) {
+  std::size_t over = backlog();
+  if (over <= options_.shed_watermark) return;
+  std::size_t need = over - options_.shed_watermark;
+  // Round-robin shedding of the *oldest* queued submissions: overload cost
+  // is spread across clients instead of landing on one.
+  while (need > 0) {
+    bool any = false;
+    for (auto& queue : queues_) {
+      if (need == 0) break;
+      const std::size_t dropped = queue->shed(1);
+      if (dropped == 0) continue;
+      any = true;
+      need -= dropped;
+      if (shed_counter_ != nullptr) {
+        shed_counter_->inc(static_cast<long long>(dropped));
+      }
+      NCDRF_TRACE_INSTANT(options_.tracer, obs::EventKind::kServeShed, now,
+                          queue->client(),
+                          static_cast<std::int64_t>(dropped));
+    }
+    if (!any) break;
+  }
+}
+
+void ServeFront::reallocate(double now) {
+  if (!master_.dirty()) return;
+  last_view_ = &master_.compute_allocation(now, alloc_, per_slave_);
+  ++allocations_;
+  if (alloc_hook) alloc_hook(now, *last_view_, alloc_);
+  if (alloc_latency_ != nullptr) {
+    for (const Submission& s : batch_) {
+      alloc_latency_->observe(now - s.submit_time);
+    }
+  }
+}
+
+void ServeFront::push_rates(double now) {
+  // Machines with no live flows left dropped out of per_slave_; their
+  // slaves have nothing to enforce (every local flow finished), so the
+  // push state is simply discarded.
+  std::erase_if(push_state_, [&](const auto& entry) {
+    const auto it = std::lower_bound(
+        per_slave_.begin(), per_slave_.end(), entry.first,
+        [](const SlaveRates& a, MachineId m) { return a.machine < m; });
+    return it == per_slave_.end() || it->machine != entry.first;
+  });
+  for (const SlaveRates& sr : per_slave_) {
+    PushState& state = push_state_[sr.machine];
+    // Classify the fresh vector against the last pushed one.
+    bool structural = sr.msg.rates_bps.size() != state.rates.size();
+    bool magnitude = false;
+    if (!structural) {
+      for (const auto& [flow, rate] : sr.msg.rates_bps) {
+        const auto it = state.rates.find(flow);
+        if (it == state.rates.end()) {
+          structural = true;
+          break;
+        }
+        magnitude =
+            magnitude || diverged(it->second, rate, options_.push_threshold);
+      }
+    }
+    if (!structural && !magnitude) {
+      state.dirty_since = -1.0;  // converged back — nothing pending
+      continue;
+    }
+    bool force_deadline = false;
+    if (!structural) {
+      if (state.dirty_since < 0.0) state.dirty_since = now;
+      // Push before waiting one more epoch could exceed the budget
+      // (guaranteed on any epoch grid with spacing <= epoch_s).
+      force_deadline =
+          (now - state.dirty_since) + options_.epoch_s > options_.staleness_s;
+      if (!force_deadline) {
+        ++pushes_deferred_;
+        if (deferred_counter_ != nullptr) deferred_counter_->inc();
+        continue;
+      }
+    }
+    const double staleness =
+        state.dirty_since >= 0.0 ? now - state.dirty_since : 0.0;
+    max_push_staleness_ = std::max(max_push_staleness_, staleness);
+    state.rates.clear();
+    for (const auto& [flow, rate] : sr.msg.rates_bps) {
+      state.rates.emplace(flow, rate);
+      const auto it = awaiting_push_.find(flow);
+      if (it != awaiting_push_.end()) {
+        if (push_latency_ != nullptr) {
+          push_latency_->observe(now - it->second);
+        }
+        awaiting_push_.erase(it);
+      }
+    }
+    state.dirty_since = -1.0;
+    ++rate_pushes_;
+    if (push_counter_ != nullptr) push_counter_->inc();
+    NCDRF_TRACE_INSTANT(options_.tracer, obs::EventKind::kServeRatePush, now,
+                        sr.machine, 0, staleness);
+    if (options_.bus != nullptr) {
+      // Best-effort, like Master::reallocate: the next divergence or
+      // deadline re-sends.
+      options_.bus->send_unreliable(now, slave_address(sr.machine),
+                                    RateUpdateMsg{sr.msg.rates_bps});
+    }
+  }
+}
+
+void ServeFront::publish_level(double now) {
+  const std::size_t total = backlog();
+  Backpressure level = Backpressure::kOk;
+  if (total >= options_.shed_watermark) {
+    level = Backpressure::kShed;
+  } else if (total >= options_.slowdown_watermark) {
+    level = Backpressure::kSlowdown;
+  }
+  if (level != level_) {
+    level_ = level;
+    for (auto& queue : queues_) queue->set_level(level);
+    NCDRF_TRACE_INSTANT(options_.tracer, obs::EventKind::kServeBackpressure,
+                        now, static_cast<std::int64_t>(level));
+  }
+  if (backlog_gauge_ != nullptr) {
+    backlog_gauge_->set(static_cast<double>(total));
+  }
+  if (active_gauge_ != nullptr) {
+    active_gauge_->set(static_cast<double>(master_.active_coflows()));
+  }
+}
+
+void ServeFront::step_epoch(double now) {
+  ++epochs_;
+  if (epoch_counter_ != nullptr) epoch_counter_->inc();
+  if (options_.tracer != nullptr) {
+    options_.tracer->begin(obs::EventKind::kServeEpoch, now);
+  }
+  retire_due(now);
+  const int admitted_now = admit_batch(now);
+  shed_over_watermark(now);
+  reallocate(now);
+  push_rates(now);
+  publish_level(now);
+  if (options_.tracer != nullptr) {
+    options_.tracer->end(obs::EventKind::kServeEpoch, now, admitted_now,
+                         master_.active_coflows());
+  }
+}
+
+double ServeFront::run(const std::vector<std::vector<Submission>>& schedule) {
+  NCDRF_CHECK(schedule.size() == queues_.size(),
+              "run() needs one schedule per client");
+  std::vector<std::size_t> cursor(schedule.size(), 0);
+  double now = 0.0;
+  for (long long epoch = 0;; ++epoch) {
+    now = static_cast<double>(epoch) * options_.epoch_s;
+    bool all_enqueued = true;
+    for (std::size_t c = 0; c < schedule.size(); ++c) {
+      const auto& sched = schedule[c];
+      while (cursor[c] < sched.size() &&
+             sched[cursor[c]].submit_time <= now) {
+        // Open loop: a rejected submission is dropped (and counted by the
+        // queue), never retried.
+        queues_[c]->try_enqueue(sched[cursor[c]]);
+        ++cursor[c];
+      }
+      all_enqueued = all_enqueued && cursor[c] == sched.size();
+    }
+    step_epoch(now);
+    if (all_enqueued && backlog() == 0) break;
+  }
+  return now;
+}
+
+long long ServeFront::total_rejected() const {
+  long long total = 0;
+  for (const auto& queue : queues_) total += queue->rejected();
+  return total;
+}
+
+long long ServeFront::total_shed() const {
+  long long total = 0;
+  for (const auto& queue : queues_) total += queue->shed_count();
+  return total;
+}
+
+std::size_t ServeFront::backlog() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->size();
+  return total;
+}
+
+}  // namespace ncdrf::serve

@@ -1,0 +1,68 @@
+#include "serve/submission_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ncdrf::serve {
+
+SubmissionQueue::SubmissionQueue(int client, std::size_t capacity)
+    : client_(client), capacity_(capacity) {
+  NCDRF_CHECK(capacity >= 1, "submission queue needs capacity >= 1");
+}
+
+bool SubmissionQueue::try_enqueue(Submission submission) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  items_.push_back(std::move(submission));
+  ++accepted_;
+  return true;
+}
+
+std::size_t SubmissionQueue::drain(std::size_t max,
+                                   std::vector<Submission>& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t popped = 0;
+  while (popped < max && !items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+std::size_t SubmissionQueue::shed(std::size_t max) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  while (dropped < max && !items_.empty()) {
+    items_.pop_front();
+    ++dropped;
+  }
+  shed_ += static_cast<long long>(dropped);
+  return dropped;
+}
+
+std::size_t SubmissionQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+long long SubmissionQueue::accepted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+long long SubmissionQueue::rejected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+long long SubmissionQueue::shed_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+}  // namespace ncdrf::serve

@@ -1,0 +1,103 @@
+// SubmissionQueue: the per-client front door of the serving layer.
+//
+// Each client owns one bounded FIFO queue of coflow submissions; the
+// serving front-end (serve/server.h) drains every queue into one batched
+// admission per epoch. The queue is thread-safe (a client thread enqueues
+// while the server thread drains — the soak tier drives it with real
+// threads), yet fully deterministic when driven single-threaded in
+// virtual time, which is what the deterministic load tests and the bench
+// do.
+//
+// Admission control lives at both ends:
+//   * the bounded capacity rejects at enqueue (try_enqueue returns false
+//     and the reject is counted) — the client sees the failure
+//     immediately, like a full TCP accept queue;
+//   * the server publishes an advisory Backpressure level (watermarks on
+//     the total backlog) that well-behaved closed-loop clients read to
+//     slow down; open-loop generators ignore it and are shed instead.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "coflow/flow.h"
+
+namespace ncdrf::serve {
+
+// Server-published admission advice, monotone in backlog severity.
+enum class Backpressure : int {
+  kOk = 0,        // backlog below the slowdown watermark
+  kSlowdown = 1,  // backlog at/above the slowdown watermark: ease off
+  kShed = 2,      // backlog at/above the shed watermark: server is dropping
+};
+
+// One coflow submission as a client hands it to the front-end. Flow and
+// coflow ids must be unique across all clients of one server (the
+// LoadGenerator assigns them densely in submit-time order).
+struct Submission {
+  CoflowId coflow = -1;
+  int client = -1;
+  double submit_time = 0.0;  // seconds on the run's clock (virtual or wall)
+  double weight = 1.0;
+  // Registered with sizes (clairvoyant policies) or stripped (the
+  // non-clairvoyant contract) — same switch the deployment driver uses.
+  bool sizes_known = false;
+  std::vector<Flow> flows;
+  // Modeled dwell time: the server retires the coflow this long after
+  // admission (virtual-time load tests / bench). <= 0 = never departs.
+  double lifetime_s = 0.0;
+};
+
+class SubmissionQueue {
+ public:
+  // `capacity` bounds the backlog of this client; must be >= 1.
+  SubmissionQueue(int client, std::size_t capacity);
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  int client() const { return client_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // Enqueues one submission; false (and a counted reject) when full.
+  bool try_enqueue(Submission submission);
+
+  // Pops up to `max` submissions in FIFO order into `out` (appended).
+  // Returns the number popped. Called by the server thread.
+  std::size_t drain(std::size_t max, std::vector<Submission>& out);
+
+  // Pops up to `max` submissions and drops them (admission-control
+  // shedding above the shed watermark). Returns the number shed.
+  std::size_t shed(std::size_t max);
+
+  std::size_t size() const;
+
+  // Monotone counters, consistent with each other under the queue lock.
+  long long accepted() const;
+  long long rejected() const;
+  long long shed_count() const;
+
+  // Advisory backpressure: written by the server each epoch, readable by
+  // the client at any time without taking the queue lock.
+  Backpressure level() const {
+    return static_cast<Backpressure>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(Backpressure level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+ private:
+  const int client_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Submission> items_;
+  long long accepted_ = 0;
+  long long rejected_ = 0;
+  long long shed_ = 0;
+  std::atomic<int> level_{static_cast<int>(Backpressure::kOk)};
+};
+
+}  // namespace ncdrf::serve

@@ -215,6 +215,48 @@ TEST(BusRetry, RetryBeatsSingleAttemptUnderLoss) {
                CheckError);
 }
 
+TEST(BusRetry, BackoffIsPerDestinationAndResetsOnSuccess) {
+  // Regression: backoff used to be per-*call* — every send_with_retry
+  // restarted the ladder at backoff_s, so concurrent repair loops hammered
+  // a lossy destination at the base interval forever. The ladder is per
+  // destination: an exhausted call leaves the escalated delay behind for
+  // the next call to the same destination, other destinations are
+  // unaffected, and one transmitted attempt resets the destination.
+  SimBus bus(0.0, /*loss_probability=*/1.0 - 1e-12, /*seed=*/3);
+  const RetryPolicy policy{3, 0.05, 2.0};
+  const Address a = slave_address(0);
+  const Address b = slave_address(1);
+  EXPECT_EQ(bus.pending_backoff(a), 0.0);
+
+  // First exhausted call to `a`: retries waited 0.05 and 0.1; the ladder
+  // leaves 0.2 pending.
+  EXPECT_FALSE(bus.send_with_retry(0.0, a, FlowFinishedMsg{0, 0, 0.0},
+                                   policy));
+  EXPECT_DOUBLE_EQ(bus.pending_backoff(a), 0.2);
+  EXPECT_EQ(bus.pending_backoff(b), 0.0);  // isolation: b untouched
+
+  // Second call to `a` resumes at 0.2 (not the 0.05 base): its retries
+  // wait 0.2 and 0.4, leaving 0.8.
+  EXPECT_FALSE(bus.send_with_retry(1.0, a, FlowFinishedMsg{1, 0, 1.0},
+                                   policy));
+  EXPECT_DOUBLE_EQ(bus.pending_backoff(a), 0.8);
+
+  // `b`'s ladder is its own: a first exhausted call leaves 0.2 there
+  // regardless of `a`'s escalation.
+  EXPECT_FALSE(bus.send_with_retry(1.0, b, FlowFinishedMsg{2, 0, 1.0},
+                                   policy));
+  EXPECT_DOUBLE_EQ(bus.pending_backoff(b), 0.2);
+  EXPECT_DOUBLE_EQ(bus.pending_backoff(a), 0.8);
+
+  // One transmitted attempt (loss off) resets the destination to the
+  // base; the other destination keeps its escalation.
+  bus.set_loss_probability(0.0);
+  EXPECT_TRUE(bus.send_with_retry(2.0, a, FlowFinishedMsg{3, 0, 2.0},
+                                  policy));
+  EXPECT_EQ(bus.pending_backoff(a), 0.0);
+  EXPECT_DOUBLE_EQ(bus.pending_backoff(b), 0.2);
+}
+
 // ---------------------------------------------------------------------
 // Deterministic FaultPlan scenarios. Each runs a small 3-machine workload
 // with zero random loss (every outcome is scripted), asserts that every

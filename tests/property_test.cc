@@ -6,7 +6,9 @@
 //   - determinism of the simulator;
 //   - online NC-DRF(live) ≡ DRF equivalence with identical flow sizes,
 //     including staggered arrivals;
-//   - coflow records' physical sanity under churn.
+//   - coflow records' physical sanity under churn;
+//   - serving-path invariants: every policy's batched-admission
+//     allocations (src/serve/) stay feasible and work-conserving.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -15,6 +17,8 @@
 #include "core/registry.h"
 #include "metrics/eval.h"
 #include "sched/drf.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sim/sim.h"
 #include "test_util.h"
 
@@ -72,57 +76,63 @@ TEST_P(CrossSchedulerInvariants, NonNegativeFeasibleWorkConserving) {
     testing::Snapshot snap =
         testing::snapshot_all_active(fabric, trace, sched->clairvoyant());
     Allocation alloc = sched->allocate(snap.input);
-
-    // (1) Non-negative rates for every active flow.
-    for (const ActiveCoflow& coflow : snap.input.coflows) {
-      for (const ActiveFlow& f : coflow.flows) {
-        EXPECT_GE(alloc.rate(f.id), 0.0)
-            << name << " flow " << f.id << " seed " << GetParam();
-      }
-    }
-
-    // (2) Capacity feasibility on every link.
-    EXPECT_NO_THROW(check_capacity(snap.input, alloc, 1e-6))
-        << name << " seed " << GetParam();
-
-    // (3) Work conservation. Compute per-link usage, then audit every
-    // near-idle link that still has a flow with pending demand.
-    std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
-                              0.0);
-    for (const ActiveCoflow& coflow : snap.input.coflows) {
-      for (const ActiveFlow& f : coflow.flows) {
-        usage[static_cast<std::size_t>(fabric.uplink(f.src))] +=
-            alloc.rate(f.id);
-        usage[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
-            alloc.rate(f.id);
-      }
-    }
-    const double tol = 1e-6;
-    for (const ActiveCoflow& coflow : snap.input.coflows) {
-      for (const ActiveFlow& f : coflow.flows) {
-        const auto up = static_cast<std::size_t>(fabric.uplink(f.src));
-        const auto down = static_cast<std::size_t>(fabric.downlink(f.dst));
-        for (const auto [link, other] : {std::pair{up, down},
-                                         std::pair{down, up}}) {
-          const double cap = fabric.capacity(static_cast<LinkId>(link));
-          const double other_cap =
-              fabric.capacity(static_cast<LinkId>(other));
-          if (usage[link] > 1e-9 * cap) continue;  // link is in use
-          // This flow has pending demand on an idle link: its rate is ~0,
-          // which is only work-conserving if its other endpoint is
-          // saturated by everyone else.
-          EXPECT_GE(usage[other], other_cap * (1.0 - tol))
-              << name << " idles link " << link << " while flow " << f.id
-              << " (coflow " << coflow.id << ") has pending demand and "
-              << "its other link is not saturated; seed " << GetParam();
-        }
-      }
-    }
+    testing::expect_allocation_invariants(
+        snap.input, alloc,
+        name + " seed " + std::to_string(GetParam()));
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossSchedulerInvariants,
                          ::testing::Range(0, 200));
+
+// -------------------------------------------------------------------
+// Serving-path invariants: the batched-admission allocations the online
+// front-end produces satisfy the same three invariants as direct
+// allocate() calls — batching, epoch reallocation and modeled departures
+// change *when* the kernel runs, never what a legal allocation is.
+// -------------------------------------------------------------------
+
+class ServingInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServingInvariants, BatchedAdmissionFeasibleAndConserving) {
+  const int seed = GetParam();
+  serve::LoadGenOptions load;
+  load.seed = static_cast<std::uint64_t>(seed) + 70'000;
+  load.num_clients = 2;
+  load.num_machines = 6;
+  load.arrival_rate_per_s = 400.0;
+  load.duration_s = 0.05;
+  load.max_flows_per_coflow = 6;
+  load.mean_lifetime_s = 0.02;  // departures interleave with admissions
+  const serve::LoadGenerator gen(load);
+
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    serve::LoadGenOptions per_policy = load;
+    per_policy.sizes_known = sched->clairvoyant();
+    const auto schedule = serve::LoadGenerator(per_policy).generate();
+
+    const Fabric fabric(load.num_machines, gbps(1.0));
+    serve::ServeOptions options;
+    options.epoch_s = 5e-3;
+    options.max_batch_per_epoch = 4;  // several epochs' worth of backlog
+    serve::ServeFront front(fabric, *sched, load.num_clients, options);
+    int checked = 0;
+    front.alloc_hook = [&](double now, const ScheduleInput& view,
+                           const Allocation& alloc) {
+      testing::expect_allocation_invariants(
+          view, alloc,
+          name + " seed " + std::to_string(seed) + " epoch t=" +
+              std::to_string(now));
+      ++checked;
+    };
+    front.run(schedule);
+    EXPECT_GT(checked, 0) << name << " seed " << seed;
+    EXPECT_EQ(front.admitted(), gen.total_coflows()) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingInvariants, ::testing::Range(0, 50));
 
 class HeterogeneousFabricProperty : public ::testing::TestWithParam<int> {};
 

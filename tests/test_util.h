@@ -1,8 +1,14 @@
 // Shared helpers for scheduler and simulator tests: building
-// ScheduleInput snapshots from traces and small inline workloads.
+// ScheduleInput snapshots from traces and small inline workloads, plus the
+// cross-policy allocation invariant audit shared by the property and
+// serving tiers.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sched/scheduler.h"
@@ -76,6 +82,64 @@ inline std::vector<double> coflow_link_usage(const Fabric& fabric,
         alloc.rate(f.id);
   }
   return usage;
+}
+
+// The three invariants any sane allocation must satisfy, shared by the
+// cross-scheduler property suite and the serving-path tests:
+//   (1) non-negative rates for every active flow;
+//   (2) per-link capacity feasibility (check_capacity);
+//   (3) work conservation — an idle link with an unfinished flow on it is
+//       only legitimate if every such flow is bottlenecked on its other
+//       link (a flow rated ~0 with both links idle is starved capacity
+//       the policy just wasted).
+// `context` tags every failure (policy name, seed, epoch...).
+inline void expect_allocation_invariants(const ScheduleInput& input,
+                                         const Allocation& alloc,
+                                         const std::string& context) {
+  const Fabric& fabric = *input.fabric;
+
+  // (1) Non-negative rates for every active flow.
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      EXPECT_GE(alloc.rate(f.id), 0.0) << context << " flow " << f.id;
+    }
+  }
+
+  // (2) Capacity feasibility on every link.
+  EXPECT_NO_THROW(check_capacity(input, alloc, 1e-6)) << context;
+
+  // (3) Work conservation. Compute per-link usage, then audit every
+  // near-idle link that still has a flow with pending demand.
+  std::vector<double> usage(static_cast<std::size_t>(fabric.num_links()),
+                            0.0);
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      usage[static_cast<std::size_t>(fabric.uplink(f.src))] +=
+          alloc.rate(f.id);
+      usage[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+          alloc.rate(f.id);
+    }
+  }
+  const double tol = 1e-6;
+  for (const ActiveCoflow& coflow : input.coflows) {
+    for (const ActiveFlow& f : coflow.flows) {
+      const auto up = static_cast<std::size_t>(fabric.uplink(f.src));
+      const auto down = static_cast<std::size_t>(fabric.downlink(f.dst));
+      for (const auto& [link, other] :
+           {std::pair{up, down}, std::pair{down, up}}) {
+        const double cap = fabric.capacity(static_cast<LinkId>(link));
+        const double other_cap = fabric.capacity(static_cast<LinkId>(other));
+        if (usage[link] > 1e-9 * cap) continue;  // link is in use
+        // This flow has pending demand on an idle link: its rate is ~0,
+        // which is only work-conserving if its other endpoint is
+        // saturated by everyone else.
+        EXPECT_GE(usage[other], other_cap * (1.0 - tol))
+            << context << " idles link " << link << " while flow " << f.id
+            << " (coflow " << coflow.id << ") has pending demand and "
+            << "its other link is not saturated";
+      }
+    }
+  }
 }
 
 }  // namespace ncdrf::testing

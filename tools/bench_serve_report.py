@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Distills bench_serve JSON runs into BENCH_serve.json and gates them.
+
+Reads one or more JSON files produced by bench/bench_serve --json, merges
+their rows into a {policy x arrival-rate x epoch-length} matrix, writes a
+compact BENCH_serve.json, and enforces two floors on the guard cell
+(GUARD_POLICY at GUARD_RATE arrivals/s, GUARD_EPOCH_S epochs, on the
+150-rack fabric):
+
+  * sustained throughput: modeled coflow-arrivals/s — admitted arrivals
+    divided by (main-thread CPU + shard critical path seconds) — must
+    clear MIN_MODELED_ARRIVALS_PER_S. The modeled clock is what an
+    unloaded host with >= shards cores would take, so the floor holds on
+    single-core CI runners too.
+  * scheduling latency: the virtual-time p99 of enqueue -> allocation
+    must stay within P99_EPOCH_FACTOR x the epoch length. Batched
+    admission bounds it by one epoch plus histogram-bucket quantization;
+    a p99 beyond that means admissions are slipping epochs.
+
+Usage: tools/bench_serve_report.py <run.json> [<run.json> ...] [-o out.json]
+Exits non-zero when any floor is missed or the guard cell is absent.
+"""
+import json
+import sys
+
+MIN_MODELED_ARRIVALS_PER_S = 100000.0
+P99_EPOCH_FACTOR = 1.5
+GUARD_POLICY = "drf@4"
+GUARD_RATE = 250000
+GUARD_EPOCH_S = 0.02
+
+REQUIRED_FIELDS = (
+    "policy",
+    "arrival_rate_per_s",
+    "epoch_s",
+    "coflows",
+    "admitted",
+    "sched_p50_s",
+    "sched_p95_s",
+    "sched_p99_s",
+    "wall_seconds",
+    "main_cpu_seconds",
+    "shard_critical_seconds",
+)
+
+
+def load_rows(paths):
+    rows = []
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        if report.get("benchmark") != "bench_serve":
+            raise ValueError(f"{path}: not a bench_serve JSON report")
+        for row in report.get("rows", []):
+            missing = [k for k in REQUIRED_FIELDS if k not in row]
+            if missing:
+                raise ValueError(f"{path}: row missing fields {missing}")
+            rows.append(row)
+    return rows
+
+
+def main(argv):
+    args = argv[1:]
+    out_path = "BENCH_serve.json"
+    if "-o" in args:
+        i = args.index("-o")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        out_path = args[i + 1]
+        del args[i : i + 2]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        rows = load_rows(args)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"::error::{err}")
+        return 1
+
+    matrix = {}
+    for row in rows:
+        modeled = row["main_cpu_seconds"] + row["shard_critical_seconds"]
+        cell = {
+            "coflows": row["coflows"],
+            "admitted": row["admitted"],
+            "sched_p50_s": row["sched_p50_s"],
+            "sched_p95_s": row["sched_p95_s"],
+            "sched_p99_s": row["sched_p99_s"],
+            "wall_arrivals_per_s": (
+                row["admitted"] / row["wall_seconds"]
+                if row["wall_seconds"] > 0
+                else 0.0
+            ),
+            "modeled_seconds": modeled,
+            "modeled_arrivals_per_s": (
+                row["admitted"] / modeled if modeled > 0 else 0.0
+            ),
+        }
+        for extra in ("machines", "clients", "allocations", "rate_pushes",
+                      "admit_p99_s", "rejected"):
+            if extra in row:
+                cell[extra] = row[extra]
+        matrix.setdefault(row["policy"], {}).setdefault(
+            str(int(row["arrival_rate_per_s"])), {}
+        )[repr(row["epoch_s"])] = cell
+
+    for policy, by_rate in sorted(matrix.items()):
+        for rate, by_epoch in sorted(
+            by_rate.items(), key=lambda kv: int(kv[0])
+        ):
+            for epoch, cell in sorted(
+                by_epoch.items(), key=lambda kv: float(kv[0])
+            ):
+                print(
+                    f"{policy:>8} @{int(rate):>7}/s, "
+                    f"epoch {1e3 * float(epoch):5.1f} ms: "
+                    f"sched p99 {1e3 * cell['sched_p99_s']:7.3f} ms, "
+                    f"modeled {cell['modeled_arrivals_per_s']:9.1f} "
+                    "arrivals/s"
+                )
+
+    failures = []
+    guard_cell = (
+        matrix.get(GUARD_POLICY, {})
+        .get(str(GUARD_RATE), {})
+        .get(repr(GUARD_EPOCH_S))
+    )
+    if guard_cell is None:
+        failures.append(
+            f"guard cell {GUARD_POLICY}@{GUARD_RATE}/s epoch "
+            f"{GUARD_EPOCH_S}s missing from the report"
+        )
+    else:
+        sustained = guard_cell["modeled_arrivals_per_s"]
+        if sustained < MIN_MODELED_ARRIVALS_PER_S:
+            failures.append(
+                f"{GUARD_POLICY}@{GUARD_RATE}/s: sustained modeled "
+                f"throughput {sustained:.0f} arrivals/s below floor "
+                f"{MIN_MODELED_ARRIVALS_PER_S:.0f}"
+            )
+        p99_bound = P99_EPOCH_FACTOR * GUARD_EPOCH_S
+        if guard_cell["sched_p99_s"] > p99_bound:
+            failures.append(
+                f"{GUARD_POLICY}@{GUARD_RATE}/s: sched p99 "
+                f"{guard_cell['sched_p99_s'] * 1e3:.3f} ms exceeds "
+                f"{P99_EPOCH_FACTOR} x epoch ({p99_bound * 1e3:.1f} ms)"
+            )
+
+    out = {
+        "description": (
+            "Serving front-end throughput and latency per {policy, "
+            "arrival rate, epoch length}: virtual-time scheduling-latency "
+            "percentiles (enqueue -> allocation) plus sustained "
+            "coflow-arrivals/s on the wall and modeled clocks (modeled = "
+            "admitted / (main-thread CPU + shard critical path))"
+        ),
+        "source": "bench/bench_serve.cc",
+        "guard": {
+            "policy": GUARD_POLICY,
+            "arrival_rate_per_s": GUARD_RATE,
+            "epoch_s": GUARD_EPOCH_S,
+            "min_modeled_arrivals_per_s": MIN_MODELED_ARRIVALS_PER_S,
+            "max_sched_p99_epochs": P99_EPOCH_FACTOR,
+        },
+        "matrix": matrix,
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"::error::{failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
