@@ -47,6 +47,10 @@ void Master::on_register(const RegisterCoflowMsg& msg) {
   }
   unfinished_[msg.coflow] = static_cast<int>(msg.flows.size());
   if (msg.flows.empty()) ++retirable_;  // everything already delivered
+  if (msg.trace_id != 0) {
+    trace_ids_[msg.coflow] = msg.trace_id;
+    any_traced_ = true;
+  }
   coflows_.push_back(std::move(state));
   dirty_ = true;
 }
@@ -71,6 +75,7 @@ void Master::retire_done_coflows() {
     const auto it = unfinished_.find(c.id);
     if (it == unfinished_.end() || it->second != 0) return false;
     unfinished_.erase(it);
+    trace_ids_.erase(c.id);
     if (options_.forget_retired) {
       for (const FlowId f : c.flows) flow_states_.erase(f);
     }
@@ -236,8 +241,11 @@ const ScheduleInput& Master::compute_allocation(
         slot = static_cast<int>(per_slave.size());
         per_slave.push_back(SlaveRates{flow.src, {}});
       }
-      per_slave[static_cast<std::size_t>(slot)].msg.rates_bps.emplace_back(
-          flow.id, alloc.rate(flow.id));
+      RateUpdateMsg& msg = per_slave[static_cast<std::size_t>(slot)].msg;
+      msg.rates_bps.emplace_back(flow.id, alloc.rate(flow.id));
+      // Causal tagging rides along only when someone registered with a
+      // trace id — untraced deployments keep the vectors empty.
+      if (any_traced_) msg.trace_ids.push_back(trace_id(flow.coflow));
     }
   }
   std::sort(per_slave.begin(), per_slave.end(),

@@ -15,6 +15,7 @@
 // and stale messages around a master restart are harmless.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -112,6 +113,17 @@ class Master {
     std::vector<FlowId> flows;
   };
 
+ public:
+  // Causal trace id a coflow registered with (0 = untraced / unknown or
+  // retired). The serving front-end reads this back when pairing pushes
+  // with submissions; the RateUpdateMsg trace_ids are filled from it.
+  std::uint64_t trace_id(CoflowId coflow) const {
+    const auto it = trace_ids_.find(coflow);
+    return it == trace_ids_.end() ? 0 : it->second;
+  }
+
+ private:
+
   ScheduleInput build_view(double now) const;
   // Marks `machine` alive as of `now`, reviving it if quarantined.
   void note_alive(MachineId machine, double now);
@@ -127,6 +139,11 @@ class Master {
   MasterOptions options_;
   std::vector<CoflowState> coflows_;
   std::unordered_map<FlowId, FlowState> flow_states_;
+  // Submission trace ids of *active* traced coflows (erased on
+  // retirement). any_traced_ keeps the RateUpdate fill a no-op for
+  // untraced deployments.
+  std::unordered_map<CoflowId, std::uint64_t> trace_ids_;
+  bool any_traced_ = false;
   // Live (unfinished, per mark_finished) flow count per *active* coflow —
   // one entry per element of coflows_, erased on retirement. Makes the
   // duplicate-registration check and the all-flows-finished test O(1).

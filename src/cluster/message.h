@@ -7,6 +7,7 @@
 // kinds over a latency-modelling bus.
 #pragma once
 
+#include <cstdint>
 #include <variant>
 #include <vector>
 
@@ -28,11 +29,21 @@ struct RegisterCoflowMsg {
   // full. These carry their real sizes even for non-clairvoyant policies —
   // the attained service of a finished flow is observable, not predicted.
   std::vector<Flow> finished_flows;
+  // Causal trace/span id stamped at submission (0 = untraced). Carried
+  // through the master into RateUpdateMsg so the telemetry plane can
+  // attribute end-to-end scheduling latency per coflow (obs/tracer.h
+  // kServeAdmit/kServeAllocCover/kServeFirstPush).
+  std::uint64_t trace_id = 0;
 };
 
 // Master → slave: new enforced rates for the flows this slave originates.
 struct RateUpdateMsg {
   std::vector<std::pair<FlowId, double>> rates_bps;
+  // Causal trace ids parallel to rates_bps (each flow tagged with its
+  // coflow's submission trace id). Empty when no registered coflow was
+  // traced — the common case outside the serving front-end, so untraced
+  // deployments pay nothing.
+  std::vector<std::uint64_t> trace_ids;
 };
 
 // Slave → master: periodic status with attained bytes per local flow.

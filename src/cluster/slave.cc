@@ -42,10 +42,16 @@ void Slave::note_finished(FlowId flow) {
 }
 
 void Slave::on_rate_update(const RateUpdateMsg& msg) {
-  for (const auto& [flow, rate] : msg.rates_bps) {
+  const bool traced = msg.trace_ids.size() == msg.rates_bps.size() &&
+                      !msg.trace_ids.empty();
+  for (std::size_t i = 0; i < msg.rates_bps.size(); ++i) {
+    const auto& [flow, rate] = msg.rates_bps[i];
     const auto it = flows_.find(flow);
     // Updates can race with completions; stale entries are ignored.
-    if (it != flows_.end()) it->second.rate_bps = rate;
+    if (it != flows_.end()) {
+      it->second.rate_bps = rate;
+      if (traced) it->second.trace_id = msg.trace_ids[i];
+    }
   }
 }
 
@@ -74,6 +80,11 @@ bool Slave::commit_transfer(FlowId flow, double bits) {
 double Slave::remaining_bits(FlowId flow) const {
   const auto it = flows_.find(flow);
   return it == flows_.end() ? 0.0 : it->second.remaining_bits;
+}
+
+std::uint64_t Slave::trace_id(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? 0 : it->second.trace_id;
 }
 
 HeartbeatMsg Slave::build_heartbeat() const {

@@ -8,6 +8,7 @@
 // registration-to-first-allocation gap of the real prototype.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,10 @@ class Slave {
   bool commit_transfer(FlowId flow, double bits);
 
   double remaining_bits(FlowId flow) const;
+  // The causal trace id delivered with the flow's last RateUpdate (0 =
+  // untraced or no update yet) — the telemetry plane's proof that a
+  // submission's span made it all the way to the enforcement point.
+  std::uint64_t trace_id(FlowId flow) const;
   int live_flows() const { return static_cast<int>(flows_.size()); }
 
   // Emits a heartbeat if one is due at `now`; returns whether one was
@@ -67,6 +72,7 @@ class Slave {
     double remaining_bits = 0.0;
     double attained_bits = 0.0;
     double rate_bps = 0.0;  // 0 until the first RateUpdate arrives
+    std::uint64_t trace_id = 0;  // from the last traced RateUpdate
   };
 
   HeartbeatMsg build_heartbeat() const;

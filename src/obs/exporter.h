@@ -1,0 +1,64 @@
+// Exposition formats for the live telemetry plane.
+//
+// Two surfaces over the same data:
+//
+//   * write_prometheus_text — the MetricsRegistry as Prometheus text
+//     exposition (one # TYPE line per metric, histograms as summaries
+//     with quantile labels). Names are sanitized to the Prometheus
+//     charset ('.' and other separators become '_') and prefixed, so
+//     "serve.admit_latency_s" scrapes as ncdrf_serve_admit_latency_s.
+//
+//   * snapshot NDJSON — each closed Timeseries window as one JSON line
+//     (write_snapshot_json), and SnapshotStream as the append-only tail:
+//     poll() writes every window closed since the last poll, in order,
+//     never rewriting a line. tools/obs_top tails the file to render a
+//     live table; obs/json_lint.h validates the stream's schema and
+//     window ordering.
+//
+// Both writers are deterministic: fixed key order, name-sorted metrics,
+// %.15g-equivalent number formatting — under virtual time a double run
+// produces byte-identical output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace ncdrf::obs {
+
+class MetricsRegistry;
+class Timeseries;
+struct TimeseriesSnapshot;
+
+// Prometheus text exposition (format 0.0.4) of the registry's current
+// state. Counters get a _total suffix; histograms export as summaries
+// ({quantile="0.5|0.95|0.99"}, _sum, _count) using the shared Quantiles
+// estimator.
+void write_prometheus_text(std::ostream& out, const MetricsRegistry& registry,
+                           const std::string& prefix = "ncdrf_");
+
+// One snapshot as a single NDJSON line (newline-terminated):
+// {"window":K,"t0":…,"t1":…,"counters":{name:{"total":…,"delta":…,
+//  "rate_per_s":…}},"gauges":{name:v},"histograms":{name:{"count":…,
+//  "sum":…,"p50":…,"p95":…,"p99":…}}}
+void write_snapshot_json(std::ostream& out, const TimeseriesSnapshot& snap);
+
+// Append-only NDJSON stream of a Timeseries' closed windows. The caller
+// owns the ostream (file or pipe) and calls poll() at any cadence; each
+// call appends the windows not yet written and returns how many.
+class SnapshotStream {
+ public:
+  explicit SnapshotStream(std::ostream& out) : out_(out) {}
+
+  SnapshotStream(const SnapshotStream&) = delete;
+  SnapshotStream& operator=(const SnapshotStream&) = delete;
+
+  long long poll(const Timeseries& timeseries);
+  long long windows_written() const { return windows_written_; }
+
+ private:
+  std::ostream& out_;
+  long long windows_written_ = 0;
+  long long last_window_ = -1;
+};
+
+}  // namespace ncdrf::obs

@@ -1,0 +1,137 @@
+// FlightRecorder: armed triggers + diagnostics bundles for the serving
+// stack — the "why did that happen" half of the telemetry plane.
+//
+// A FlightRecorder is attached to the run's Tracer / MetricsRegistry /
+// Timeseries (and optionally a FairnessAuditor) and fed once per serve
+// epoch with the epoch's vitals. Four triggers can be armed:
+//
+//   * backpressure_shed   — the published level *enters* kShed
+//     (edge-triggered: a sustained shed regime fires once per entry);
+//   * staleness_breach    — the epoch's observed push staleness exceeds
+//     the configured budget;
+//   * envelope_violation  — the watched FairnessAuditor reports a new
+//     Theorem-1 envelope violation;
+//   * slo_burn            — the windowed p99 of one timeseries histogram
+//     exceeded the SLO threshold in at least slo_burn_rate of the last
+//     slo_windows closed windows (burn-rate accounting: a single noisy
+//     window does not fire, a sustained burn does).
+//
+// On fire, the recorder dumps one diagnostics bundle: trigger provenance,
+// the ServeFront/Master config, the full metrics registry, the retained
+// timeseries snapshots, and the last trace_slice_s seconds of trace
+// events. A per-trigger-kind cooldown turns a storm into one bundle
+// (suppressed fires are counted). Bundles are plain JSON, written to
+// options.dir as flight-<seq>-<kind>.json and kept in memory
+// (last_bundle_json) — schema in docs/OBSERVABILITY.md, validated by
+// obs/json_lint.h's validate_flight_bundle_json.
+//
+// Under virtual time every input is deterministic, so bundle bytes are a
+// pure function of the workload (asserted in tests/telemetry_test.cc).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ncdrf::obs {
+
+class FairnessAuditor;
+class MetricsRegistry;
+class Timeseries;
+class Tracer;
+
+struct FlightOptions {
+  // Bundle output directory; empty keeps bundles in memory only
+  // (last_bundle_json still updates — what the bench floor cell uses).
+  std::string dir;
+  // Minimum time between two fires of the *same* trigger kind; fires
+  // inside the cooldown are suppressed (counted, no bundle).
+  double cooldown_s = 5.0;
+  // Trace slice embedded in a bundle: events from [fire − slice, fire].
+  double trace_slice_s = 5.0;
+
+  // --- Trigger arming (all disarmed by default) --------------------------
+  bool trigger_shed = false;
+  double staleness_budget_s = -1.0;  // < 0 disarms the staleness trigger
+  bool trigger_envelope = false;     // needs watch_auditor()
+  // SLO trigger: watches the named histogram's windowed p99 in the
+  // attached Timeseries. Disarmed while the name is empty or the
+  // threshold is negative.
+  std::string slo_histogram;
+  double slo_p99_s = -1.0;
+  int slo_windows = 8;        // burn-accounting horizon (closed windows)
+  double slo_burn_rate = 0.5; // breach fraction that fires, in (0, 1]
+};
+
+// Per-epoch inputs the serving front-end reports (serve/server.cc fills
+// this at the end of every step_epoch).
+struct EpochVitals {
+  int backpressure_level = 0;  // serve::Backpressure as int (2 = kShed)
+  long long shed_delta = 0;    // submissions shed this epoch
+  double staleness_s = 0.0;    // max observed push staleness this epoch
+  double backlog = 0.0;
+  double active_coflows = 0.0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Data sources embedded in bundles; any may be null (that section is
+  // empty). All must outlive the recorder.
+  void attach(const Tracer* tracer, const MetricsRegistry* metrics,
+              const Timeseries* timeseries);
+  void watch_auditor(const FairnessAuditor* auditor);
+  // Config provenance embedded verbatim in every bundle; must be a valid
+  // JSON value (ServeFront::config_json()).
+  void set_config_json(std::string config_json);
+
+  // Evaluates every armed trigger against this epoch's vitals (called
+  // once per epoch, `now` non-decreasing).
+  void observe_epoch(double now, const EpochVitals& vitals);
+
+  // Manual trigger with the same cooldown bookkeeping — drivers can wire
+  // their own conditions (and tests exercise cooldowns directly). Returns
+  // true when a bundle was produced, false when suppressed.
+  bool fire(double now, const std::string& kind, const std::string& detail,
+            double value = 0.0);
+
+  long long bundles_written() const { return bundles_written_; }
+  long long triggers_suppressed() const { return triggers_suppressed_; }
+  const std::vector<std::string>& bundle_paths() const {
+    return bundle_paths_;
+  }
+  // The most recent bundle's bytes ("" before the first fire).
+  const std::string& last_bundle_json() const { return last_bundle_json_; }
+  const FlightOptions& options() const { return options_; }
+
+ private:
+  std::string build_bundle(double now, const std::string& kind,
+                           const std::string& detail, double value);
+  void evaluate_slo(double now);
+
+  const FlightOptions options_;
+  const Tracer* tracer_ = nullptr;
+  const MetricsRegistry* metrics_ = nullptr;
+  const Timeseries* timeseries_ = nullptr;
+  const FairnessAuditor* auditor_ = nullptr;
+  std::string config_json_ = "{}";
+
+  int prev_level_ = 0;
+  std::size_t violations_seen_ = 0;
+  long long last_slo_window_ = -1;
+  std::deque<bool> slo_breaches_;  // newest last, <= slo_windows entries
+
+  std::map<std::string, double> last_fire_;  // per-kind cooldown clock
+  long long seq_ = 0;
+  long long bundles_written_ = 0;
+  long long triggers_suppressed_ = 0;
+  std::vector<std::string> bundle_paths_;
+  std::string last_bundle_json_;
+};
+
+}  // namespace ncdrf::obs

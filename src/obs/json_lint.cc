@@ -360,6 +360,27 @@ std::string check_trace_event(const JsonObject& event, std::size_t index,
   }
 }
 
+// The per-event field checks of check_trace_event without the span
+// bookkeeping — what a flight bundle's trace *slice* can promise (a slice
+// may cut a span in half, so B/E balance is not required there).
+std::string check_event_fields(const JsonObject& event,
+                               const std::string& where) {
+  const JsonValue* name = find(event, "name");
+  if (name == nullptr || !name->is_string()) {
+    return where + ": missing string \"name\"";
+  }
+  const JsonValue* ph = find(event, "ph");
+  if (ph == nullptr || !ph->is_string() || ph->string().size() != 1) {
+    return where + ": missing one-character \"ph\"";
+  }
+  for (const char* key : {"ts", "pid", "tid"}) {
+    if (std::string err = require_number(event, key, where); !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
 std::string check_histogram_entry(const std::string& name,
                                   const JsonValue& value) {
   const std::string where = "histograms." + name;
@@ -376,6 +397,94 @@ std::string check_histogram_entry(const std::string& name,
   const double p99 = find(entry, "p99")->number();
   if (!(p50 <= p95 && p95 <= p99)) {
     return where + ": quantiles not ordered (p50 <= p95 <= p99)";
+  }
+  return "";
+}
+
+// MetricsRegistry::write_json schema over an already-parsed object —
+// shared between validate_metrics_json and the flight bundle's embedded
+// "metrics" section.
+std::string check_metrics_object(const JsonObject& top) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* value = find(top, section);
+    if (value == nullptr || !value->is_object()) {
+      return std::string("missing \"") + section + "\" object";
+    }
+  }
+  for (const auto& [name, value] : find(top, "counters")->object()) {
+    if (!value.is_number()) return "counters." + name + ": not a number";
+  }
+  for (const auto& [name, value] : find(top, "gauges")->object()) {
+    if (!value.is_number()) return "gauges." + name + ": not a number";
+  }
+  for (const auto& [name, value] : find(top, "histograms")->object()) {
+    if (std::string err = check_histogram_entry(name, value); !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
+// One timeseries snapshot object (a SnapshotStream NDJSON line or a
+// flight bundle "timeseries" element), plus the stream-ordering contract:
+// strictly increasing windows, t1 > t0, gap-free spans. `prev_window` /
+// `prev_t1` carry the contract across snapshots (start at -inf).
+std::string check_snapshot_object(const JsonObject& snap,
+                                  const std::string& where,
+                                  double& prev_window, double& prev_t1) {
+  for (const char* key : {"window", "t0", "t1"}) {
+    if (std::string err = require_number(snap, key, where); !err.empty()) {
+      return err;
+    }
+  }
+  const double window = find(snap, "window")->number();
+  const double t0 = find(snap, "t0")->number();
+  const double t1 = find(snap, "t1")->number();
+  if (window <= prev_window) {
+    return where + ": window numbers not strictly increasing";
+  }
+  if (t1 <= t0) return where + ": window span is empty (t1 <= t0)";
+  if (prev_t1 > -std::numeric_limits<double>::infinity() && t0 != prev_t1) {
+    return where + ": window spans not contiguous (t0 != previous t1)";
+  }
+  prev_window = window;
+  prev_t1 = t1;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* value = find(snap, section);
+    if (value == nullptr || !value->is_object()) {
+      return where + ": missing \"" + section + "\" object";
+    }
+  }
+  for (const auto& [name, value] : find(snap, "counters")->object()) {
+    const std::string cwhere = where + ".counters." + name;
+    if (!value.is_object()) return cwhere + ": not an object";
+    for (const char* key : {"total", "delta", "rate_per_s"}) {
+      if (std::string err = require_number(value.object(), key, cwhere);
+          !err.empty()) {
+        return err;
+      }
+    }
+  }
+  for (const auto& [name, value] : find(snap, "gauges")->object()) {
+    if (!value.is_number()) {
+      return where + ".gauges." + name + ": not a number";
+    }
+  }
+  for (const auto& [name, value] : find(snap, "histograms")->object()) {
+    const std::string hwhere = where + ".histograms." + name;
+    if (!value.is_object()) return hwhere + ": not an object";
+    for (const char* key : {"count", "sum", "p50", "p95", "p99"}) {
+      if (std::string err = require_number(value.object(), key, hwhere);
+          !err.empty()) {
+        return err;
+      }
+    }
+    const double p50 = find(value.object(), "p50")->number();
+    const double p95 = find(value.object(), "p95")->number();
+    const double p99 = find(value.object(), "p99")->number();
+    if (!(p50 <= p95 && p95 <= p99)) {
+      return hwhere + ": quantiles not ordered (p50 <= p95 <= p99)";
+    }
   }
   return "";
 }
@@ -434,25 +543,7 @@ std::string validate_metrics_json(const std::string& text) {
   const JsonValue root = parser.parse();
   if (!parser.error().empty()) return parser.error();
   if (!root.is_object()) return "top level is not an object";
-  const JsonObject& top = root.object();
-  for (const char* section : {"counters", "gauges", "histograms"}) {
-    const JsonValue* value = find(top, section);
-    if (value == nullptr || !value->is_object()) {
-      return std::string("missing \"") + section + "\" object";
-    }
-  }
-  for (const auto& [name, value] : find(top, "counters")->object()) {
-    if (!value.is_number()) return "counters." + name + ": not a number";
-  }
-  for (const auto& [name, value] : find(top, "gauges")->object()) {
-    if (!value.is_number()) return "gauges." + name + ": not a number";
-  }
-  for (const auto& [name, value] : find(top, "histograms")->object()) {
-    if (std::string err = check_histogram_entry(name, value); !err.empty()) {
-      return err;
-    }
-  }
-  return "";
+  return check_metrics_object(root.object());
 }
 
 std::string validate_ndjson(const std::string& text) {
@@ -474,6 +565,168 @@ std::string validate_ndjson(const std::string& text) {
       out << "line " << line_no << ": not a JSON object";
       return out.str();
     }
+  }
+  return "";
+}
+
+std::string validate_timeseries_ndjson(const std::string& text) {
+  // An append-only stream ends every record with '\n'; a final line
+  // without one is a write cut mid-record.
+  if (!text.empty() && text.back() != '\n') {
+    return "truncated final line (missing newline)";
+  }
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  double prev_window = -std::numeric_limits<double>::infinity();
+  double prev_t1 = -std::numeric_limits<double>::infinity();
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Parser parser(line);
+    const JsonValue value = parser.parse();
+    std::ostringstream where;
+    where << "line " << line_no;
+    if (!parser.error().empty()) {
+      return where.str() + ": " + parser.error();
+    }
+    if (!value.is_object()) return where.str() + ": not a JSON object";
+    if (std::string err = check_snapshot_object(value.object(), where.str(),
+                                                prev_window, prev_t1);
+        !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
+std::string validate_flight_bundle_json(const std::string& text) {
+  Parser parser(text);
+  const JsonValue root = parser.parse();
+  if (!parser.error().empty()) return parser.error();
+  if (!root.is_object()) return "top level is not an object";
+  const JsonObject& top = root.object();
+
+  const JsonValue* bundle = find(top, "bundle");
+  if (bundle == nullptr || !bundle->is_string() ||
+      bundle->string() != "ncdrf.flight") {
+    return "missing \"bundle\":\"ncdrf.flight\" marker";
+  }
+  if (std::string err = require_number(top, "seq", "bundle"); !err.empty()) {
+    return err;
+  }
+
+  const JsonValue* trigger = find(top, "trigger");
+  if (trigger == nullptr || !trigger->is_object()) {
+    return "missing \"trigger\" object";
+  }
+  const JsonValue* kind = find(trigger->object(), "kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return "trigger: missing string \"kind\"";
+  }
+  const JsonValue* detail = find(trigger->object(), "detail");
+  if (detail == nullptr || !detail->is_string()) {
+    return "trigger: missing string \"detail\"";
+  }
+  for (const char* key : {"time", "value"}) {
+    if (std::string err = require_number(trigger->object(), key, "trigger");
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  const JsonValue* config = find(top, "config");
+  if (config == nullptr || !config->is_object()) {
+    return "missing \"config\" object";
+  }
+
+  const JsonValue* metrics = find(top, "metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return "missing \"metrics\" object";
+  }
+  if (std::string err = check_metrics_object(metrics->object());
+      !err.empty()) {
+    return "metrics: " + err;
+  }
+
+  const JsonValue* timeseries = find(top, "timeseries");
+  if (timeseries == nullptr || !timeseries->is_array()) {
+    return "missing \"timeseries\" array";
+  }
+  double prev_window = -std::numeric_limits<double>::infinity();
+  double prev_t1 = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < timeseries->array().size(); ++i) {
+    const JsonValue& snap = timeseries->array()[i];
+    std::ostringstream where;
+    where << "timeseries[" << i << ']';
+    if (!snap.is_object()) return where.str() + ": not an object";
+    if (std::string err = check_snapshot_object(snap.object(), where.str(),
+                                                prev_window, prev_t1);
+        !err.empty()) {
+      return err;
+    }
+  }
+
+  const JsonValue* trace = find(top, "trace");
+  if (trace == nullptr || !trace->is_object()) {
+    return "missing \"trace\" object";
+  }
+  if (std::string err = require_number(trace->object(), "dropped", "trace");
+      !err.empty()) {
+    return err;
+  }
+  const JsonValue* events = find(trace->object(), "events");
+  if (events == nullptr || !events->is_array()) {
+    return "trace: missing \"events\" array";
+  }
+  for (std::size_t i = 0; i < events->array().size(); ++i) {
+    const JsonValue& event = events->array()[i];
+    std::ostringstream where;
+    where << "trace.events[" << i << ']';
+    if (!event.is_object()) return where.str() + ": not an object";
+    if (std::string err = check_event_fields(event.object(), where.str());
+        !err.empty()) {
+      return err;
+    }
+  }
+  return "";
+}
+
+std::string parse_timeseries_line(const std::string& line, SnapshotRow* out) {
+  Parser parser(line);
+  const JsonValue root = parser.parse();
+  if (!parser.error().empty()) return parser.error();
+  if (!root.is_object()) return "not a JSON object";
+  const JsonObject& snap = root.object();
+  double prev_window = -std::numeric_limits<double>::infinity();
+  double prev_t1 = -std::numeric_limits<double>::infinity();
+  if (std::string err =
+          check_snapshot_object(snap, "snapshot", prev_window, prev_t1);
+      !err.empty()) {
+    return err;
+  }
+  out->window = find(snap, "window")->number();
+  out->t0 = find(snap, "t0")->number();
+  out->t1 = find(snap, "t1")->number();
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  for (const auto& [name, value] : find(snap, "counters")->object()) {
+    out->counters.emplace_back(
+        name, std::vector<double>{find(value.object(), "total")->number(),
+                                  find(value.object(), "delta")->number(),
+                                  find(value.object(), "rate_per_s")->number()});
+  }
+  for (const auto& [name, value] : find(snap, "gauges")->object()) {
+    out->gauges.emplace_back(name, value.number());
+  }
+  for (const auto& [name, value] : find(snap, "histograms")->object()) {
+    out->histograms.emplace_back(
+        name, std::vector<double>{find(value.object(), "count")->number(),
+                                  find(value.object(), "sum")->number(),
+                                  find(value.object(), "p50")->number(),
+                                  find(value.object(), "p95")->number(),
+                                  find(value.object(), "p99")->number()});
   }
   return "";
 }

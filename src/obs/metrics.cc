@@ -39,31 +39,56 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
-double Histogram::percentile(double p) const {
+double Histogram::quantile_from_counts(const std::vector<long long>& counts,
+                                       double p) const {
   NCDRF_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
-  if (count_ == 0) return 0.0;
+  NCDRF_CHECK(counts.size() == buckets_.size(),
+              "bucket-count vector does not match the histogram geometry");
+  long long total = 0;
+  for (const long long c : counts) total += c;
+  if (total == 0) return 0.0;
   // Rank of the target sample (nearest-rank on the bucketed counts), then
   // a geometric interpolation inside the bucket it falls in.
-  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  const double rank = p / 100.0 * static_cast<double>(total - 1);
   long long seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
     const auto before = static_cast<double>(seen);
-    seen += buckets_[i];
+    seen += counts[i];
     if (rank < static_cast<double>(seen)) {
       const double lo =
           i == 0 ? min_value_ * std::pow(growth_, -1.0)
                  : min_value_ * std::pow(growth_, static_cast<double>(i) - 1.0);
       const double hi = min_value_ * std::pow(growth_, static_cast<double>(i));
-      const double frac = buckets_[i] > 1
+      const double frac = counts[i] > 1
                               ? (rank - before) /
-                                    static_cast<double>(buckets_[i] - 1)
+                                    static_cast<double>(counts[i] - 1)
                               : 0.5;
-      const double value = lo * std::pow(hi / lo, frac);
-      return std::clamp(value, min_, max_);
+      return lo * std::pow(hi / lo, frac);
     }
   }
-  return max_;
+  return min_value_ * std::pow(growth_, static_cast<double>(counts.size()));
+}
+
+Quantiles Histogram::quantiles_from_counts(
+    const std::vector<long long>& counts) const {
+  return Quantiles{quantile_from_counts(counts, 50.0),
+                   quantile_from_counts(counts, 95.0),
+                   quantile_from_counts(counts, 99.0)};
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) {
+    NCDRF_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    return 0.0;
+  }
+  // The cumulative counts additionally know the observed extrema, so the
+  // bucket estimate is clamped to [min, max] (exact for the tails).
+  return std::clamp(quantile_from_counts(buckets_, p), min_, max_);
+}
+
+Quantiles Histogram::quantiles() const {
+  return Quantiles{percentile(50.0), percentile(95.0), percentile(99.0)};
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -30,6 +30,16 @@ struct Gauge {
   void set(double v) { value = v; }
 };
 
+// The three standard latency quantiles, computed in one bucket walk.
+// Shared estimator: Histogram::quantiles() (cumulative), the timeseries
+// windows (bucket deltas) and bench_serve all report through this, so
+// every surface quotes the same numbers for the same samples.
+struct Quantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 // Histogram over geometric buckets: bucket i covers
 // (min_value·growth^(i-1), min_value·growth^i]; values <= min_value share
 // the first bucket and values beyond the top land in an overflow bucket.
@@ -54,8 +64,23 @@ class Histogram {
   }
   // p in [0, 100]; 0 on an empty histogram.
   double percentile(double p) const;
+  // p50/p95/p99 of the cumulative counts (same estimator as percentile).
+  Quantiles quantiles() const;
   // Guaranteed relative quantile accuracy (the bucket growth factor).
   double growth() const { return growth_; }
+
+  // The raw bucket counts (last slot = overflow). A caller holding a
+  // previous copy can difference them to get a *windowed* distribution —
+  // what obs/timeseries.h does once per window.
+  const std::vector<long long>& bucket_counts() const { return buckets_; }
+
+  // Quantile of an arbitrary bucket-count vector interpreted with this
+  // histogram's geometry (size must match bucket_counts()). This is the
+  // percentile() estimator minus the observed-min/max clamp, which only
+  // the cumulative counts can provide. 0 when the counts sum to zero.
+  double quantile_from_counts(const std::vector<long long>& counts,
+                              double p) const;
+  Quantiles quantiles_from_counts(const std::vector<long long>& counts) const;
 
  private:
   std::size_t bucket_of(double value) const;
@@ -89,6 +114,15 @@ class MetricsRegistry {
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
   //  max,mean,p50,p95,p99},...}} — names sorted, deterministic.
   void write_json(std::ostream& out) const;
+
+  // Name-ordered iteration for exporters (obs/timeseries.h rollups,
+  // obs/exporter.h Prometheus text). The maps are node-based, so the
+  // references stay valid across concurrent instrument creation.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, Counter> counters_;

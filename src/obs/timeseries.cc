@@ -1,0 +1,79 @@
+#include "obs/timeseries.h"
+
+#include "common/check.h"
+
+namespace ncdrf::obs {
+
+Timeseries::Timeseries(const MetricsRegistry* registry,
+                       TimeseriesOptions options)
+    : registry_(registry), options_(options) {
+  NCDRF_CHECK(registry != nullptr, "timeseries needs a metrics registry");
+  NCDRF_CHECK(options.window_s > 0.0,
+              "timeseries window length must be positive");
+  NCDRF_CHECK(options.history >= 1, "timeseries history must be >= 1");
+}
+
+void Timeseries::sample(double now) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = now;
+    return;
+  }
+  NCDRF_CHECK(now >= window_start_,
+              "timeseries samples must be non-decreasing in time");
+  if (now - window_start_ >= options_.window_s) close_window(now);
+}
+
+void Timeseries::flush(double now) {
+  if (!started_ || now <= window_start_) return;
+  close_window(now);
+}
+
+void Timeseries::close_window(double t1) {
+  TimeseriesSnapshot snap;
+  snap.window = next_window_++;
+  snap.t0 = window_start_;
+  snap.t1 = t1;
+  const double span = t1 - snap.t0;
+
+  snap.counters.reserve(registry_->counters().size());
+  for (const auto& [name, counter] : registry_->counters()) {
+    CounterWindow w;
+    w.total = counter.value;
+    w.delta = counter.value - counter_prev_[name];
+    w.rate_per_s = span > 0.0 ? static_cast<double>(w.delta) / span : 0.0;
+    counter_prev_[name] = counter.value;
+    snap.counters.emplace_back(name, w);
+  }
+
+  snap.gauges.reserve(registry_->gauges().size());
+  for (const auto& [name, gauge] : registry_->gauges()) {
+    snap.gauges.emplace_back(name, gauge.value);
+  }
+
+  snap.histograms.reserve(registry_->histograms().size());
+  for (const auto& [name, hist] : registry_->histograms()) {
+    HistogramState& prev = histogram_prev_[name];
+    const std::vector<long long>& cumulative = hist.bucket_counts();
+    // First window for this histogram: the previous state is all-zero.
+    prev.buckets.resize(cumulative.size(), 0);
+    std::vector<long long> delta(cumulative.size());
+    for (std::size_t i = 0; i < cumulative.size(); ++i) {
+      delta[i] = cumulative[i] - prev.buckets[i];
+    }
+    HistogramWindow w;
+    w.count = hist.count() - prev.count;
+    w.sum = hist.sum() - prev.sum;
+    if (w.count > 0) w.q = hist.quantiles_from_counts(delta);
+    prev.buckets = cumulative;
+    prev.count = hist.count();
+    prev.sum = hist.sum();
+    snap.histograms.emplace_back(name, w);
+  }
+
+  snapshots_.push_back(std::move(snap));
+  while (snapshots_.size() > options_.history) snapshots_.pop_front();
+  window_start_ = t1;
+}
+
+}  // namespace ncdrf::obs

@@ -1,0 +1,122 @@
+// Sliding-window telemetry rollups — the *live* half of the metrics
+// plane, next to the MetricsRegistry's run-lifetime aggregates.
+//
+// A Timeseries watches a MetricsRegistry and is fed once per serve epoch
+// (or any monotone driver tick) with sample(now). Whenever at least
+// window_s of driver time has elapsed since the open window started, the
+// window closes and one TimeseriesSnapshot is appended:
+//
+//   * counters   — total, per-window delta, and rate (delta / span);
+//   * gauges     — last-written value at close time;
+//   * histograms — per-window count/sum plus p50/p95/p99 of the *window's*
+//     samples, computed by differencing the histogram's bucket counts
+//     against the previous close and running the shared Quantiles
+//     estimator (Histogram::quantiles_from_counts) over the delta.
+//
+// Windows close on the driver's clock: under virtual time the snapshot
+// stream is a pure function of the workload — byte-identical across runs
+// (what tests/telemetry_test.cc asserts) — while wall-clock drivers get
+// ordinary wall-windowed rollups. Window spans are contiguous ([t0, t1] of
+// window k+1 starts at window k's t1) and sequence numbers strictly
+// increase, which is the ordering contract obs/json_lint.h validates.
+//
+// Consumers: obs/exporter.h streams snapshots as NDJSON (tools/obs_top
+// tails it), obs/flight.h embeds the retained history in diagnostics
+// bundles and runs SLO burn-rate accounting over windowed p99s.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ncdrf::obs {
+
+struct TimeseriesOptions {
+  // Minimum window span on the driver's clock. A window closes at the
+  // first sample() at least this long after the window opened, so actual
+  // spans are window_s rounded up to the driver's tick grid.
+  double window_s = 1.0;
+  // Closed windows retained (oldest evicted); bounds memory.
+  std::size_t history = 128;
+};
+
+struct CounterWindow {
+  long long total = 0;      // cumulative value at window close
+  long long delta = 0;      // increments inside the window
+  double rate_per_s = 0.0;  // delta / (t1 - t0)
+};
+
+struct HistogramWindow {
+  long long count = 0;  // observations inside the window
+  double sum = 0.0;     // their sum
+  Quantiles q;          // windowed p50/p95/p99 (0 when count == 0)
+};
+
+// One closed window over every instrument the registry held at close
+// time, name-sorted (the registry maps are ordered) — deterministic.
+struct TimeseriesSnapshot {
+  long long window = 0;  // strictly increasing sequence number, from 0
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<std::pair<std::string, CounterWindow>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramWindow>> histograms;
+};
+
+class Timeseries {
+ public:
+  // The registry must outlive the Timeseries. Instruments created after
+  // construction are picked up automatically (first window sees their
+  // full cumulative state as the delta).
+  explicit Timeseries(const MetricsRegistry* registry,
+                      TimeseriesOptions options = {});
+
+  Timeseries(const Timeseries&) = delete;
+  Timeseries& operator=(const Timeseries&) = delete;
+
+  // Feed one driver tick at time `now` (non-decreasing across calls). The
+  // first call opens window 0; later calls close the open window once its
+  // span reaches window_s.
+  void sample(double now);
+
+  // Closes the open window at `now` regardless of span (end of run), so
+  // the tail of the workload is never silently dropped. No-op before the
+  // first sample or when the open window is empty of elapsed time.
+  void flush(double now);
+
+  const std::deque<TimeseriesSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+  // Most recent closed window; null before the first close.
+  const TimeseriesSnapshot* latest() const {
+    return snapshots_.empty() ? nullptr : &snapshots_.back();
+  }
+  long long windows_closed() const { return next_window_; }
+  const TimeseriesOptions& options() const { return options_; }
+
+ private:
+  struct HistogramState {
+    std::vector<long long> buckets;
+    long long count = 0;
+    double sum = 0.0;
+  };
+
+  void close_window(double t1);
+
+  const MetricsRegistry* registry_;
+  const TimeseriesOptions options_;
+  bool started_ = false;
+  double window_start_ = 0.0;
+  long long next_window_ = 0;
+  std::deque<TimeseriesSnapshot> snapshots_;
+  // Cumulative state at the last close, per instrument name.
+  std::map<std::string, long long> counter_prev_;
+  std::map<std::string, HistogramState> histogram_prev_;
+};
+
+}  // namespace ncdrf::obs

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace ncdrf::obs {
 namespace {
@@ -47,6 +48,11 @@ const KindInfo& kind_info(EventKind kind) {
       /*kServeShed=*/{"serve_shed", "client", "count", nullptr},
       /*kServeBackpressure=*/{"serve_backpressure", "level", nullptr,
                               nullptr},
+      /*kServeAdmit=*/{"serve_admit", "coflow", "trace_id", "queue_s"},
+      /*kServeAllocCover=*/{"serve_alloc_cover", "coflow", "trace_id",
+                            "alloc_s"},
+      /*kServeFirstPush=*/{"serve_first_push", "coflow", "trace_id",
+                           "total_s"},
   };
   return kTable[static_cast<std::size_t>(kind)];
 }
@@ -103,6 +109,7 @@ void Tracer::push(const TraceEvent& event) {
     ++size_;
   } else {
     ++dropped_;  // overwrote the oldest event
+    if (drop_counter_ != nullptr) drop_counter_->inc();
   }
 }
 
@@ -156,12 +163,38 @@ void Tracer::write_chrome_json(std::ostream& out) const {
       sorted.begin(), sorted.end(),
       [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
   bool first = true;
+  // Ring overflow gets a metadata record inside the event stream too, so
+  // a viewer (which ignores unknown top-level keys) still surfaces it.
+  if (dropped_ > 0) {
+    const double ts = sorted.empty() ? 0.0 : sorted.front().ts;
+    out << "{\"name\":\"trace_dropped_events\",\"cat\":\"ncdrf\","
+        << "\"ph\":\"M\",\"ts\":" << ts * 1e6
+        << ",\"pid\":0,\"tid\":0,\"args\":{\"dropped\":" << dropped_ << "}}";
+    first = false;
+  }
   for (const TraceEvent& e : sorted) {
     if (!first) out << ",\n";
     first = false;
     write_event_json(out, e);
   }
   out << "]}\n";
+  out.flags(flags);
+  out.precision(precision);
+}
+
+void Tracer::write_slice_json(std::ostream& out, double min_ts) const {
+  const auto flags = out.flags();
+  const auto precision = out.precision();
+  out << std::setprecision(15);
+  out << '[';
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    if (e.ts < min_ts) continue;
+    if (!first) out << ',';
+    first = false;
+    write_event_json(out, e);
+  }
+  out << ']';
   out.flags(flags);
   out.precision(precision);
 }

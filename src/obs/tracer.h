@@ -26,6 +26,8 @@
 
 namespace ncdrf::obs {
 
+struct Counter;
+
 // Every event kind the system emits. The exporter maps each kind to a
 // stable name and argument labels (see event_kind_name / tracer.cc), so
 // adding a kind means extending one table, not touching call sites.
@@ -54,6 +56,11 @@ enum class EventKind : std::uint8_t {
   kServeRatePush,      // instant: a0=machine, d0=staleness_s
   kServeShed,          // instant: a0=client, a1=count
   kServeBackpressure,  // instant: a0=level (0 ok, 1 slowdown, 2 shed)
+  // Causal-latency stage marks (trace id stamped at submission, carried
+  // through RegisterCoflowMsg/RateUpdateMsg — see docs/OBSERVABILITY.md).
+  kServeAdmit,         // instant: a0=coflow, a1=trace_id, d0=queue_s
+  kServeAllocCover,    // instant: a0=coflow, a1=trace_id, d0=alloc_s
+  kServeFirstPush,     // instant: a0=coflow, a1=trace_id, d0=total_s
 };
 
 // Stable exporter name for a kind (e.g. "allocate", "slave_down").
@@ -113,6 +120,11 @@ class Tracer {
   std::size_t capacity() const { return buffer_.size(); }
   // Events lost to ring overflow (oldest-first overwrite).
   long long dropped_events() const { return dropped_; }
+  // Mirrors every future drop into a MetricsRegistry counter (typically
+  // "trace.dropped_events"), so ring overflow surfaces in the metrics /
+  // timeseries plane instead of only behind the accessor above. Null
+  // unbinds. The counter must outlive the tracer or the binding.
+  void bind_drop_counter(Counter* counter) { drop_counter_ = counter; }
   ClockMode clock_mode() const { return mode_; }
   void clear();
 
@@ -126,6 +138,12 @@ class Tracer {
   // One JSON object per line, same fields as the Chrome export.
   void write_ndjson(std::ostream& out) const;
 
+  // The surviving events with ts >= min_ts as a JSON *array* (record
+  // order, per-event schema of the NDJSON lines). The flight recorder
+  // (obs/flight.h) embeds this last-N-seconds slice in its bundles; a
+  // slice may cut spans, so consumers must not assume B/E balance.
+  void write_slice_json(std::ostream& out, double min_ts) const;
+
  private:
   double stamp(double ts) const;
   void push(const TraceEvent& event);
@@ -134,6 +152,7 @@ class Tracer {
   std::size_t head_ = 0;            // next write slot
   std::size_t size_ = 0;            // live events (<= capacity)
   long long dropped_ = 0;
+  Counter* drop_counter_ = nullptr;
   ClockMode mode_;
   double wall_epoch_ = 0.0;  // steady_clock seconds at construction
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -128,6 +129,10 @@ std::vector<std::vector<Submission>> LoadGenerator::generate() const {
     Submission& s =
         per_client[static_cast<std::size_t>(slot.client)][slot.index];
     s.coflow = next_coflow++;
+    // Nonzero span id encoding the submitting client, unique per coflow —
+    // what the telemetry plane follows from submission to rate push.
+    s.trace_id = (static_cast<std::uint64_t>(slot.client) + 1) << 40 |
+                 (static_cast<std::uint64_t>(s.coflow) + 1);
     for (Flow& f : s.flows) {
       f.id = next_flow++;
       f.coflow = s.coflow;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <sstream>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 
 namespace ncdrf::serve {
@@ -58,6 +62,29 @@ ServeFront::ServeFront(const Fabric& fabric, Scheduler& scheduler,
     alloc_latency_ = &m.histogram("serve.alloc_latency_s");
     push_latency_ = &m.histogram("serve.push_latency_s");
     batch_size_ = &m.histogram("serve.batch_size");
+    stage_queue_ = &m.histogram("serve.stage.queue_s");
+    stage_alloc_ = &m.histogram("serve.stage.alloc_s");
+    stage_push_ = &m.histogram("serve.stage.push_s");
+    stage_total_ = &m.histogram("serve.stage.total_s");
+    client_instruments_.resize(queues_.size());
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      const std::string base = "serve.client." + std::to_string(c) + ".";
+      ClientInstruments& ci = client_instruments_[c];
+      ci.backlog = &m.gauge(base + "backlog");
+      ci.accepted = &m.counter(base + "accepted");
+      ci.rejected = &m.counter(base + "rejected");
+      ci.shed = &m.counter(base + "shed");
+    }
+    if (options_.tracer != nullptr) {
+      // Ring-overflow drops surface in the metrics plane, not only behind
+      // Tracer::dropped_events().
+      options_.tracer->bind_drop_counter(&m.counter("trace.dropped_events"));
+    }
+  }
+  if (options_.flight != nullptr) {
+    options_.flight->attach(options_.tracer, options_.metrics,
+                            options_.timeseries);
+    options_.flight->set_config_json(config_json());
   }
 }
 
@@ -74,6 +101,7 @@ void ServeFront::retire_due(double now) {
       finish_batch_.push_back(FlowFinishedMsg{f, coflow, now});
       awaiting_push_.erase(f);
     }
+    causal_.erase(coflow);  // in case it retired before its first push
     live_flows_.erase(it);
   }
   // One bulk report per epoch: the master marks every flow, then sweeps
@@ -105,6 +133,7 @@ int ServeFront::admit_batch(double now) {
     msg.arrival_time = s.submit_time;
     msg.weight = s.weight;
     msg.sizes_known = s.sizes_known;
+    msg.trace_id = s.trace_id;
     msg.flows = s.flows;
     if (!s.sizes_known) {
       // The non-clairvoyant contract: sizes never cross the register API.
@@ -115,8 +144,10 @@ int ServeFront::admit_batch(double now) {
     flows.reserve(s.flows.size());
     for (const Flow& f : s.flows) {
       flows.push_back(f.id);
-      awaiting_push_.emplace(f.id, s.submit_time);
+      awaiting_push_.emplace(f.id, AwaitingPush{s.submit_time, s.coflow});
     }
+    causal_.emplace(s.coflow, Causal{s.trace_id, s.submit_time, now, -1.0});
+    awaiting_alloc_.push_back(s.coflow);
     if (s.lifetime_s > 0.0) {
       departures_.push(Departure{now + s.lifetime_s, s.coflow});
     }
@@ -125,6 +156,10 @@ int ServeFront::admit_batch(double now) {
     if (admit_latency_ != nullptr) {
       admit_latency_->observe(now - s.submit_time);
     }
+    if (stage_queue_ != nullptr) stage_queue_->observe(now - s.submit_time);
+    NCDRF_TRACE_INSTANT(options_.tracer, obs::EventKind::kServeAdmit, now,
+                        s.coflow, static_cast<std::int64_t>(s.trace_id),
+                        now - s.submit_time);
     if (admit_hook) {
       double bits = 0.0;
       for (const Flow& f : s.flows) bits += f.size_bits;
@@ -173,6 +208,22 @@ void ServeFront::reallocate(double now) {
       alloc_latency_->observe(now - s.submit_time);
     }
   }
+  // Every coflow admitted since the last allocation is covered by this
+  // one (on_register marked the view dirty, and this runs in the same
+  // epoch) — close its alloc stage.
+  for (const CoflowId coflow : awaiting_alloc_) {
+    const auto it = causal_.find(coflow);
+    if (it == causal_.end()) continue;  // retired within the epoch
+    it->second.alloc = now;
+    if (stage_alloc_ != nullptr) {
+      stage_alloc_->observe(now - it->second.admit);
+    }
+    NCDRF_TRACE_INSTANT(options_.tracer, obs::EventKind::kServeAllocCover,
+                        now, coflow,
+                        static_cast<std::int64_t>(it->second.trace_id),
+                        now - it->second.admit);
+  }
+  awaiting_alloc_.clear();
 }
 
 void ServeFront::push_rates(double now) {
@@ -221,13 +272,30 @@ void ServeFront::push_rates(double now) {
     const double staleness =
         state.dirty_since >= 0.0 ? now - state.dirty_since : 0.0;
     max_push_staleness_ = std::max(max_push_staleness_, staleness);
+    epoch_staleness_ = std::max(epoch_staleness_, staleness);
     state.rates.clear();
     for (const auto& [flow, rate] : sr.msg.rates_bps) {
       state.rates.emplace(flow, rate);
       const auto it = awaiting_push_.find(flow);
       if (it != awaiting_push_.end()) {
         if (push_latency_ != nullptr) {
-          push_latency_->observe(now - it->second);
+          push_latency_->observe(now - it->second.submit);
+        }
+        // First push covering any flow of the coflow closes its causal
+        // span: the submission's rates are now at an enforcement point.
+        const auto causal = causal_.find(it->second.coflow);
+        if (causal != causal_.end()) {
+          const Causal& c = causal->second;
+          if (stage_push_ != nullptr && c.alloc >= 0.0) {
+            stage_push_->observe(now - c.alloc);
+          }
+          if (stage_total_ != nullptr) stage_total_->observe(now - c.submit);
+          NCDRF_TRACE_INSTANT(options_.tracer,
+                              obs::EventKind::kServeFirstPush, now,
+                              it->second.coflow,
+                              static_cast<std::int64_t>(c.trace_id),
+                              now - c.submit);
+          causal_.erase(causal);
         }
         awaiting_push_.erase(it);
       }
@@ -238,10 +306,19 @@ void ServeFront::push_rates(double now) {
     NCDRF_TRACE_INSTANT(options_.tracer, obs::EventKind::kServeRatePush, now,
                         sr.machine, 0, staleness);
     if (options_.bus != nullptr) {
-      // Best-effort, like Master::reallocate: the next divergence or
-      // deadline re-sends.
-      options_.bus->send_unreliable(now, slave_address(sr.machine),
-                                    RateUpdateMsg{sr.msg.rates_bps});
+      // The whole vector — rates and their causal trace ids — goes out.
+      RateUpdateMsg out = sr.msg;
+      if (options_.push_retry.max_attempts > 1) {
+        // Lost pushes retransmit with per-destination backoff; a retried
+        // push arrives late, never early.
+        options_.bus->send_with_retry(now, slave_address(sr.machine),
+                                      std::move(out), options_.push_retry);
+      } else {
+        // Best-effort, like Master::reallocate: the next divergence or
+        // deadline re-sends.
+        options_.bus->send_unreliable(now, slave_address(sr.machine),
+                                      std::move(out));
+      }
     }
   }
 }
@@ -266,10 +343,31 @@ void ServeFront::publish_level(double now) {
   if (active_gauge_ != nullptr) {
     active_gauge_->set(static_cast<double>(master_.active_coflows()));
   }
+  // Per-client plane: backlog gauges plus the queue counters mirrored as
+  // registry counters (incremented by delta — the queues own the truth).
+  for (std::size_t c = 0; c < client_instruments_.size(); ++c) {
+    ClientInstruments& ci = client_instruments_[c];
+    const SubmissionQueue& q = *queues_[c];
+    ci.backlog->set(static_cast<double>(q.size()));
+    const long long accepted = q.accepted();
+    const long long rejected = q.rejected();
+    const long long shed = q.shed_count();
+    if (accepted > ci.prev_accepted) {
+      ci.accepted->inc(accepted - ci.prev_accepted);
+    }
+    if (rejected > ci.prev_rejected) {
+      ci.rejected->inc(rejected - ci.prev_rejected);
+    }
+    if (shed > ci.prev_shed) ci.shed->inc(shed - ci.prev_shed);
+    ci.prev_accepted = accepted;
+    ci.prev_rejected = rejected;
+    ci.prev_shed = shed;
+  }
 }
 
 void ServeFront::step_epoch(double now) {
   ++epochs_;
+  epoch_staleness_ = 0.0;
   if (epoch_counter_ != nullptr) epoch_counter_->inc();
   if (options_.tracer != nullptr) {
     options_.tracer->begin(obs::EventKind::kServeEpoch, now);
@@ -283,6 +381,20 @@ void ServeFront::step_epoch(double now) {
   if (options_.tracer != nullptr) {
     options_.tracer->end(obs::EventKind::kServeEpoch, now, admitted_now,
                          master_.active_coflows());
+  }
+  // Telemetry tail: roll the registry into the timeseries, then let the
+  // flight recorder evaluate its armed triggers against this epoch.
+  if (options_.timeseries != nullptr) options_.timeseries->sample(now);
+  if (options_.flight != nullptr) {
+    const long long shed_total = total_shed();
+    obs::EpochVitals vitals;
+    vitals.backpressure_level = static_cast<int>(level_);
+    vitals.shed_delta = shed_total - prev_shed_total_;
+    vitals.staleness_s = epoch_staleness_;
+    vitals.backlog = static_cast<double>(backlog());
+    vitals.active_coflows = static_cast<double>(master_.active_coflows());
+    prev_shed_total_ = shed_total;
+    options_.flight->observe_epoch(now, vitals);
   }
 }
 
@@ -327,6 +439,21 @@ std::size_t ServeFront::backlog() const {
   std::size_t total = 0;
   for (const auto& queue : queues_) total += queue->size();
   return total;
+}
+
+std::string ServeFront::config_json() const {
+  std::ostringstream out;
+  out << std::setprecision(15);
+  out << "{\"epoch_s\":" << options_.epoch_s
+      << ",\"max_batch_per_epoch\":" << options_.max_batch_per_epoch
+      << ",\"queue_capacity\":" << options_.queue_capacity
+      << ",\"slowdown_watermark\":" << options_.slowdown_watermark
+      << ",\"shed_watermark\":" << options_.shed_watermark
+      << ",\"staleness_s\":" << options_.staleness_s
+      << ",\"push_threshold\":" << options_.push_threshold
+      << ",\"push_retry_attempts\":" << options_.push_retry.max_attempts
+      << ",\"num_clients\":" << queues_.size() << "}";
+  return out.str();
 }
 
 }  // namespace ncdrf::serve

@@ -35,10 +35,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +50,8 @@
 namespace ncdrf::obs {
 class MetricsRegistry;
 class Tracer;
+class Timeseries;
+class FlightRecorder;
 struct Counter;
 struct Gauge;
 class Histogram;
@@ -84,6 +88,17 @@ struct ServeOptions {
   SimBus* bus = nullptr;
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Telemetry plane (both optional, both must outlive the front-end). The
+  // timeseries is sampled once at the end of every epoch; the flight
+  // recorder is attached to tracer/metrics/timeseries, fed EpochVitals
+  // each epoch, and handed this front-end's config_json() for bundles.
+  obs::Timeseries* timeseries = nullptr;
+  obs::FlightRecorder* flight = nullptr;
+  // Transport policy for rate pushes over `bus`. max_attempts = 1 keeps
+  // the historical best-effort send; > 1 retransmits lost pushes with the
+  // bus's per-destination exponential backoff (a retried push arrives
+  // late, never early — bounded staleness still holds at the sender).
+  RetryPolicy push_retry;
   MasterOptions master;  // forget_retired is forced on (serving contract)
 };
 
@@ -143,6 +158,11 @@ class ServeFront {
   const Allocation& last_allocation() const { return alloc_; }
   const ScheduleInput* last_view() const { return last_view_; }
 
+  // The serving configuration as a one-line JSON object — embedded in
+  // flight-recorder bundles so a postmortem carries the knobs that shaped
+  // the run. Deterministic formatting.
+  std::string config_json() const;
+
   // --- Test hooks --------------------------------------------------------
   // Called synchronously inside step_epoch; both default to unset. The
   // alloc hook fires after each allocation kernel call, before pushes.
@@ -163,6 +183,21 @@ class ServeFront {
     std::map<FlowId, double> rates;  // ordered: comparison is a merge walk
     double dirty_since = -1.0;       // first divergence time; <0 = clean
   };
+  // Causal stage clock of one admitted coflow: the span opened at
+  // submission and closed by the first rate push that covers any of its
+  // flows. Erased once closed (or at retirement if it never closes).
+  struct Causal {
+    std::uint64_t trace_id = 0;  // 0 = untraced (stages still measured)
+    double submit = 0.0;
+    double admit = 0.0;
+    double alloc = -1.0;  // first covering allocation; < 0 = not yet
+  };
+  // One flow still waiting for its first rate push: the owning coflow
+  // (causal lookup) plus the submit time (push-latency histogram).
+  struct AwaitingPush {
+    double submit = 0.0;
+    CoflowId coflow = -1;
+  };
 
   void retire_due(double now);
   void shed_over_watermark(double now);
@@ -181,8 +216,12 @@ class ServeFront {
   std::unordered_map<CoflowId, std::vector<FlowId>> live_flows_;
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
       departures_;
-  // Submit time per flow awaiting its first rate push (push latency).
-  std::unordered_map<FlowId, double> awaiting_push_;
+  // Flows awaiting their first rate push (push latency + causal close).
+  std::unordered_map<FlowId, AwaitingPush> awaiting_push_;
+  // Causal clocks of admitted coflows whose first push is still pending.
+  std::unordered_map<CoflowId, Causal> causal_;
+  // Coflows admitted this epoch, stamped at the next allocation.
+  std::vector<CoflowId> awaiting_alloc_;
 
   Allocation alloc_;
   std::vector<SlaveRates> per_slave_;  // scratch, reused every epoch
@@ -196,6 +235,11 @@ class ServeFront {
   long long rate_pushes_ = 0;
   long long pushes_deferred_ = 0;
   double max_push_staleness_ = 0.0;
+  // Per-epoch vitals for the flight recorder: the largest staleness among
+  // this epoch's pushes, and the shed total at the previous epoch's end
+  // (delta accounting).
+  double epoch_staleness_ = 0.0;
+  long long prev_shed_total_ = 0;
 
   // Cached metrics instruments (null when metrics are off).
   obs::Counter* admitted_counter_ = nullptr;
@@ -209,6 +253,25 @@ class ServeFront {
   obs::Histogram* alloc_latency_ = nullptr;
   obs::Histogram* push_latency_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;
+  // Causal stage decomposition (virtual-time spans per coflow):
+  // queue = submit→admit, alloc = admit→covering allocation, push =
+  // allocation→first covering push, total = submit→first covering push.
+  obs::Histogram* stage_queue_ = nullptr;
+  obs::Histogram* stage_alloc_ = nullptr;
+  obs::Histogram* stage_push_ = nullptr;
+  obs::Histogram* stage_total_ = nullptr;
+  // Per-client instruments (serve.client.N.*) plus the queue-counter
+  // values already mirrored, so each epoch increments by the delta.
+  struct ClientInstruments {
+    obs::Gauge* backlog = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* shed = nullptr;
+    long long prev_accepted = 0;
+    long long prev_rejected = 0;
+    long long prev_shed = 0;
+  };
+  std::vector<ClientInstruments> client_instruments_;
 };
 
 }  // namespace ncdrf::serve

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -49,6 +50,11 @@ struct Submission {
   // Modeled dwell time: the server retires the coflow this long after
   // admission (virtual-time load tests / bench). <= 0 = never departs.
   double lifetime_s = 0.0;
+  // Causal trace/span id stamped by the submitter (0 = untraced). The
+  // serving front-end threads it through registration into the master's
+  // RateUpdate pushes, so end-to-end scheduling latency decomposes into
+  // queue/admit/alloc/push stages per submission.
+  std::uint64_t trace_id = 0;
 };
 
 class SubmissionQueue {

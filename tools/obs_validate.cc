@@ -1,10 +1,12 @@
 // CI gate for observability artifacts: validates trace / metrics JSON
 // files against the schemas in obs/json_lint.h.
 //
-//   obs_validate --trace FILE...     Chrome trace-event JSON
-//   obs_validate --metrics FILE...   MetricsRegistry JSON
-//   obs_validate --ndjson FILE...    one JSON object per line
-//   obs_validate --json FILE...      any JSON document (syntax only)
+//   obs_validate --trace FILE...       Chrome trace-event JSON
+//   obs_validate --metrics FILE...     MetricsRegistry JSON
+//   obs_validate --ndjson FILE...      one JSON object per line
+//   obs_validate --timeseries FILE...  Timeseries snapshot NDJSON
+//   obs_validate --flight FILE...      flight-recorder bundle JSON
+//   obs_validate --json FILE...        any JSON document (syntax only)
 //
 // Modes may be mixed on one command line; each flag applies to the files
 // after it. Exits 0 when every file validates, 1 otherwise (first error
@@ -56,6 +58,16 @@ int main(int argc, char** argv) {
       mode = "--ndjson";
       continue;
     }
+    if (arg == "--timeseries") {
+      validate = ncdrf::obs::validate_timeseries_ndjson;
+      mode = "--timeseries";
+      continue;
+    }
+    if (arg == "--flight") {
+      validate = ncdrf::obs::validate_flight_bundle_json;
+      mode = "--flight";
+      continue;
+    }
     if (arg == "--json") {
       validate = ncdrf::obs::validate_json;
       mode = "--json";
@@ -79,8 +91,8 @@ int main(int argc, char** argv) {
   }
 
   if (checked == 0 && failures == 0) {
-    std::cerr << "usage: obs_validate [--trace|--metrics|--ndjson|--json] "
-                 "FILE...\n";
+    std::cerr << "usage: obs_validate [--trace|--metrics|--ndjson|"
+                 "--timeseries|--flight|--json] FILE...\n";
     return 2;
   }
   return failures == 0 ? 0 : 1;
