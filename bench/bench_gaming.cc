@@ -1,71 +1,279 @@
-// Extension experiment: strategy-proofness under the flow-splitting attack.
+// Extension experiment: strategy-proofness of the fair-sharing design
+// space, measured on the scenario spine as a {policy × tenant-strategy ×
+// honest-fraction} grid.
 //
-// Sec. III-B: "under TCP, a tenant could take an arbitrarily high share of
-// network bandwidth by initiating more flows". This bench quantifies the
-// attack across every non-clairvoyant policy in the design space: a
-// selfish long-running contender splits each of its flows into k parallel
-// sub-flows (same bytes) and we measure the honest victim coflow's CCT.
+// Sec. III-B observes that flow-level fair sharing is gameable ("under
+// TCP, a tenant could take an arbitrarily high share of network bandwidth
+// by initiating more flows") and motivates NC-DRF's split-invariant
+// correlation estimator. Each cell here replays the same seeded workload
+// twice through run_on_sim: once all-honest (the baseline, shared across
+// strategies) and once with the attacker clients running a TenantStrategy
+// transformer (scenario/strategy.h). Reported per cell:
 //
-// Expected: per-flow fairness (TCP) and per-pair fairness reward splitting
-// (~linearly). Per-source fairness also fails here — the victim shares a
-// source machine with the attacker, so the attacker's sub-flows dilute the
-// victim *within* the source's aggregate (source-level fairness is not
-// tenant isolation). Coflow-aware policies (PS-P, NC-DRF, DRF) are
-// unmoved — NC-DRF because a uniform k-way split scales n_k^i and n̄_k
-// together, leaving ĉ_k intact.
+//   * attacker_gain    — mean over attackers of (honest-case mean CCT /
+//     strategic-case mean CCT) of the attacker's *honest* submissions
+//     (a derived coflow set completes when its last member does), so > 1
+//     means the manipulation paid off;
+//   * victim_slowdown  — same ratio inverted for the honest clients
+//     (> 1 means the attack hurt bystanders);
+//   * utilization, Jain short-term (per-coflow) and long-term
+//     (per-tenant) fairness, and log-welfare of the strategic run.
+//
+// Strategy-proof policies hold attacker_gain ~ 1. The karma policy is the
+// credit-based baseline the CI floor gates (tools/bench_gaming_report.py):
+// its flow-splitter gain must stay <= 1.05x, with NC-DRF's recorded
+// alongside for comparison.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "bench_util.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "scenario/eval.h"
+#include "scenario/spec.h"
 
 namespace {
 
-ncdrf::Trace make_trace(int split) {
-  using namespace ncdrf;
-  TraceBuilder builder(4);
-  builder.begin_coflow(0.0);  // honest victim: short 2-flow shuffle
-  builder.add_flow(0, 3, megabytes(50.0));
-  builder.add_flow(1, 3, megabytes(50.0));
-  builder.begin_coflow(0.0);  // selfish contender, 20x the volume
-  for (int s = 0; s < split; ++s) {
-    builder.add_flow(0, 3, megabytes(1000.0 / split));
-    builder.add_flow(2, 3, megabytes(1000.0 / split));
+using namespace ncdrf;
+
+struct BenchConfig {
+  std::vector<std::string> policies = {"tcp",   "perpair", "persource",
+                                       "psp",   "ncdrf",   "drf",
+                                       "karma"};
+  std::vector<std::string> strategies = {"flow-splitter", "demand-inflator",
+                                         "dust-padder", "on-off-hoarder"};
+  std::vector<double> fractions = {0.75};  // honest fraction of clients
+  int clients = 4;
+  int machines = 8;
+  double rate = 60.0;  // aggregate coflows/s
+  double duration_s = 2.0;
+  std::uint64_t seed = 7;
+  std::string json_path;
+};
+
+struct Row {
+  std::string policy;
+  std::string strategy;
+  double honest_fraction = 0.0;
+  int clients = 0;
+  int machines = 0;
+  int attackers = 0;
+  int coflows = 0;  // strategic run (transformed stream)
+  double utilization = 0.0;
+  double jain_coflow = 0.0;
+  double jain_tenant = 0.0;
+  double log_welfare = 0.0;
+  double attacker_gain = 0.0;
+  double victim_slowdown = 0.0;
+  double makespan_s = 0.0;
+};
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
   }
-  return builder.build();
+  return out;
+}
+
+std::vector<double> split_doubles(const std::string& value) {
+  std::vector<double> out;
+  for (const std::string& item : split_list(value)) {
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+scenario::ScenarioSpec base_spec(const BenchConfig& config,
+                                 const std::string& policy) {
+  scenario::ScenarioSpec spec;
+  spec.name = "gaming";
+  spec.policy = policy;
+  spec.link_gbps = 1.0;
+  spec.workload.seed = config.seed;
+  spec.workload.num_clients = config.clients;
+  spec.workload.num_machines = config.machines;
+  spec.workload.arrival_rate_per_s = config.rate;
+  spec.workload.duration_s = config.duration_s;
+  spec.workload.min_flows_per_coflow = 1;
+  spec.workload.max_flows_per_coflow = 4;
+  spec.workload.mean_flow_bits = 2e7;
+  spec.workload.mean_lifetime_s = 0.0;  // completion-driven retirement
+  return spec;
+}
+
+// Mean CCT of client `c`'s honest submissions in `run` (derived coflow
+// sets for strategic clients, identity for honest ones).
+double client_mean_cct(const scenario::ScenarioRun& run, int c) {
+  const auto client = static_cast<std::size_t>(c);
+  return scenario::mean_derived_cct(run.result, run.workload.honest[client],
+                                    run.workload.transformed.derived[client]);
+}
+
+Row run_cell(const BenchConfig& config, const std::string& policy,
+             const std::string& strategy, double fraction,
+             const scenario::ScenarioRun& honest_run) {
+  const int honest = static_cast<int>(
+      std::lround(fraction * static_cast<double>(config.clients)));
+  const int attackers = config.clients - honest;
+  NCDRF_CHECK(attackers >= 1 && attackers < config.clients,
+              "honest fraction must leave at least one attacker and one "
+              "honest client");
+
+  scenario::ScenarioSpec spec = base_spec(config, policy);
+  for (int a = 0; a < attackers; ++a) {
+    scenario::StrategySpec s;
+    s.kind = strategy;
+    s.seed = config.seed + static_cast<std::uint64_t>(a);
+    spec.strategies[a] = s;
+  }
+  const scenario::ScenarioRun run = scenario::run_on_sim(spec);
+
+  Row row;
+  row.policy = policy;
+  row.strategy = strategy;
+  row.honest_fraction = fraction;
+  row.clients = config.clients;
+  row.machines = config.machines;
+  row.attackers = attackers;
+  row.coflows = static_cast<int>(run.result.coflows.size());
+  const Fabric fabric = make_fabric(spec);
+  row.utilization = scenario::utilization(fabric, run.result);
+  row.jain_coflow = scenario::coflow_fairness(run.result);
+  const std::vector<scenario::TenantOutcome> tenants =
+      scenario::per_tenant(run.result, run.workload.tenant_of);
+  row.jain_tenant = scenario::tenant_fairness(tenants);
+  row.log_welfare = scenario::log_welfare(tenants);
+  row.makespan_s = run.result.makespan;
+
+  double gain = 0.0;
+  for (int a = 0; a < attackers; ++a) {
+    const double strategic = client_mean_cct(run, a);
+    NCDRF_CHECK(strategic > 0.0, "degenerate attacker CCT");
+    gain += client_mean_cct(honest_run, a) / strategic;
+  }
+  row.attacker_gain = gain / static_cast<double>(attackers);
+  double slowdown = 0.0;
+  for (int c = attackers; c < config.clients; ++c) {
+    const double baseline = client_mean_cct(honest_run, c);
+    NCDRF_CHECK(baseline > 0.0, "degenerate victim CCT");
+    slowdown += client_mean_cct(run, c) / baseline;
+  }
+  row.victim_slowdown = slowdown / static_cast<double>(honest);
+  return row;
+}
+
+void write_json(const std::vector<Row>& rows, std::ostream& out) {
+  out << "{\n  \"benchmark\": \"bench_gaming\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buffer[768];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"policy\": \"%s\", \"strategy\": \"%s\", "
+        "\"honest_fraction\": %g, \"clients\": %d, \"machines\": %d, "
+        "\"attackers\": %d, \"coflows\": %d, "
+        "\"utilization\": %.6f, \"jain_coflow\": %.6f, "
+        "\"jain_tenant\": %.6f, \"log_welfare\": %.6f, "
+        "\"attacker_gain\": %.6f, \"victim_slowdown\": %.6f, "
+        "\"makespan_s\": %.6f}%s\n",
+        r.policy.c_str(), r.strategy.c_str(), r.honest_fraction, r.clients,
+        r.machines, r.attackers, r.coflows, r.utilization, r.jain_coflow,
+        r.jain_tenant, r.log_welfare, r.attacker_gain, r.victim_slowdown,
+        r.makespan_s, i + 1 < rows.size() ? "," : "");
+    out << buffer;
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
 
-int main() {
-  using namespace ncdrf;
-  bench::print_header(
-      "Extension — flow-splitting attack (strategy-proofness)",
-      "TCP rewards splitting; NC-DRF's flow-count correlation is invariant");
-
-  const Fabric fabric(4, gbps(1.0));
-  std::cout << "victim: 100 MB, 2 flows into machine 3; contender: 2 GB\n"
-               "into the same machine, split k ways per flow\n\n";
-
-  AsciiTable table({"Policy", "k=1", "k=2", "k=4", "k=8", "k=16", "k=32",
-                    "gain k=32/k=1"});
-  for (const std::string name :
-       {"tcp", "perpair", "persource", "psp", "ncdrf", "drf"}) {
-    std::vector<std::string> row{make_scheduler(name)->name()};
-    double first = 0.0;
-    double last = 0.0;
-    for (const int split : {1, 2, 4, 8, 16, 32}) {
-      const Trace trace = make_trace(split);
-      const auto scheduler = make_scheduler(name);
-      const RunResult run = simulate(fabric, trace, *scheduler);
-      const double victim_cct = run.coflows[0].cct;
-      if (split == 1) first = victim_cct;
-      last = victim_cct;
-      row.push_back(AsciiTable::fmt(victim_cct, 2));
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--policies=", 0) == 0) {
+      config.policies = split_list(value("--policies="));
+    } else if (arg.rfind("--strategies=", 0) == 0) {
+      config.strategies = split_list(value("--strategies="));
+    } else if (arg.rfind("--fractions=", 0) == 0) {
+      config.fractions = split_doubles(value("--fractions="));
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      config.clients = std::stoi(value("--clients="));
+    } else if (arg.rfind("--machines=", 0) == 0) {
+      config.machines = std::stoi(value("--machines="));
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      config.rate = std::stod(value("--rate="));
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      config.duration_s = std::stod(value("--duration="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::stoull(value("--seed="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = value("--json=");
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: bench_gaming [--policies=a,b] "
+                   "[--strategies=s1,s2] [--fractions=F1,F2] "
+                   "[--clients=4] [--machines=12] [--rate=30] "
+                   "[--duration=2.0] [--seed=N] [--json=out.json]\n";
+      return 2;
     }
-    row.push_back(AsciiTable::fmt(last / first, 2) + "x");
-    table.add_row(std::move(row));
+  }
+  NCDRF_CHECK(!config.policies.empty() && !config.strategies.empty() &&
+                  !config.fractions.empty(),
+              "empty benchmark matrix");
+  NCDRF_CHECK(config.clients >= 2, "gaming needs at least two clients");
+
+  std::cout << "Extension — tenant gaming grid on the scenario spine\n"
+            << "workload: seed " << config.seed << ", " << config.clients
+            << " clients, " << config.machines << " machines, "
+            << config.rate << " coflows/s for " << config.duration_s
+            << " s\n\n";
+
+  std::vector<Row> rows;
+  AsciiTable table({"Policy", "Strategy", "honest", "gain", "victim",
+                    "Jain(tenant)"});
+  for (const std::string& policy : config.policies) {
+    // The all-honest baseline is strategy-independent: one run per policy.
+    const scenario::ScenarioRun honest_run =
+        scenario::run_on_sim(base_spec(config, policy));
+    for (const std::string& strategy : config.strategies) {
+      for (const double fraction : config.fractions) {
+        Row row = run_cell(config, policy, strategy, fraction, honest_run);
+        std::fprintf(stderr,
+                     "%-10s %-16s honest=%.2f gain=%.3f victim=%.3f\n",
+                     policy.c_str(), strategy.c_str(), fraction,
+                     row.attacker_gain, row.victim_slowdown);
+        table.add_row({row.policy, row.strategy,
+                       AsciiTable::fmt(row.honest_fraction, 2),
+                       AsciiTable::fmt(row.attacker_gain, 3) + "x",
+                       AsciiTable::fmt(row.victim_slowdown, 3) + "x",
+                       AsciiTable::fmt(row.jain_tenant, 3)});
+        rows.push_back(std::move(row));
+      }
+    }
   }
   std::cout << table.render();
-  std::cout << "\n(cells are the honest victim's CCT in seconds; a growing\n"
-               " row means the contender profits from splitting)\n";
+  std::cout << "\n(gain > 1: the attack paid off; victim > 1: honest\n"
+               " tenants were hurt; karma's flow-splitter gain is the CI\n"
+               " floor gate)\n";
+
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    NCDRF_CHECK(out.good(), "cannot open json output: " + config.json_path);
+    write_json(rows, out);
+  }
   return 0;
 }

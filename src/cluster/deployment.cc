@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "coflow/coflow.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "scenario/source.h"
 
 namespace ncdrf {
 namespace {
@@ -31,6 +34,7 @@ RegisterCoflowMsg make_registration(const Coflow& coflow, bool sizes_known,
   msg.coflow = coflow.id();
   msg.arrival_time = coflow.arrival_time();
   msg.weight = coflow.weight();
+  msg.tenant = coflow.tenant();
   msg.sizes_known = sizes_known;
   for (const Flow& f : coflow.flows()) {
     if (flow_done[static_cast<std::size_t>(f.id)]) {
@@ -45,11 +49,12 @@ RegisterCoflowMsg make_registration(const Coflow& coflow, bool sizes_known,
 
 }  // namespace
 
-DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
+DeploymentResult run_deployment(const Fabric& fabric,
+                                scenario::WorkloadSource& source,
                                 Scheduler& scheduler,
                                 const DeploymentOptions& options) {
-  NCDRF_CHECK(trace.num_machines == fabric.num_machines(),
-              "trace and fabric machine counts differ");
+  NCDRF_CHECK(source.num_machines() == fabric.num_machines(),
+              "workload and fabric machine counts differ");
   NCDRF_CHECK(options.tick_s > 0.0, "tick must be positive");
 
   SimBus bus(options.control_latency_s, options.control_loss_probability,
@@ -95,40 +100,19 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
 
   DeploymentResult result;
   FaultCounters& fc = result.fault_counters;
-  result.coflows.resize(trace.coflows.size());
-  std::vector<TruthCoflow> truth(trace.coflows.size());
-  for (std::size_t k = 0; k < trace.coflows.size(); ++k) {
-    const Coflow& coflow = trace.coflows[k];
-    truth[k].coflow = &coflow;
-    truth[k].unfinished = coflow.width();
-    CoflowRecord& rec = result.coflows[k];
-    rec.id = coflow.id();
-    rec.arrival = coflow.arrival_time();
-    rec.width = coflow.width();
-    rec.max_flow_bits = coflow.max_flow_bits();
-    rec.total_bits = coflow.total_bits();
-    const DemandVectors d = coflow.demand(fabric);
-    truth[k].correlation = d.correlation();
-    for (LinkId i = 0; i < fabric.num_links(); ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      rec.min_cct =
-          std::max(rec.min_cct, d.demand[idx] / fabric.capacity(i));
-    }
-  }
+  // Ground truth grows as the source streams arrivals in. The deque owns
+  // every arrived coflow at a stable address (TruthCoflow keeps pointers
+  // into it); truth/result.coflows are indexed by the dense coflow ids
+  // the WorkloadSource contract guarantees.
+  std::deque<Coflow> arrived_coflows;
+  std::vector<TruthCoflow> truth;
 
   // Flow lookup plus per-flow ground truth (survives slave crashes — the
-  // stand-in for the data actually moved on the wire).
-  std::vector<const Flow*> flow_by_id(
-      static_cast<std::size_t>(trace.total_flows), nullptr);
-  std::vector<double> truth_remaining(flow_by_id.size(), 0.0);
-  std::vector<double> truth_attained(flow_by_id.size(), 0.0);
-  std::vector<char> flow_done(flow_by_id.size(), 0);
-  for (const Coflow& coflow : trace.coflows) {
-    for (const Flow& f : coflow.flows()) {
-      flow_by_id[static_cast<std::size_t>(f.id)] = &f;
-      truth_remaining[static_cast<std::size_t>(f.id)] = f.size_bits;
-    }
-  }
+  // stand-in for the data actually moved on the wire); grown on arrival.
+  std::vector<const Flow*> flow_by_id;
+  std::vector<double> truth_remaining;
+  std::vector<double> truth_attained;
+  std::vector<char> flow_done;
 
   FaultPlan faults = options.faults;  // consumable copy
   const double base_loss = options.control_loss_probability;
@@ -248,13 +232,68 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     }
   };
 
-  std::size_t next_arrival = 0;
-  int coflows_remaining = static_cast<int>(trace.coflows.size());
+  int coflows_remaining = 0;
+
+  // Admits one pulled submission: grows ground truth and the result
+  // records, registers with the master (when up), and hands flows to the
+  // live slaves.
+  const auto admit_coflow = [&](Coflow&& pulled, double at) {
+    arrived_coflows.push_back(std::move(pulled));
+    const Coflow& coflow = arrived_coflows.back();
+    NCDRF_CHECK(coflow.id() == static_cast<CoflowId>(truth.size()),
+                "workload source must stream dense coflow ids");
+    truth.emplace_back();
+    TruthCoflow& t = truth.back();
+    t.coflow = &coflow;
+    t.unfinished = coflow.width();
+    t.arrived = true;
+    result.coflows.emplace_back();
+    CoflowRecord& rec = result.coflows.back();
+    rec.id = coflow.id();
+    rec.arrival = coflow.arrival_time();
+    rec.width = coflow.width();
+    rec.max_flow_bits = coflow.max_flow_bits();
+    rec.total_bits = coflow.total_bits();
+    const DemandVectors d = coflow.demand(fabric);
+    t.correlation = d.correlation();
+    for (LinkId i = 0; i < fabric.num_links(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      rec.min_cct = std::max(rec.min_cct, d.demand[idx] / fabric.capacity(i));
+    }
+    for (const Flow& f : coflow.flows()) {
+      NCDRF_CHECK(f.src >= 0 && f.src < fabric.num_machines() && f.dst >= 0 &&
+                      f.dst < fabric.num_machines(),
+                  "flow endpoints out of range for the fabric");
+      const auto idx = static_cast<std::size_t>(f.id);
+      if (idx >= flow_by_id.size()) {
+        flow_by_id.resize(idx + 1, nullptr);
+        truth_remaining.resize(idx + 1, 0.0);
+        truth_attained.resize(idx + 1, 0.0);
+        flow_done.resize(idx + 1, 0);
+      }
+      flow_by_id[idx] = &f;
+      truth_remaining[idx] = f.size_bits;
+    }
+    ++coflows_remaining;
+    if (master_up) {
+      bus.send(at, master_address(),
+               make_registration(coflow, scheduler.clairvoyant(), flow_done));
+    }
+    // Slaves start tracking their local flows immediately (the daemon
+    // sits next to the application), but send nothing until rated. A
+    // crashed slave picks its flows up from ground truth on restart.
+    for (const Flow& f : coflow.flows()) {
+      if (slave_up[static_cast<std::size_t>(f.src)]) {
+        slaves[static_cast<std::size_t>(f.src)].add_flow(f);
+      }
+    }
+  };
+
   double now = 0.0;
   double next_progress_sample = 0.0;
   double next_refresh = 0.0;
 
-  while (coflows_remaining > 0) {
+  while (coflows_remaining > 0 || source.peek() != nullptr) {
     NCDRF_CHECK(now <= options.max_time_s,
                 "deployment time limit exceeded under " + scheduler.name());
 
@@ -262,27 +301,16 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     // anything else happens in tick t.
     for (const FaultEvent& e : faults.due(now)) apply_fault(e, now);
 
-    // 1. Register due coflows (client → master over the bus). While the
-    // master is down the client's RPC fails; the master-restart handler
-    // re-registers every arrived coflow, covering the gap.
-    while (next_arrival < trace.coflows.size() &&
-           trace.coflows[next_arrival].arrival_time() <= now + 1e-12) {
-      const Coflow& coflow = trace.coflows[next_arrival];
-      truth[static_cast<std::size_t>(coflow.id())].arrived = true;
-      if (master_up) {
-        bus.send(now, master_address(),
-                 make_registration(coflow, scheduler.clairvoyant(),
-                                   flow_done));
-      }
-      // Slaves start tracking their local flows immediately (the daemon
-      // sits next to the application), but send nothing until rated. A
-      // crashed slave picks its flows up from ground truth on restart.
-      for (const Flow& f : coflow.flows()) {
-        if (slave_up[static_cast<std::size_t>(f.src)]) {
-          slaves[static_cast<std::size_t>(f.src)].add_flow(f);
-        }
-      }
-      ++next_arrival;
+    // 1. Pull due submissions off the workload source and register them
+    // (client → master over the bus). While the master is down the
+    // client's RPC fails; the master-restart handler re-registers every
+    // arrived coflow, covering the gap.
+    while (const serve::Submission* due = source.peek()) {
+      if (due->submit_time > now + 1e-12) break;
+      serve::Submission sub = source.next();
+      admit_coflow(Coflow(sub.coflow, sub.submit_time, std::move(sub.flows),
+                          sub.weight, sub.client),
+                   now);
     }
 
     // 2. Deliver due control messages, dropping any whose endpoint is
@@ -497,6 +525,15 @@ DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
     fc.flows_quarantined += master->flows_quarantined();
   }
   return result;
+}
+
+DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
+                                Scheduler& scheduler,
+                                const DeploymentOptions& options) {
+  NCDRF_CHECK(trace.num_machines == fabric.num_machines(),
+              "trace and fabric machine counts differ");
+  scenario::TraceSource source(&trace);
+  return run_deployment(fabric, source, scheduler, options);
 }
 
 }  // namespace ncdrf

@@ -25,6 +25,10 @@
 
 namespace ncdrf {
 
+namespace scenario {
+class WorkloadSource;
+}  // namespace scenario
+
 // How Fig. 8-style progress samples normalize the per-link allocation
 // (Eq. 1's correlation vector):
 //   kOriginalDemand  — the coflow's static correlation from full demand,
@@ -95,9 +99,18 @@ struct DeploymentResult {
   std::vector<double> recovery_latencies_s;
 };
 
-// Runs `trace` on an emulated cluster of fabric.num_machines() machines
-// under `scheduler`. Sizes are registered with the master only when the
-// scheduler is clairvoyant.
+// Runs `source` on an emulated cluster of fabric.num_machines() machines
+// under `scheduler` — the scenario-spine entry point. Submissions are
+// pulled as simulated time reaches them (client → tenant attribution);
+// sizes are registered with the master only when the scheduler is
+// clairvoyant. The source must stream dense coflow/flow ids (the
+// WorkloadSource contract).
+DeploymentResult run_deployment(const Fabric& fabric,
+                                scenario::WorkloadSource& source,
+                                Scheduler& scheduler,
+                                const DeploymentOptions& options = {});
+
+// Trace convenience wrapper: adapts the trace through the spine.
 DeploymentResult run_deployment(const Fabric& fabric, const Trace& trace,
                                 Scheduler& scheduler,
                                 const DeploymentOptions& options = {});

@@ -33,6 +33,7 @@ void Master::on_register(const RegisterCoflowMsg& msg) {
   state.id = msg.coflow;
   state.arrival_time = msg.arrival_time;
   state.weight = msg.weight;
+  state.tenant = msg.tenant;
   state.sizes_known = msg.sizes_known;
   for (const Flow& f : msg.flows) {
     NCDRF_CHECK(!flow_states_.contains(f.id), "duplicate flow registration");
@@ -169,6 +170,7 @@ ScheduleInput Master::build_view(double now) const {
     ActiveCoflow view;
     view.id = coflow.id;
     view.arrival_time = coflow.arrival_time;
+    view.tenant = coflow.tenant;
     view.weight = coflow.weight;
     double attained = 0.0;
     for (const FlowId f : coflow.flows) {

@@ -109,6 +109,7 @@ class Master {
     CoflowId id = -1;
     double arrival_time = 0.0;
     double weight = 1.0;
+    int tenant = -1;
     bool sizes_known = false;
     std::vector<FlowId> flows;
   };

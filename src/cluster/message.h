@@ -22,7 +22,8 @@ namespace ncdrf {
 struct RegisterCoflowMsg {
   CoflowId coflow = -1;
   double arrival_time = 0.0;
-  double weight = 1.0;  // tenant share weight
+  double weight = 1.0;      // tenant share weight
+  int tenant = -1;          // submitting client (-1 = unattributed)
   std::vector<Flow> flows;  // size_bits zeroed unless sizes_known
   bool sizes_known = false;
   // Re-registration after a master restart: flows already delivered in

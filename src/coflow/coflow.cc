@@ -83,11 +83,12 @@ double coflow_progress(const DemandVectors& demand,
 }
 
 Coflow::Coflow(CoflowId id, double arrival_time_s, std::vector<Flow> flows,
-               double weight)
+               double weight, int tenant)
     : id_(id),
       arrival_time_(arrival_time_s),
       flows_(std::move(flows)),
-      weight_(weight) {
+      weight_(weight),
+      tenant_(tenant) {
   NCDRF_CHECK(id >= 0, "coflow id must be non-negative");
   NCDRF_CHECK(arrival_time_s >= 0.0, "arrival time must be non-negative");
   NCDRF_CHECK(weight > 0.0, "coflow weight must be positive");

@@ -66,7 +66,7 @@ class Coflow {
   // would be validated at use (the coflow itself is fabric-agnostic);
   // non-negative sizes; all flows carry this coflow's id; positive weight.
   Coflow(CoflowId id, double arrival_time_s, std::vector<Flow> flows,
-         double weight = 1.0);
+         double weight = 1.0, int tenant = -1);
 
   CoflowId id() const { return id_; }
   double arrival_time() const { return arrival_time_; }
@@ -75,6 +75,11 @@ class Coflow {
   // Relative share weight (tenant priority) honoured by the fair policies
   // (NC-DRF, DRF); 1.0 = equal share.
   double weight() const { return weight_; }
+
+  // Submitting tenant/client, or -1 when the workload carries no
+  // attribution (traditional traces). Tenant-aware policies (karma) and
+  // the scenario spine's strategy evaluation key on this.
+  int tenant() const { return tenant_; }
 
   int width() const { return static_cast<int>(flows_.size()); }
 
@@ -92,6 +97,7 @@ class Coflow {
   double arrival_time_;
   std::vector<Flow> flows_;
   double weight_ = 1.0;
+  int tenant_ = -1;
   double max_flow_bits_ = 0.0;
   double total_bits_ = 0.0;
 };

@@ -8,6 +8,7 @@
 #include "sched/endpoint_fair.h"
 #include "sched/fifo.h"
 #include "sched/hug.h"
+#include "sched/karma.h"
 #include "sched/perflow.h"
 #include "sched/psp.h"
 #include "sched/varys.h"
@@ -76,6 +77,10 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
   if (name == "baraat") {
     return std::make_unique<BaraatScheduler>(BaraatOptions{}, options);
   }
+  if (name == "karma") {
+    serial_only("karma");
+    return std::make_unique<KarmaScheduler>();
+  }
   if (name == "persource") {
     return std::make_unique<EndpointFairScheduler>(FairnessEntity::kSource,
                                                    options);
@@ -89,9 +94,9 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
 }
 
 std::vector<std::string> scheduler_names() {
-  return {"tcp",   "persource",  "perpair",       "psp",  "psp-live",
-          "ncdrf", "ncdrf-live", "ncdrf-scratch", "drf",  "hug",
-          "aalo",  "varys",      "baraat",        "fifo"};
+  return {"tcp",   "persource",  "perpair",       "psp",   "psp-live",
+          "ncdrf", "ncdrf-live", "ncdrf-scratch", "drf",   "hug",
+          "aalo",  "varys",      "baraat",        "fifo",  "karma"};
 }
 
 }  // namespace ncdrf

@@ -731,4 +731,57 @@ std::string parse_timeseries_line(const std::string& line, SnapshotRow* out) {
   return "";
 }
 
+std::string validate_gaming_json(const std::string& text) {
+  Parser parser(text);
+  const JsonValue root = parser.parse();
+  if (!parser.error().empty()) return parser.error();
+  if (!root.is_object()) return "top level is not an object";
+  const JsonObject& top = root.object();
+  const JsonValue* benchmark = find(top, "benchmark");
+  if (benchmark == nullptr || !benchmark->is_string() ||
+      benchmark->string() != "bench_gaming") {
+    return "missing \"benchmark\": \"bench_gaming\" tag";
+  }
+  const JsonValue* rows = find(top, "rows");
+  if (rows == nullptr || !rows->is_array()) return "missing \"rows\" array";
+  for (std::size_t i = 0; i < rows->array().size(); ++i) {
+    std::ostringstream where_s;
+    where_s << "rows[" << i << ']';
+    const std::string where = where_s.str();
+    const JsonValue& value = rows->array()[i];
+    if (!value.is_object()) return where + ": not an object";
+    const JsonObject& row = value.object();
+    for (const char* key : {"policy", "strategy"}) {
+      const JsonValue* field = find(row, key);
+      if (field == nullptr || !field->is_string()) {
+        return where + ": \"" + key + "\" not a string";
+      }
+    }
+    for (const char* key :
+         {"honest_fraction", "clients", "machines", "attackers", "coflows",
+          "utilization", "jain_coflow", "jain_tenant", "log_welfare",
+          "attacker_gain", "victim_slowdown", "makespan_s"}) {
+      if (std::string err = require_number(row, key, where); !err.empty()) {
+        return err;
+      }
+    }
+    const double fraction = find(row, "honest_fraction")->number();
+    if (fraction <= 0.0 || fraction >= 1.0) {
+      return where + ": honest_fraction outside (0, 1)";
+    }
+    for (const char* key : {"attacker_gain", "victim_slowdown"}) {
+      if (find(row, key)->number() <= 0.0) {
+        return where + ": \"" + std::string(key) + "\" not positive";
+      }
+    }
+    for (const char* key : {"jain_coflow", "jain_tenant", "utilization"}) {
+      const double v = find(row, key)->number();
+      if (v < 0.0 || v > 1.0 + 1e-9) {
+        return where + ": \"" + std::string(key) + "\" outside [0, 1]";
+      }
+    }
+  }
+  return "";
+}
+
 }  // namespace ncdrf::obs

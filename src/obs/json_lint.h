@@ -55,6 +55,11 @@ std::string validate_timeseries_ndjson(const std::string& text);
 // FlightRecorder diagnostics bundle (obs/flight.h).
 std::string validate_flight_bundle_json(const std::string& text);
 
+// bench_gaming --json report (bench/bench_gaming.cc): benchmark tag plus
+// a rows array whose cells carry the full incentive-metric schema
+// tools/bench_gaming_report.py gates on.
+std::string validate_gaming_json(const std::string& text);
+
 // --- Parsed snapshot view (tools/obs_top) --------------------------------
 // One timeseries NDJSON line decoded into flat name/value rows, in the
 // line's (name-sorted) order. Numbers only — obs_top renders, it doesn't

@@ -1,0 +1,108 @@
+#include "scenario/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+
+#include "common/check.h"
+
+namespace ncdrf::scenario {
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    NCDRF_CHECK(x >= 0.0, "jain index needs non-negative values");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+std::vector<TenantOutcome> per_tenant(const RunResult& result,
+                                      const std::vector<int>& tenant_of) {
+  std::map<int, TenantOutcome> by_tenant;
+  for (const CoflowRecord& rec : result.coflows) {
+    NCDRF_CHECK(rec.id >= 0 && static_cast<std::size_t>(rec.id) <
+                                   tenant_of.size(),
+                "coflow id outside the tenant map");
+    TenantOutcome& t = by_tenant[tenant_of[static_cast<std::size_t>(rec.id)]];
+    t.tenant = tenant_of[static_cast<std::size_t>(rec.id)];
+    ++t.coflows;
+    t.total_bits += rec.total_bits;
+    t.mean_cct += rec.cct;
+    t.mean_slowdown += rec.min_cct > 0.0 ? rec.cct / rec.min_cct : 1.0;
+  }
+  std::vector<TenantOutcome> out;
+  out.reserve(by_tenant.size());
+  for (auto& [tenant, t] : by_tenant) {
+    (void)tenant;
+    t.mean_cct /= static_cast<double>(t.coflows);
+    t.mean_slowdown /= static_cast<double>(t.coflows);
+    out.push_back(t);
+  }
+  return out;
+}
+
+double utilization(const Fabric& fabric, const RunResult& result) {
+  if (result.makespan <= 0.0) return 0.0;
+  double egress = 0.0;
+  for (MachineId m = 0; m < fabric.num_machines(); ++m) {
+    egress += fabric.capacity(fabric.uplink(m));
+  }
+  return result.total_bits_delivered / (egress * result.makespan);
+}
+
+double coflow_fairness(const RunResult& result) {
+  std::vector<double> inv;
+  inv.reserve(result.coflows.size());
+  for (const CoflowRecord& rec : result.coflows) {
+    const double slowdown = rec.min_cct > 0.0 ? rec.cct / rec.min_cct : 1.0;
+    inv.push_back(slowdown > 0.0 ? 1.0 / slowdown : 0.0);
+  }
+  return jain_index(inv);
+}
+
+double tenant_fairness(const std::vector<TenantOutcome>& tenants) {
+  std::vector<double> inv;
+  inv.reserve(tenants.size());
+  for (const TenantOutcome& t : tenants) {
+    inv.push_back(t.mean_slowdown > 0.0 ? 1.0 / t.mean_slowdown : 0.0);
+  }
+  return jain_index(inv);
+}
+
+double log_welfare(const std::vector<TenantOutcome>& tenants) {
+  double welfare = 0.0;
+  for (const TenantOutcome& t : tenants) {
+    NCDRF_CHECK(t.mean_slowdown > 0.0, "welfare needs positive slowdowns");
+    welfare -= std::log(t.mean_slowdown);
+  }
+  return welfare;
+}
+
+double mean_derived_cct(const RunResult& result,
+                        const std::vector<serve::Submission>& honest_sched,
+                        const std::vector<std::vector<CoflowId>>& derived) {
+  NCDRF_CHECK(derived.size() == honest_sched.size(),
+              "one derived-coflow list per honest submission");
+  if (honest_sched.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < honest_sched.size(); ++i) {
+    NCDRF_CHECK(!derived[i].empty(), "honest submission with no derived ids");
+    double completion = 0.0;
+    for (const CoflowId id : derived[i]) {
+      NCDRF_CHECK(id >= 0 && static_cast<std::size_t>(id) <
+                                 result.coflows.size(),
+                  "derived coflow id outside the run");
+      completion = std::max(
+          completion, result.coflows[static_cast<std::size_t>(id)].completion);
+    }
+    sum += completion - honest_sched[i].submit_time;
+  }
+  return sum / static_cast<double>(honest_sched.size());
+}
+
+}  // namespace ncdrf::scenario

@@ -1,0 +1,65 @@
+// Scenario evaluation: the fairness / efficiency / incentive metrics the
+// gaming bench and the scenario tests read off a run.
+//
+// Conventions:
+//   * slowdown of a coflow = cct / min_cct (>= 1 for a correct run; the
+//     paper's shuffle-slowdown denominator);
+//   * short-term fairness = Jain's index over per-coflow inverse
+//     slowdowns, long-term fairness = Jain over per-tenant inverse mean
+//     slowdowns (a policy can be per-coflow fair yet starve a tenant, and
+//     vice versa);
+//   * welfare = Σ_t log(1 / mean slowdown_t) — the proportional-fairness
+//     objective over tenants (0 when every tenant runs interference-free,
+//     more negative as tenants are slowed);
+//   * strategy gain = (attacker's mean honest-submission CCT when honest)
+//     / (same, when strategic). > 1 means the manipulation paid off.
+#pragma once
+
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "serve/submission_queue.h"
+#include "sim/sim.h"
+
+namespace ncdrf::scenario {
+
+// Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1]; 1 = all equal.
+// Requires non-negative values; returns 1.0 for empty or all-zero input.
+double jain_index(const std::vector<double>& xs);
+
+struct TenantOutcome {
+  int tenant = -1;
+  int coflows = 0;
+  double total_bits = 0.0;
+  double mean_cct = 0.0;
+  double mean_slowdown = 0.0;
+};
+
+// Per-tenant aggregation of a run's coflow records. `tenant_of` is
+// indexed by coflow id; tenants come back sorted ascending.
+std::vector<TenantOutcome> per_tenant(const RunResult& result,
+                                      const std::vector<int>& tenant_of);
+
+// Delivered bits over the fabric's aggregate egress capacity × makespan,
+// in [0, 1]. Zero-makespan runs report 0.
+double utilization(const Fabric& fabric, const RunResult& result);
+
+// Jain over per-coflow inverse slowdowns (short-term fairness).
+double coflow_fairness(const RunResult& result);
+
+// Jain over per-tenant inverse mean slowdowns (long-term fairness).
+double tenant_fairness(const std::vector<TenantOutcome>& tenants);
+
+// Σ_t log(1 / mean slowdown_t), the proportional-fairness welfare.
+double log_welfare(const std::vector<TenantOutcome>& tenants);
+
+// Mean CCT of one client's *honest* submissions under a (possibly
+// transformed) run: honest submission i completes when the last of its
+// derived coflows does; its CCT is that completion minus the honest
+// submit time. `derived[i]` holds submission i's derived coflow ids in
+// the run's id space (identity for an honest run).
+double mean_derived_cct(const RunResult& result,
+                        const std::vector<serve::Submission>& honest_sched,
+                        const std::vector<std::vector<CoflowId>>& derived);
+
+}  // namespace ncdrf::scenario

@@ -1,0 +1,633 @@
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/message.h"
+#include "common/check.h"
+#include "core/registry.h"
+#include "fabric/fabric.h"
+#include "scenario/source.h"
+#include "serve/server.h"
+
+namespace ncdrf::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer. Doubles print with %.17g so every value round-trips exactly;
+// the reader below parses the same grammar, which is what makes
+// parse_scenario(to_json(spec)) an identity.
+// ---------------------------------------------------------------------------
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, const std::string& value,
+                  bool quoted) {
+  if (out.back() != '{' && out.back() != '[') out += ',';
+  append_quoted(out, key);
+  out += ':';
+  if (quoted) {
+    append_quoted(out, value);
+  } else {
+    out += value;
+  }
+}
+
+void append_workload(std::string& out, const serve::LoadGenOptions& w) {
+  out += '{';
+  append_field(out, "seed", std::to_string(w.seed), false);
+  append_field(out, "num_clients", std::to_string(w.num_clients), false);
+  append_field(out, "num_machines", std::to_string(w.num_machines), false);
+  append_field(out, "arrival_rate_per_s", fmt(w.arrival_rate_per_s), false);
+  append_field(out, "duration_s", fmt(w.duration_s), false);
+  append_field(out, "min_flows_per_coflow",
+               std::to_string(w.min_flows_per_coflow), false);
+  append_field(out, "max_flows_per_coflow",
+               std::to_string(w.max_flows_per_coflow), false);
+  append_field(out, "mean_flow_bits", fmt(w.mean_flow_bits), false);
+  append_field(out, "flow_size_sigma", fmt(w.flow_size_sigma), false);
+  append_field(out, "burst_factor", fmt(w.burst_factor), false);
+  append_field(out, "burst_duty", fmt(w.burst_duty), false);
+  append_field(out, "burst_period_s", fmt(w.burst_period_s), false);
+  append_field(out, "mean_lifetime_s", fmt(w.mean_lifetime_s), false);
+  append_field(out, "sizes_known", w.sizes_known ? "true" : "false", false);
+  append_field(out, "weight", fmt(w.weight), false);
+  out += '}';
+}
+
+void append_strategy(std::string& out, const StrategySpec& s) {
+  out += '{';
+  append_field(out, "kind", s.kind, true);
+  append_field(out, "k", std::to_string(s.k), false);
+  append_field(out, "factor", std::to_string(s.factor), false);
+  append_field(out, "pad", std::to_string(s.pad), false);
+  append_field(out, "dust_bits", fmt(s.dust_bits), false);
+  append_field(out, "period_s", fmt(s.period_s), false);
+  append_field(out, "duty", fmt(s.duty), false);
+  append_field(out, "seed", std::to_string(s.seed), false);
+  out += '}';
+}
+
+void append_fault(std::string& out, const FaultEvent& e) {
+  out += '{';
+  append_field(out, "time", fmt(e.time), false);
+  append_field(out, "kind", fault_kind_name(e.kind), true);
+  append_field(out, "machine", std::to_string(e.machine), false);
+  append_field(out, "loss_probability", fmt(e.loss_probability), false);
+  out += '}';
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader: a strict recursive-descent parser over the spec schema.
+// Unknown keys are errors — a typo in a checked-in spec should fail loudly,
+// not silently fall back to a default.
+// ---------------------------------------------------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  char peek() {
+    skip_ws();
+    NCDRF_CHECK(pos_ < text_.size(), "scenario json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    NCDRF_CHECK(peek() == c,
+                std::string("scenario json: expected '") + c + "' near offset " +
+                    std::to_string(pos_));
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      NCDRF_CHECK(pos_ < text_.size(), "scenario json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        NCDRF_CHECK(pos_ < text_.size(), "scenario json: dangling escape");
+        out += text_[pos_++];
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  double parse_double() { return std::strtod(number_token().c_str(), nullptr); }
+
+  long long parse_int() {
+    return std::strtoll(number_token().c_str(), nullptr, 10);
+  }
+
+  std::uint64_t parse_u64() {
+    return std::strtoull(number_token().c_str(), nullptr, 10);
+  }
+
+  bool parse_bool() {
+    if (peek() == 't') {
+      literal("true");
+      return true;
+    }
+    literal("false");
+    return false;
+  }
+
+  // Parses `{"k1": <v>, ...}` calling on_key for each member with the
+  // reader positioned at the value.
+  void parse_object(const std::function<void(const std::string&)>& on_key) {
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      on_key(key);
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(const std::function<void()>& on_element) {
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      on_element();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  void finish() {
+    skip_ws();
+    NCDRF_CHECK(pos_ == text_.size(),
+                "scenario json: trailing characters after the document");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p != '\0'; ++p) {
+      NCDRF_CHECK(pos_ < text_.size() && text_[pos_] == *p,
+                  std::string("scenario json: expected literal ") + word);
+      ++pos_;
+    }
+  }
+
+  std::string number_token() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    NCDRF_CHECK(pos_ > start, "scenario json: expected a number near offset " +
+                                  std::to_string(start));
+    return text_.substr(start, pos_ - start);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+serve::LoadGenOptions parse_workload(JsonReader& r) {
+  serve::LoadGenOptions w;
+  r.parse_object([&](const std::string& key) {
+    if (key == "seed") {
+      w.seed = r.parse_u64();
+    } else if (key == "num_clients") {
+      w.num_clients = static_cast<int>(r.parse_int());
+    } else if (key == "num_machines") {
+      w.num_machines = static_cast<int>(r.parse_int());
+    } else if (key == "arrival_rate_per_s") {
+      w.arrival_rate_per_s = r.parse_double();
+    } else if (key == "duration_s") {
+      w.duration_s = r.parse_double();
+    } else if (key == "min_flows_per_coflow") {
+      w.min_flows_per_coflow = static_cast<int>(r.parse_int());
+    } else if (key == "max_flows_per_coflow") {
+      w.max_flows_per_coflow = static_cast<int>(r.parse_int());
+    } else if (key == "mean_flow_bits") {
+      w.mean_flow_bits = r.parse_double();
+    } else if (key == "flow_size_sigma") {
+      w.flow_size_sigma = r.parse_double();
+    } else if (key == "burst_factor") {
+      w.burst_factor = r.parse_double();
+    } else if (key == "burst_duty") {
+      w.burst_duty = r.parse_double();
+    } else if (key == "burst_period_s") {
+      w.burst_period_s = r.parse_double();
+    } else if (key == "mean_lifetime_s") {
+      w.mean_lifetime_s = r.parse_double();
+    } else if (key == "sizes_known") {
+      w.sizes_known = r.parse_bool();
+    } else if (key == "weight") {
+      w.weight = r.parse_double();
+    } else {
+      NCDRF_CHECK(false, "scenario json: unknown workload key: " + key);
+    }
+  });
+  return w;
+}
+
+StrategySpec parse_strategy(JsonReader& r) {
+  StrategySpec s;
+  r.parse_object([&](const std::string& key) {
+    if (key == "kind") {
+      s.kind = r.parse_string();
+    } else if (key == "k") {
+      s.k = static_cast<int>(r.parse_int());
+    } else if (key == "factor") {
+      s.factor = static_cast<int>(r.parse_int());
+    } else if (key == "pad") {
+      s.pad = static_cast<int>(r.parse_int());
+    } else if (key == "dust_bits") {
+      s.dust_bits = r.parse_double();
+    } else if (key == "period_s") {
+      s.period_s = r.parse_double();
+    } else if (key == "duty") {
+      s.duty = r.parse_double();
+    } else if (key == "seed") {
+      s.seed = r.parse_u64();
+    } else {
+      NCDRF_CHECK(false, "scenario json: unknown strategy key: " + key);
+    }
+  });
+  return s;
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  static constexpr FaultKind kKinds[] = {
+      FaultKind::kSlaveCrash,     FaultKind::kSlaveRestart,
+      FaultKind::kMasterCrash,    FaultKind::kMasterRestart,
+      FaultKind::kPartitionStart, FaultKind::kPartitionHeal,
+      FaultKind::kLossBurstStart, FaultKind::kLossBurstEnd,
+  };
+  for (const FaultKind kind : kKinds) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  NCDRF_CHECK(false, "scenario json: unknown fault kind: " + name);
+  return FaultKind::kSlaveCrash;
+}
+
+FaultEvent parse_fault(JsonReader& r) {
+  FaultEvent e;
+  r.parse_object([&](const std::string& key) {
+    if (key == "time") {
+      e.time = r.parse_double();
+    } else if (key == "kind") {
+      e.kind = parse_fault_kind(r.parse_string());
+    } else if (key == "machine") {
+      e.machine = static_cast<MachineId>(r.parse_int());
+    } else if (key == "loss_probability") {
+      e.loss_probability = r.parse_double();
+    } else {
+      NCDRF_CHECK(false, "scenario json: unknown fault key: " + key);
+    }
+  });
+  return e;
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioSpec& spec) {
+  std::string out = "{";
+  append_field(out, "name", spec.name, true);
+  append_field(out, "policy", spec.policy, true);
+  append_field(out, "link_gbps", fmt(spec.link_gbps), false);
+  append_field(out, "workload", "", false);  // empty value: writer continues
+  append_workload(out, spec.workload);
+  append_field(out, "strategies", "", false);
+  out += '{';
+  for (const auto& [client, strategy] : spec.strategies) {
+    append_field(out, std::to_string(client).c_str(), "", false);
+    append_strategy(out, strategy);
+  }
+  out += '}';
+  append_field(out, "faults", "", false);
+  out += '[';
+  for (std::size_t i = 0; i < spec.faults.events().size(); ++i) {
+    if (i > 0) out += ',';
+    append_fault(out, spec.faults.events()[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+ScenarioSpec parse_scenario(const std::string& json) {
+  ScenarioSpec spec;
+  JsonReader r(json);
+  r.parse_object([&](const std::string& key) {
+    if (key == "name") {
+      spec.name = r.parse_string();
+    } else if (key == "policy") {
+      spec.policy = r.parse_string();
+    } else if (key == "link_gbps") {
+      spec.link_gbps = r.parse_double();
+    } else if (key == "workload") {
+      spec.workload = parse_workload(r);
+    } else if (key == "strategies") {
+      r.parse_object([&](const std::string& client) {
+        spec.strategies[static_cast<int>(
+            std::strtoll(client.c_str(), nullptr, 10))] = parse_strategy(r);
+      });
+    } else if (key == "faults") {
+      r.parse_array([&] { spec.faults.add(parse_fault(r)); });
+    } else {
+      NCDRF_CHECK(false, "scenario json: unknown spec key: " + key);
+    }
+  });
+  r.finish();
+  return spec;
+}
+
+Fabric make_fabric(const ScenarioSpec& spec) {
+  NCDRF_CHECK(spec.link_gbps > 0.0, "scenario needs a positive link rate");
+  return Fabric(spec.workload.num_machines, spec.link_gbps * 1e9);
+}
+
+ScenarioWorkload build_workload(const ScenarioSpec& spec) {
+  ScenarioWorkload workload;
+  workload.honest = serve::LoadGenerator(spec.workload).generate();
+  std::vector<std::unique_ptr<TenantStrategy>> owned(workload.honest.size());
+  std::vector<TenantStrategy*> strategies(workload.honest.size(), nullptr);
+  for (const auto& [client, strategy_spec] : spec.strategies) {
+    NCDRF_CHECK(client >= 0 &&
+                    static_cast<std::size_t>(client) < workload.honest.size(),
+                "scenario strategy for a client outside the workload");
+    if (strategy_spec.kind == "honest") continue;  // null slot = pass-through
+    owned[static_cast<std::size_t>(client)] = make_strategy(strategy_spec);
+    strategies[static_cast<std::size_t>(client)] =
+        owned[static_cast<std::size_t>(client)].get();
+  }
+  workload.transformed = apply_strategies(workload.honest, strategies,
+                                          spec.workload.num_machines);
+  std::size_t total = 0;
+  for (const auto& schedule : workload.transformed.per_client) {
+    total += schedule.size();
+  }
+  workload.tenant_of.assign(total, -1);
+  for (const auto& schedule : workload.transformed.per_client) {
+    for (const serve::Submission& s : schedule) {
+      workload.tenant_of[static_cast<std::size_t>(s.coflow)] = s.client;
+    }
+  }
+  return workload;
+}
+
+ScenarioRun run_on_sim(const ScenarioSpec& spec) {
+  ScenarioRun run;
+  run.workload = build_workload(spec);
+  const Fabric fabric = make_fabric(spec);
+  const std::unique_ptr<Scheduler> scheduler = make_scheduler(spec.policy);
+  VectorSource source(run.workload.transformed.per_client,
+                      spec.workload.num_machines);
+  run.result = simulate(fabric, source, *scheduler);
+  return run;
+}
+
+DeploymentResult run_on_deployment(const ScenarioSpec& spec,
+                                   const DeploymentOptions& options) {
+  ScenarioWorkload workload = build_workload(spec);
+  const Fabric fabric = make_fabric(spec);
+  const std::unique_ptr<Scheduler> scheduler = make_scheduler(spec.policy);
+  DeploymentOptions opts = options;
+  opts.faults = spec.faults;
+  VectorSource source(std::move(workload.transformed.per_client),
+                      spec.workload.num_machines);
+  return run_deployment(fabric, source, *scheduler, opts);
+}
+
+// The serve plane's CCT-equivalence driver: an exact fluid data plane under
+// the real front-end control plane. The loop mirrors src/sim/engine.cc event
+// for event — allocate at every instant where the active set is non-empty
+// (after retire + admit), integrate delivered = min(rate · dt, remaining)
+// between instants, retire at the completion epsilon — so stateful policies
+// (karma's credit clock) see the identical (now, view) sequence on both
+// planes and the equivalence tolerance can be ulp-tight.
+ScenarioRun run_on_serve(const ScenarioSpec& spec) {
+  constexpr double kTimeTolerance = 1e-9;      // engine's admission slack
+  constexpr double kCompletionEpsilonBits = 1.0;  // SimOptions default
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  ScenarioRun run;
+  run.workload = build_workload(spec);
+  const Fabric fabric = make_fabric(spec);
+  const std::unique_ptr<Scheduler> scheduler = make_scheduler(spec.policy);
+
+  serve::ServeOptions options;
+  options.epoch_s = 1.0;           // nominal: epochs are event-aligned here
+  options.max_batch_per_epoch = 0;  // admit everything due at the instant
+  options.queue_capacity = std::numeric_limits<std::size_t>::max() / 4;
+  options.slowdown_watermark = options.queue_capacity;
+  options.shed_watermark = options.queue_capacity;
+  serve::ServeFront front(fabric, *scheduler, spec.workload.num_clients,
+                          options);
+
+  // Arrival stream in global (time, client) order + dense-id ground truth.
+  std::vector<serve::Submission> arrivals;
+  {
+    VectorSource source(run.workload.transformed.per_client,
+                        spec.workload.num_machines);
+    while (source.peek() != nullptr) arrivals.push_back(source.next());
+  }
+  std::size_t total_flows = 0;
+  for (const serve::Submission& s : arrivals) total_flows += s.flows.size();
+
+  RunResult& result = run.result;
+  result.coflows.resize(arrivals.size());
+  std::vector<double> remaining(total_flows, 0.0);
+  std::vector<double> attained(total_flows, 0.0);
+  std::vector<double> rate(total_flows, 0.0);
+  std::vector<MachineId> src_of(total_flows, -1);
+  std::vector<CoflowId> coflow_of(total_flows, -1);
+  std::vector<int> unfinished(arrivals.size(), 0);
+  std::vector<FlowId> live;
+
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  std::vector<FlowFinishedMsg> finish_batch;
+  std::vector<HeartbeatMsg> heartbeats(
+      static_cast<std::size_t>(spec.workload.num_machines));
+  for (MachineId m = 0; m < spec.workload.num_machines; ++m) {
+    heartbeats[static_cast<std::size_t>(m)].machine = m;
+  }
+
+  const auto enqueue_due = [&] {
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].submit_time <= now + kTimeTolerance) {
+      serve::Submission s = arrivals[next_arrival++];
+      s.sizes_known = scheduler->clairvoyant();
+      s.lifetime_s = 0.0;  // completion-driven retirement only
+      const auto c = static_cast<std::size_t>(s.coflow);
+      CoflowRecord& rec = result.coflows[c];
+      rec.id = s.coflow;
+      rec.arrival = s.submit_time;
+      rec.width = static_cast<int>(s.flows.size());
+      std::vector<double> demand(
+          static_cast<std::size_t>(fabric.num_links()), 0.0);
+      for (const Flow& f : s.flows) {
+        NCDRF_CHECK(f.size_bits > kCompletionEpsilonBits,
+                    "serve equivalence driver needs flows above the "
+                    "completion epsilon");
+        const auto idx = static_cast<std::size_t>(f.id);
+        remaining[idx] = f.size_bits;
+        src_of[idx] = f.src;
+        coflow_of[idx] = f.coflow;
+        live.push_back(f.id);
+        ++unfinished[c];
+        rec.total_bits += f.size_bits;
+        rec.max_flow_bits = std::max(rec.max_flow_bits, f.size_bits);
+        demand[static_cast<std::size_t>(fabric.uplink(f.src))] += f.size_bits;
+        demand[static_cast<std::size_t>(fabric.downlink(f.dst))] +=
+            f.size_bits;
+      }
+      for (LinkId l = 0; l < fabric.num_links(); ++l) {
+        rec.min_cct =
+            std::max(rec.min_cct, demand[static_cast<std::size_t>(l)] /
+                                      fabric.capacity(l));
+      }
+      NCDRF_CHECK(
+          front.queue(s.client).try_enqueue(std::move(s)),
+          "unbounded equivalence queue rejected a submission");
+    }
+  };
+
+  enqueue_due();
+  while (!live.empty() || next_arrival < arrivals.size() ||
+         front.backlog() > 0) {
+    if (live.empty() && front.backlog() == 0) {
+      now = arrivals[next_arrival].submit_time;
+      enqueue_due();
+      continue;
+    }
+
+    // Allocate at `now`: exact attained via heartbeats (what the engine's
+    // in-memory view gives clairvoyant policies), then one epoch step —
+    // every instant here carries an arrival or a finish, so the master is
+    // dirty and reallocates exactly once per event.
+    for (HeartbeatMsg& hb : heartbeats) hb.attained_bits.clear();
+    for (const FlowId f : live) {
+      const auto idx = static_cast<std::size_t>(f);
+      heartbeats[static_cast<std::size_t>(src_of[idx])].attained_bits
+          .emplace_back(f, attained[idx]);
+    }
+    for (const HeartbeatMsg& hb : heartbeats) {
+      front.master().on_heartbeat(hb, now);
+    }
+    front.step_epoch(now);
+    const Allocation& alloc = front.last_allocation();
+    for (const FlowId f : live) {
+      rate[static_cast<std::size_t>(f)] = alloc.rate(f);
+    }
+
+    // Next event: earliest completion under these rates, or next arrival.
+    double t_next = kInfinity;
+    for (const FlowId f : live) {
+      const auto idx = static_cast<std::size_t>(f);
+      if (rate[idx] > 0.0) {
+        t_next = std::min(t_next, now + remaining[idx] / rate[idx]);
+      }
+    }
+    if (next_arrival < arrivals.size()) {
+      t_next = std::min(t_next, arrivals[next_arrival].submit_time);
+    }
+    NCDRF_CHECK(std::isfinite(t_next),
+                "starvation: no completion or arrival ahead under scheduler " +
+                    scheduler->name());
+    const double dt = std::max(t_next - now, 0.0);
+    if (dt > 0.0) {
+      for (const FlowId f : live) {
+        const auto idx = static_cast<std::size_t>(f);
+        if (rate[idx] > 0.0) {
+          const double delivered = std::min(rate[idx] * dt, remaining[idx]);
+          remaining[idx] -= delivered;
+          attained[idx] += delivered;
+          result.total_bits_delivered += delivered;
+        }
+      }
+    }
+    now += dt;
+    ++result.num_events;
+
+    // Retire flows at the completion epsilon; coflow completions land at
+    // this instant, exactly like the engine's retire phase.
+    finish_batch.clear();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const FlowId f = live[i];
+      const auto idx = static_cast<std::size_t>(f);
+      if (remaining[idx] <= kCompletionEpsilonBits) {
+        finish_batch.push_back(FlowFinishedMsg{f, coflow_of[idx], now});
+        rate[idx] = 0.0;
+        const auto c = static_cast<std::size_t>(coflow_of[idx]);
+        if (--unfinished[c] == 0) {
+          CoflowRecord& rec = result.coflows[c];
+          rec.completion = now;
+          rec.cct = now - rec.arrival;
+          result.makespan = std::max(result.makespan, now);
+        }
+      } else {
+        live[kept++] = f;
+      }
+    }
+    live.resize(kept);
+    if (!finish_batch.empty()) front.master().on_flows_finished(finish_batch);
+    enqueue_due();
+  }
+  result.num_allocations = front.allocations();
+  return run;
+}
+
+}  // namespace ncdrf::scenario

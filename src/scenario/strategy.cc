@@ -1,0 +1,223 @@
+#include "scenario/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "scenario/source.h"
+
+namespace ncdrf::scenario {
+namespace {
+
+// A strategic copy carries everything but the ids, which are restamped
+// globally once every client's schedule is transformed.
+serve::Submission shell_of(const serve::Submission& honest) {
+  serve::Submission s = honest;
+  s.coflow = -1;
+  s.flows.clear();
+  return s;
+}
+
+}  // namespace
+
+void HonestStrategy::transform(const serve::Submission& honest,
+                               int num_machines,
+                               std::vector<serve::Submission>& out) {
+  (void)num_machines;
+  out.push_back(honest);
+}
+
+FlowSplitter::FlowSplitter(int k) : k_(k) {
+  NCDRF_CHECK(k_ >= 1, "flow splitter needs k >= 1");
+}
+
+void FlowSplitter::transform(const serve::Submission& honest,
+                             int num_machines,
+                             std::vector<serve::Submission>& out) {
+  (void)num_machines;
+  for (int slice = 0; slice < k_; ++slice) {
+    serve::Submission s = shell_of(honest);
+    s.flows.reserve(honest.flows.size());
+    for (const Flow& f : honest.flows) {
+      Flow piece = f;
+      piece.id = -1;
+      piece.coflow = -1;
+      piece.size_bits = f.size_bits / static_cast<double>(k_);
+      s.flows.push_back(piece);
+    }
+    out.push_back(std::move(s));
+  }
+}
+
+DemandInflator::DemandInflator(int factor) : factor_(factor) {
+  NCDRF_CHECK(factor_ >= 1, "demand inflator needs factor >= 1");
+}
+
+void DemandInflator::transform(const serve::Submission& honest,
+                               int num_machines,
+                               std::vector<serve::Submission>& out) {
+  (void)num_machines;
+  serve::Submission s = shell_of(honest);
+  s.flows.reserve(honest.flows.size() * static_cast<std::size_t>(factor_));
+  for (const Flow& f : honest.flows) {
+    for (int j = 0; j < factor_; ++j) {
+      Flow piece = f;
+      piece.id = -1;
+      piece.coflow = -1;
+      piece.size_bits = f.size_bits / static_cast<double>(factor_);
+      s.flows.push_back(piece);
+    }
+  }
+  out.push_back(std::move(s));
+}
+
+DustPadder::DustPadder(int pad, double dust_bits, std::uint64_t seed)
+    : pad_(pad), dust_bits_(dust_bits), seed_(seed), rng_(seed) {
+  NCDRF_CHECK(pad_ >= 1, "dust padder needs pad >= 1");
+  NCDRF_CHECK(dust_bits_ > 0.0, "dust size must be positive");
+}
+
+void DustPadder::transform(const serve::Submission& honest, int num_machines,
+                           std::vector<serve::Submission>& out) {
+  serve::Submission s = honest;
+  s.coflow = -1;
+  for (Flow& f : s.flows) {
+    f.id = -1;
+    f.coflow = -1;
+  }
+  // The largest real flow donates the dust budget; padding shrinks so the
+  // donor keeps at least half its bytes (totals always conserved).
+  std::size_t donor = 0;
+  for (std::size_t i = 1; i < s.flows.size(); ++i) {
+    if (s.flows[i].size_bits > s.flows[donor].size_bits) donor = i;
+  }
+  const double budget =
+      std::min(static_cast<double>(pad_) * dust_bits_,
+               s.flows.empty() ? 0.0 : s.flows[donor].size_bits * 0.5);
+  if (budget <= 0.0 || s.flows.empty() || num_machines < 2) {
+    out.push_back(std::move(s));
+    return;
+  }
+  const double per_dust = budget / static_cast<double>(pad_);
+  // Prefer sources the coflow does not already send from: each new source
+  // widens the correlation vector NC-DRF infers demand on.
+  std::set<MachineId> used;
+  for (const Flow& f : s.flows) used.insert(f.src);
+  std::vector<MachineId> fresh;
+  for (MachineId m = 0; m < num_machines; ++m) {
+    if (!used.contains(m)) fresh.push_back(m);
+  }
+  for (int d = 0; d < pad_; ++d) {
+    Flow dust;
+    if (!fresh.empty()) {
+      const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(fresh.size()) - 1));
+      dust.src = fresh[pick];
+      fresh.erase(fresh.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      dust.src = static_cast<MachineId>(rng_.uniform_int(0, num_machines - 1));
+    }
+    do {
+      dust.dst = static_cast<MachineId>(rng_.uniform_int(0, num_machines - 1));
+    } while (dust.dst == dust.src);
+    dust.size_bits = per_dust;
+    s.flows[donor].size_bits -= per_dust;
+    s.flows.push_back(dust);
+  }
+  NCDRF_CHECK(s.flows[donor].size_bits > 0.0, "dust budget drained the donor");
+  out.push_back(std::move(s));
+}
+
+OnOffHoarder::OnOffHoarder(double period_s, double duty)
+    : period_s_(period_s), duty_(duty) {
+  NCDRF_CHECK(period_s_ > 0.0, "hoarder period must be positive");
+  NCDRF_CHECK(duty_ > 0.0 && duty_ <= 1.0, "hoarder duty must be in (0, 1]");
+}
+
+void OnOffHoarder::transform(const serve::Submission& honest,
+                             int num_machines,
+                             std::vector<serve::Submission>& out) {
+  (void)num_machines;
+  serve::Submission s = honest;
+  s.coflow = -1;
+  for (Flow& f : s.flows) {
+    f.id = -1;
+    f.coflow = -1;
+  }
+  const double cycle = std::floor(honest.submit_time / period_s_);
+  const double phase = honest.submit_time - cycle * period_s_;
+  if (phase >= duty_ * period_s_) {
+    // Off-window: hoard until the next on-window opens. Monotone in the
+    // honest time, so the schedule stays sorted.
+    s.submit_time = (cycle + 1.0) * period_s_;
+  }
+  out.push_back(std::move(s));
+}
+
+std::unique_ptr<TenantStrategy> make_strategy(const StrategySpec& spec) {
+  if (spec.kind == "honest") return std::make_unique<HonestStrategy>();
+  if (spec.kind == "flow-splitter") {
+    return std::make_unique<FlowSplitter>(spec.k);
+  }
+  if (spec.kind == "demand-inflator") {
+    return std::make_unique<DemandInflator>(spec.factor);
+  }
+  if (spec.kind == "dust-padder") {
+    return std::make_unique<DustPadder>(spec.pad, spec.dust_bits, spec.seed);
+  }
+  if (spec.kind == "on-off-hoarder") {
+    return std::make_unique<OnOffHoarder>(spec.period_s, spec.duty);
+  }
+  NCDRF_CHECK(false, "unknown tenant strategy: " + spec.kind);
+  return nullptr;
+}
+
+TransformedWorkload apply_strategies(
+    const std::vector<std::vector<serve::Submission>>& honest,
+    const std::vector<TenantStrategy*>& strategies, int num_machines) {
+  NCDRF_CHECK(strategies.size() == honest.size(),
+              "one strategy slot per client (null = honest)");
+  TransformedWorkload result;
+  result.per_client.resize(honest.size());
+  result.derived.resize(honest.size());
+  // orig[c][j] = which honest submission the j-th transformed one derives
+  // from; assign_dense_ids stamps ids in place without reordering, so the
+  // mapping survives and the derived coflow ids can be read back after.
+  std::vector<std::vector<std::size_t>> orig(honest.size());
+  for (std::size_t c = 0; c < honest.size(); ++c) {
+    TenantStrategy* strategy = strategies[c];
+    if (strategy != nullptr) strategy->reset();
+    auto& sched = result.per_client[c];
+    for (std::size_t i = 0; i < honest[c].size(); ++i) {
+      const std::size_t before = sched.size();
+      if (strategy != nullptr) {
+        strategy->transform(honest[c][i], num_machines, sched);
+      } else {
+        sched.push_back(honest[c][i]);
+      }
+      NCDRF_CHECK(sched.size() > before,
+                  "a strategy must emit at least one submission");
+      for (std::size_t j = before; j < sched.size(); ++j) {
+        NCDRF_CHECK(sched[j].submit_time >= honest[c][i].submit_time,
+                    "strategies cannot submit before the honest time");
+        NCDRF_CHECK(j == 0 ||
+                        sched[j].submit_time >= sched[j - 1].submit_time,
+                    "strategy broke the client's time order");
+        orig[c].push_back(i);
+      }
+    }
+    result.derived[c].assign(honest[c].size(), {});
+  }
+  assign_dense_ids(result.per_client);
+  for (std::size_t c = 0; c < honest.size(); ++c) {
+    for (std::size_t j = 0; j < result.per_client[c].size(); ++j) {
+      result.derived[c][orig[c][j]].push_back(result.per_client[c][j].coflow);
+    }
+  }
+  return result;
+}
+
+}  // namespace ncdrf::scenario

@@ -1,0 +1,157 @@
+// TenantStrategy: composable strategic-tenant transformers over the
+// workload spine.
+//
+// A strategy rewrites one tenant's *honest* submission stream into the
+// stream a self-interested tenant would actually submit, modelling the
+// manipulation channels the paper's Sec. III gaming analysis opens:
+// splitting demand across more coflows or flows (defeats per-coflow and
+// per-flow accounting), padding dust flows onto extra endpoints (inflates
+// NC-DRF's inferred correlation vector), and hoarding submissions into
+// bursts (games epoch-fair policies). Every transformer conserves
+// ground-truth bytes — the tenant still has the same data to move; only
+// its *presentation* changes — and is deterministic per seed, so a
+// strategic run is exactly reproducible.
+//
+// Transformed schedules are restamped with assign_dense_ids before being
+// fed to a plane; strategies therefore never assign ids themselves and
+// only need to keep each client's schedule time-sorted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/submission_queue.h"
+
+namespace ncdrf::scenario {
+
+class TenantStrategy {
+ public:
+  virtual ~TenantStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Rewrites one honest submission into one or more strategic ones,
+  // appended to `out` in nondecreasing submit_time order (each at or
+  // after the honest submit_time, so a per-submission application keeps
+  // the client's schedule time-sorted). Total flow bytes are conserved.
+  // `num_machines` bounds any endpoints the strategy invents.
+  virtual void transform(const serve::Submission& honest, int num_machines,
+                         std::vector<serve::Submission>& out) = 0;
+
+  // Restores construction state (reseeds), so the same instance replays
+  // identically across runs.
+  virtual void reset() = 0;
+};
+
+// Pass-through: the honest tenant.
+class HonestStrategy : public TenantStrategy {
+ public:
+  std::string name() const override { return "honest"; }
+  void transform(const serve::Submission& honest, int num_machines,
+                 std::vector<serve::Submission>& out) override;
+  void reset() override {}
+};
+
+// Splits each coflow into `k` sibling coflows, each carrying a 1/k slice
+// of every flow (same endpoints, same submit time). Against per-coflow
+// fair policies (NC-DRF) the tenant now holds k claims instead of one.
+class FlowSplitter : public TenantStrategy {
+ public:
+  explicit FlowSplitter(int k);
+  std::string name() const override { return "flow-splitter"; }
+  void transform(const serve::Submission& honest, int num_machines,
+                 std::vector<serve::Submission>& out) override;
+  void reset() override {}
+
+ private:
+  int k_;
+};
+
+// Replaces each flow with `factor` same-endpoint subflows of 1/factor
+// the size, within one coflow. Inflates the flow counts NC-DRF infers
+// demand from and multiplies the tenant's claims under per-flow fairness.
+class DemandInflator : public TenantStrategy {
+ public:
+  explicit DemandInflator(int factor);
+  std::string name() const override { return "demand-inflator"; }
+  void transform(const serve::Submission& honest, int num_machines,
+                 std::vector<serve::Submission>& out) override;
+  void reset() override {}
+
+ private:
+  int factor_;
+};
+
+// Pads `pad` dust flows onto seeded-random endpoints the coflow does not
+// already touch, widening the inferred correlation vector; the dust bytes
+// are carved out of the coflow's largest flow so totals are conserved
+// (padding shrinks when the largest flow is too small to donate).
+class DustPadder : public TenantStrategy {
+ public:
+  DustPadder(int pad, double dust_bits, std::uint64_t seed);
+  std::string name() const override { return "dust-padder"; }
+  void transform(const serve::Submission& honest, int num_machines,
+                 std::vector<serve::Submission>& out) override;
+  void reset() override { rng_ = Rng(seed_); }
+
+ private:
+  int pad_;
+  double dust_bits_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+// Withholds submissions that fall in the off-window of a duty cycle and
+// releases them at the next on-window start — the hoarder that goes dark
+// to bank priority/credit and then bursts. The time mapping is monotone,
+// so per-client schedules stay sorted.
+class OnOffHoarder : public TenantStrategy {
+ public:
+  OnOffHoarder(double period_s, double duty);
+  std::string name() const override { return "on-off-hoarder"; }
+  void transform(const serve::Submission& honest, int num_machines,
+                 std::vector<serve::Submission>& out) override;
+  void reset() override {}
+
+ private:
+  double period_s_;
+  double duty_;
+};
+
+// Declarative strategy selector (the per-tenant entry of a ScenarioSpec).
+// `kind` picks the transformer; the other fields parameterize it and are
+// ignored when unused by the kind.
+struct StrategySpec {
+  std::string kind = "honest";  // honest | flow-splitter | demand-inflator
+                                // | dust-padder | on-off-hoarder
+  int k = 4;                    // flow-splitter
+  int factor = 4;               // demand-inflator
+  int pad = 4;                  // dust-padder: dust flows per coflow
+  double dust_bits = 8e3;       // dust-padder: bits per dust flow
+  double period_s = 20.0;       // on-off-hoarder
+  double duty = 0.5;            // on-off-hoarder: fraction of period on
+  std::uint64_t seed = 1;       // seeded strategies only
+};
+
+std::unique_ptr<TenantStrategy> make_strategy(const StrategySpec& spec);
+
+// Applies per-client strategies to honest per-client schedules and
+// restamps dense ids. strategies[c] may be null (honest). Returns the
+// transformed schedules plus, per client, each honest submission's list
+// of derived coflow ids (for strategy-gain evaluation: the strategic run
+// "completes" an honest submission when all its derived coflows do).
+struct TransformedWorkload {
+  std::vector<std::vector<serve::Submission>> per_client;
+  // derived[c][i] = coflow ids the c-th client's i-th honest submission
+  // became, in the transformed stream's dense id space.
+  std::vector<std::vector<std::vector<CoflowId>>> derived;
+};
+
+TransformedWorkload apply_strategies(
+    const std::vector<std::vector<serve::Submission>>& honest,
+    const std::vector<TenantStrategy*>& strategies, int num_machines);
+
+}  // namespace ncdrf::scenario

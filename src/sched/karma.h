@@ -1,0 +1,84 @@
+// Karma: credit-based tenant fairness (Vuppalapati et al., "Karma:
+// Resource Allocation for Dynamic Demands", arXiv 2305.17222), adapted to
+// coflow bandwidth as the registry's strategy-resistant baseline.
+//
+// Two mechanisms compose:
+//
+//   1. Per-*tenant* weighted max-min. Every fairness entity is the
+//      submitting tenant (ActiveCoflow::tenant; unattributed coflows fall
+//      back to a per-coflow entity, degrading to per-coflow fairness).
+//      Each flow's waterfill weight is W_t / n_t where n_t is the
+//      tenant's live flow count, so a tenant's aggregate claim is W_t no
+//      matter how many coflows or flows it splits its demand into — the
+//      flow-splitting and dust-padding channels that game NC-DRF's
+//      per-coflow accounting are structurally closed.
+//
+//   2. Donor/borrower credits. Between allocations each active tenant
+//      accrues credits at (fair share − attained rate): a tenant using
+//      less than its equal share *donates* the slack and banks credits; a
+//      tenant drawing more *borrows* and pays them down. Banked credits
+//      (clamped to [0, credit_cap_s · fair share]) boost the tenant's
+//      weight up to (1 + borrow_boost), so donors reclaim their deferred
+//      share later — the paper's long-term fairness under dynamic
+//      demands, without any knowledge of flow sizes.
+//
+// Non-clairvoyant: only endpoints, flow counts and realized rates feed
+// the mechanism. Deterministic: all per-tenant state lives in ordered
+// maps and the update order is the snapshot's coflow order.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "alloc/kernel_scheduler.h"
+#include "alloc/kernel_scratch.h"
+#include "alloc/waterfill.h"
+
+namespace ncdrf {
+
+struct KarmaOptions {
+  // Credit bank cap, in seconds of fair-share bandwidth. Bounds how much
+  // deferred share a donor can reclaim (Karma's bounded credits).
+  double credit_cap_s = 10.0;
+  // Weight boost at a full credit bank: W_t = 1 + borrow_boost · b_t
+  // with b_t = credits / cap in [0, 1].
+  double borrow_boost = 1.0;
+};
+
+class KarmaScheduler : public KernelScheduler {
+ public:
+  explicit KarmaScheduler(KarmaOptions options = {})
+      : KernelScheduler(/*count_finished_flows=*/false), options_(options) {}
+
+  std::string name() const override { return "Karma"; }
+  bool clairvoyant() const override { return false; }
+  Allocation allocate(const ScheduleInput& input) override;
+
+  void on_reset(const Fabric& fabric) override;
+
+ private:
+  // Fairness entity: the tenant when attributed, else a per-coflow
+  // sentinel key well above any real tenant id.
+  static long long key(const ActiveCoflow& coflow) {
+    return coflow.tenant >= 0
+               ? static_cast<long long>(coflow.tenant)
+               : (1LL << 32) + static_cast<long long>(coflow.id);
+  }
+
+  const KarmaOptions options_;
+
+  // Per-entity state, all ordered for deterministic iteration. Credits
+  // accrue only while an entity has live flows; an absent tenant's bank
+  // freezes until it returns, and per-coflow fallback entities are
+  // dropped when their coflow leaves (coflows never return).
+  std::map<long long, int> live_;             // live flows, this snapshot
+  std::map<long long, double> credits_bits_;  // banked donor credits
+  std::map<long long, double> used_bps_;      // realized rate last epoch
+  double last_now_ = -1.0;
+
+  WaterfillKernel kernel_;
+  KernelScratch scratch_;
+  std::vector<double> capacities_;
+};
+
+}  // namespace ncdrf

@@ -41,6 +41,10 @@ struct ActiveFlow {
 struct ActiveCoflow {
   CoflowId id = -1;
   double arrival_time = 0.0;
+  // Submitting tenant/client (-1 = unattributed). Tenant-aware policies
+  // (karma) aggregate shares per tenant instead of per coflow; everything
+  // else ignores it.
+  int tenant = -1;
   // Relative share weight (tenant priority). Fair policies (NC-DRF, DRF)
   // scale a coflow's guaranteed progress by this; 1.0 = equal share.
   double weight = 1.0;

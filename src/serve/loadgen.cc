@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "scenario/source.h"
 
 namespace ncdrf::serve {
 namespace {
@@ -105,66 +106,25 @@ std::vector<std::vector<Submission>> LoadGenerator::generate() const {
     }
   }
 
-  // Assign dense global ids in (submit_time, client) order — the order
-  // TraceBuilder sorts into, so as_trace() ids match these exactly.
-  struct Slot {
-    double time;
-    int client;
-    std::size_t index;
-  };
-  std::vector<Slot> order;
-  for (int client = 0; client < o.num_clients; ++client) {
-    const auto& sched = per_client[static_cast<std::size_t>(client)];
-    for (std::size_t i = 0; i < sched.size(); ++i) {
-      order.push_back(Slot{sched[i].submit_time, client, i});
-    }
-  }
-  std::sort(order.begin(), order.end(), [](const Slot& a, const Slot& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.client < b.client;  // per-client indices already time-ordered
-  });
-  CoflowId next_coflow = 0;
-  FlowId next_flow = 0;
-  for (const Slot& slot : order) {
-    Submission& s =
-        per_client[static_cast<std::size_t>(slot.client)][slot.index];
-    s.coflow = next_coflow++;
-    // Nonzero span id encoding the submitting client, unique per coflow —
-    // what the telemetry plane follows from submission to rate push.
-    s.trace_id = (static_cast<std::uint64_t>(slot.client) + 1) << 40 |
-                 (static_cast<std::uint64_t>(s.coflow) + 1);
-    for (Flow& f : s.flows) {
-      f.id = next_flow++;
-      f.coflow = s.coflow;
+  // Dense global ids in (submit_time, client) order — the scenario
+  // spine's one id-assignment path, shared with TraceBuilder via
+  // scenario::materialize, so as_trace() ids match these exactly.
+  scenario::assign_dense_ids(per_client);
+  for (auto& sched : per_client) {
+    for (Submission& s : sched) {
+      // Nonzero span id encoding the submitting client, unique per
+      // coflow — what the telemetry plane follows from submission to
+      // rate push.
+      s.trace_id = (static_cast<std::uint64_t>(s.client) + 1) << 40 |
+                   (static_cast<std::uint64_t>(s.coflow) + 1);
     }
   }
   return per_client;
 }
 
 Trace LoadGenerator::as_trace() const {
-  const auto per_client = generate();
-  // Feed TraceBuilder in global id order; it re-sorts by (arrival,
-  // original id) and reassigns dense ids in that same order, so the built
-  // trace's ids coincide with the Submission ids.
-  struct Ref {
-    const Submission* s;
-  };
-  std::vector<Ref> in_order;
-  for (const auto& sched : per_client) {
-    for (const Submission& s : sched) in_order.push_back(Ref{&s});
-  }
-  std::sort(in_order.begin(), in_order.end(),
-            [](const Ref& a, const Ref& b) {
-              return a.s->coflow < b.s->coflow;
-            });
-  TraceBuilder builder(options_.num_machines);
-  for (const Ref& ref : in_order) {
-    builder.begin_coflow(ref.s->submit_time, ref.s->weight);
-    for (const Flow& f : ref.s->flows) {
-      builder.add_flow(f.src, f.dst, f.size_bits);
-    }
-  }
-  return builder.build();
+  scenario::VectorSource source(generate(), options_.num_machines);
+  return scenario::materialize(source);
 }
 
 int LoadGenerator::total_coflows() const {

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/tracer.h"
+#include "scenario/source.h"
 
 namespace ncdrf::serve {
 namespace {
@@ -35,6 +36,7 @@ ServeFront::ServeFront(const Fabric& fabric, Scheduler& scheduler,
         o.master.forget_retired = true;
         return o;
       }()),
+      num_machines_(fabric.num_machines()),
       master_(fabric, scheduler, options_.master) {
   NCDRF_CHECK(num_clients >= 1, "serving front-end needs >= 1 client");
   NCDRF_CHECK(options_.epoch_s > 0.0, "epoch length must be positive");
@@ -132,6 +134,7 @@ int ServeFront::admit_batch(double now) {
     msg.coflow = s.coflow;
     msg.arrival_time = s.submit_time;
     msg.weight = s.weight;
+    msg.tenant = s.client;  // client attribution for tenant-aware policies
     msg.sizes_known = s.sizes_known;
     msg.trace_id = s.trace_id;
     msg.flows = s.flows;
@@ -398,29 +401,37 @@ void ServeFront::step_epoch(double now) {
   }
 }
 
-double ServeFront::run(const std::vector<std::vector<Submission>>& schedule) {
-  NCDRF_CHECK(schedule.size() == queues_.size(),
-              "run() needs one schedule per client");
-  std::vector<std::size_t> cursor(schedule.size(), 0);
+double ServeFront::run(scenario::WorkloadSource& source) {
   double now = 0.0;
   for (long long epoch = 0;; ++epoch) {
     now = static_cast<double>(epoch) * options_.epoch_s;
-    bool all_enqueued = true;
-    for (std::size_t c = 0; c < schedule.size(); ++c) {
-      const auto& sched = schedule[c];
-      while (cursor[c] < sched.size() &&
-             sched[cursor[c]].submit_time <= now) {
-        // Open loop: a rejected submission is dropped (and counted by the
-        // queue), never retried.
-        queues_[c]->try_enqueue(sched[cursor[c]]);
-        ++cursor[c];
-      }
-      all_enqueued = all_enqueued && cursor[c] == sched.size();
+    while (const Submission* due = source.peek()) {
+      if (due->submit_time > now) break;
+      Submission s = source.next();
+      NCDRF_CHECK(s.client >= 0 &&
+                      s.client < static_cast<int>(queues_.size()),
+                  "submission client out of range for this front-end");
+      // Open loop: a rejected submission is dropped (and counted by the
+      // queue), never retried.
+      queues_[static_cast<std::size_t>(s.client)]->try_enqueue(std::move(s));
     }
     step_epoch(now);
-    if (all_enqueued && backlog() == 0) break;
+    if (source.peek() == nullptr && backlog() == 0) break;
   }
   return now;
+}
+
+double ServeFront::run(const std::vector<std::vector<Submission>>& schedule) {
+  NCDRF_CHECK(schedule.size() == queues_.size(),
+              "run() needs one schedule per client");
+  // Clients are stamped from the slot index so hand-built schedules keep
+  // routing to the queue they were handed to (the historical contract).
+  std::vector<std::vector<Submission>> per_client = schedule;
+  for (std::size_t c = 0; c < per_client.size(); ++c) {
+    for (Submission& s : per_client[c]) s.client = static_cast<int>(c);
+  }
+  scenario::VectorSource source(std::move(per_client), num_machines_);
+  return run(source);
 }
 
 long long ServeFront::total_rejected() const {

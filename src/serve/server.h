@@ -57,6 +57,10 @@ struct Gauge;
 class Histogram;
 }  // namespace ncdrf::obs
 
+namespace ncdrf::scenario {
+class WorkloadSource;
+}  // namespace ncdrf::scenario
+
 namespace ncdrf::serve {
 
 struct ServeOptions {
@@ -133,10 +137,17 @@ class ServeFront {
   // staleness budget, and publishes backpressure levels.
   void step_epoch(double now);
 
-  // Virtual-time driver: enqueues each client's schedule at its
-  // submit_time on an epoch grid (client order within a tick: 0..n−1) and
-  // steps epochs until every submission is consumed and the backlog is
-  // empty. Returns the time of the last epoch stepped. Deterministic.
+  // Virtual-time driver over the scenario spine: pulls due submissions
+  // off the source at each epoch tick, enqueues them on their client's
+  // queue (open loop — a rejected submission is dropped and counted,
+  // never retried), and steps epochs until the source is exhausted and
+  // the backlog is empty. Returns the time of the last epoch stepped.
+  // Deterministic for deterministic sources.
+  double run(scenario::WorkloadSource& source);
+
+  // Per-client-schedule convenience wrapper: adapts the schedules through
+  // the spine (clients are stamped from their slot index, preserving the
+  // historical routing contract).
   double run(const std::vector<std::vector<Submission>>& schedule);
 
   // --- Introspection (epoch counters are all monotone) -------------------
@@ -207,6 +218,7 @@ class ServeFront {
   void publish_level(double now);
 
   const ServeOptions options_;
+  const int num_machines_;  // fabric size, for spine adapters
   Master master_;
   std::vector<std::unique_ptr<SubmissionQueue>> queues_;
   std::vector<Submission> batch_;  // drain scratch, reused every epoch

@@ -197,6 +197,7 @@ struct DynamicSimulator::Impl {
       ActiveCoflow view;
       view.id = entry->coflow.id();
       view.arrival_time = entry->coflow.arrival_time();
+      view.tenant = entry->coflow.tenant();
       view.weight = entry->coflow.weight();
       view.flows.reserve(entry->unfinished.size());
       for (const Flow* f : entry->unfinished) {
@@ -250,6 +251,8 @@ struct DynamicSimulator::Impl {
                   "snapshot arrival mismatch");
       NCDRF_CHECK(view.weight == entry.coflow.weight(),
                   "snapshot weight mismatch");
+      NCDRF_CHECK(view.tenant == entry.coflow.tenant(),
+                  "snapshot tenant mismatch");
       NCDRF_CHECK(std::isfinite(view.attained_bits) &&
                       view.attained_bits >= 0.0,
                   "snapshot attained_bits invalid");

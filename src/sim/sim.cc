@@ -1,20 +1,33 @@
 #include "sim/sim.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "scenario/source.h"
 #include "sim/engine.h"
 
 namespace ncdrf {
+
+RunResult simulate(const Fabric& fabric, scenario::WorkloadSource& source,
+                   Scheduler& scheduler, const SimOptions& options) {
+  NCDRF_CHECK(source.num_machines() == fabric.num_machines(),
+              "workload and fabric machine counts differ");
+  DynamicSimulator sim(fabric, scheduler, options);
+  while (source.peek() != nullptr) {
+    serve::Submission s = source.next();
+    sim.submit(Coflow(s.coflow, s.submit_time, std::move(s.flows), s.weight,
+                      s.client));
+  }
+  sim.run();
+  return sim.take_result();
+}
 
 RunResult simulate(const Fabric& fabric, const Trace& trace,
                    Scheduler& scheduler, const SimOptions& options) {
   NCDRF_CHECK(trace.num_machines == fabric.num_machines(),
               "trace and fabric machine counts differ");
-  DynamicSimulator sim(fabric, scheduler, options);
-  for (const Coflow& coflow : trace.coflows) {
-    sim.submit(coflow);
-  }
-  sim.run();
-  return sim.take_result();
+  scenario::TraceSource source(&trace);
+  return simulate(fabric, source, scheduler, options);
 }
 
 }  // namespace ncdrf

@@ -27,6 +27,10 @@
 
 namespace ncdrf {
 
+namespace scenario {
+class WorkloadSource;
+}  // namespace scenario
+
 // Optional observability attachments (src/obs/); forward-declared so the
 // sim API does not drag obs headers into every includer.
 namespace obs {
@@ -131,9 +135,15 @@ struct RunResult {
   long long num_allocations = 0;
 };
 
-// Replays `trace` on `fabric` under `scheduler`. Every coflow in the trace
-// completes (the simulator throws on scheduler-induced starvation where no
-// event can ever fire).
+// Replays `source` on `fabric` under `scheduler` — the scenario-spine
+// entry point all workload kinds go through. Submissions become coflows
+// (id, arrival, flows, weight, tenant = client) and every one completes
+// (the simulator throws on scheduler-induced starvation where no event
+// can ever fire).
+RunResult simulate(const Fabric& fabric, scenario::WorkloadSource& source,
+                   Scheduler& scheduler, const SimOptions& options = {});
+
+// Trace convenience wrapper: adapts the trace through the spine.
 RunResult simulate(const Fabric& fabric, const Trace& trace,
                    Scheduler& scheduler, const SimOptions& options = {});
 

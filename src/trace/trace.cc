@@ -16,11 +16,12 @@ TraceBuilder::TraceBuilder(int num_machines) : num_machines_(num_machines) {
   NCDRF_CHECK(num_machines >= 1, "trace needs at least one machine");
 }
 
-CoflowId TraceBuilder::begin_coflow(double arrival_time_s, double weight) {
+CoflowId TraceBuilder::begin_coflow(double arrival_time_s, double weight,
+                                    int tenant) {
   NCDRF_CHECK(arrival_time_s >= 0.0, "arrival time must be non-negative");
   NCDRF_CHECK(weight > 0.0, "coflow weight must be positive");
   const auto id = static_cast<CoflowId>(pending_.size());
-  pending_.push_back({id, arrival_time_s, weight, {}});
+  pending_.push_back({id, arrival_time_s, weight, tenant, {}});
   return id;
 }
 
@@ -54,7 +55,7 @@ Trace TraceBuilder::build() {
     for (Flow& f : flows) f.coflow = static_cast<CoflowId>(k);
     trace.coflows.emplace_back(static_cast<CoflowId>(k),
                                pending_[k].arrival, std::move(flows),
-                               pending_[k].weight);
+                               pending_[k].weight, pending_[k].tenant);
   }
   pending_.clear();
   next_flow_id_ = 0;

@@ -27,8 +27,10 @@ class TraceBuilder {
 
   // Opens a new coflow; flows are added to the most recently opened one.
   // Returns the coflow's id. `weight` is the coflow's relative share
-  // weight (must be positive; 1.0 = equal share).
-  CoflowId begin_coflow(double arrival_time_s, double weight = 1.0);
+  // weight (must be positive; 1.0 = equal share). `tenant` is the
+  // submitting client (-1 = unattributed).
+  CoflowId begin_coflow(double arrival_time_s, double weight = 1.0,
+                        int tenant = -1);
 
   // Adds a flow src→dst of `size_bits` to the open coflow. Endpoints must
   // be machines in [0, num_machines); size must be positive.
@@ -44,6 +46,7 @@ class TraceBuilder {
     CoflowId id;
     double arrival;
     double weight;
+    int tenant;
     std::vector<Flow> flows;
   };
 

@@ -253,6 +253,7 @@ TEST(ServeFront, EpochOneMatchesPerArrivalMaster) {
       msg.coflow = s.coflow;
       msg.arrival_time = s.submit_time;
       msg.weight = s.weight;
+      msg.tenant = s.client;  // match the serving path's attribution
       msg.sizes_known = s.sizes_known;
       msg.flows = s.flows;
       if (!s.sizes_known) {

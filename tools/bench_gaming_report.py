@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Distills bench_gaming JSON runs into BENCH_gaming.json and gates them.
+
+Reads one or more JSON files produced by bench/bench_gaming --json, merges
+their rows into a {policy x strategy x honest-fraction} matrix, writes a
+compact BENCH_gaming.json, and enforces the incentive floor on the guard
+cell:
+
+  * karma's flow-splitter attacker gain must stay <= MAX_KARMA_SPLIT_GAIN
+    (1.05x): per-tenant weighted max-min plus credits makes splitting a
+    coflow into k siblings share-invariant, so a gain above the floor
+    means the credit accounting regressed;
+  * NC-DRF's flow-splitter gain is recorded alongside in the artifact
+    (not gated — it is the *motivating* gap the karma baseline closes),
+    and the report fails if karma does not beat NC-DRF on that cell.
+
+Usage: tools/bench_gaming_report.py <run.json> [...] [-o out.json]
+Exits non-zero when any floor is missed or a guard cell is absent.
+"""
+import json
+import sys
+
+MAX_KARMA_SPLIT_GAIN = 1.05
+GUARD_STRATEGY = "flow-splitter"
+GUARD_FRACTION = 0.75
+
+REQUIRED_FIELDS = (
+    "policy",
+    "strategy",
+    "honest_fraction",
+    "clients",
+    "machines",
+    "attackers",
+    "coflows",
+    "utilization",
+    "jain_coflow",
+    "jain_tenant",
+    "log_welfare",
+    "attacker_gain",
+    "victim_slowdown",
+    "makespan_s",
+)
+
+
+def load_rows(paths):
+    rows = []
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        if report.get("benchmark") != "bench_gaming":
+            raise ValueError(f"{path}: not a bench_gaming JSON report")
+        for row in report.get("rows", []):
+            missing = [k for k in REQUIRED_FIELDS if k not in row]
+            if missing:
+                raise ValueError(f"{path}: row missing fields {missing}")
+            rows.append(row)
+    return rows
+
+
+def main(argv):
+    args = argv[1:]
+    out_path = "BENCH_gaming.json"
+    if "-o" in args:
+        i = args.index("-o")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        out_path = args[i + 1]
+        del args[i : i + 2]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        rows = load_rows(args)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"::error::{err}")
+        return 1
+
+    matrix = {}
+    for row in rows:
+        cell = {k: row[k] for k in REQUIRED_FIELDS if k not in
+                ("policy", "strategy", "honest_fraction")}
+        matrix.setdefault(row["policy"], {}).setdefault(
+            row["strategy"], {}
+        )[repr(row["honest_fraction"])] = cell
+
+    for policy, by_strategy in sorted(matrix.items()):
+        for strategy, by_fraction in sorted(by_strategy.items()):
+            for fraction, cell in sorted(by_fraction.items()):
+                print(
+                    f"{policy:>10} x {strategy:<16} honest {fraction}: "
+                    f"gain {cell['attacker_gain']:.3f}x, "
+                    f"victim {cell['victim_slowdown']:.3f}x, "
+                    f"Jain(tenant) {cell['jain_tenant']:.3f}"
+                )
+
+    failures = []
+
+    def guard_cell(policy):
+        cell = (
+            matrix.get(policy, {})
+            .get(GUARD_STRATEGY, {})
+            .get(repr(GUARD_FRACTION))
+        )
+        if cell is None:
+            failures.append(
+                f"guard cell {policy} x {GUARD_STRATEGY} @ honest "
+                f"{GUARD_FRACTION} missing from the report"
+            )
+        return cell
+
+    karma = guard_cell("karma")
+    ncdrf = guard_cell("ncdrf")
+    if karma is not None:
+        gain = karma["attacker_gain"]
+        if gain > MAX_KARMA_SPLIT_GAIN:
+            failures.append(
+                f"karma x {GUARD_STRATEGY}: attacker gain {gain:.3f}x "
+                f"exceeds the {MAX_KARMA_SPLIT_GAIN}x floor"
+            )
+    if karma is not None and ncdrf is not None:
+        if karma["attacker_gain"] >= ncdrf["attacker_gain"]:
+            failures.append(
+                f"karma gain {karma['attacker_gain']:.3f}x does not beat "
+                f"ncdrf's {ncdrf['attacker_gain']:.3f}x on the "
+                f"{GUARD_STRATEGY} cell"
+            )
+
+    out = {
+        "description": (
+            "Tenant-gaming incentives per {policy, strategy, honest "
+            "fraction}: attacker gain (honest-case mean CCT of the "
+            "attacker's honest submissions / strategic-case, > 1 = the "
+            "manipulation paid off), victim slowdown, utilization, Jain "
+            "short/long-term fairness and log-welfare of the strategic run"
+        ),
+        "source": "bench/bench_gaming.cc",
+        "guard": {
+            "strategy": GUARD_STRATEGY,
+            "honest_fraction": GUARD_FRACTION,
+            "max_karma_attacker_gain": MAX_KARMA_SPLIT_GAIN,
+            "ncdrf_attacker_gain": (
+                ncdrf["attacker_gain"] if ncdrf is not None else None
+            ),
+            "karma_attacker_gain": (
+                karma["attacker_gain"] if karma is not None else None
+            ),
+        },
+        "matrix": matrix,
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"::error::{failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

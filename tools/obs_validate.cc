@@ -6,6 +6,7 @@
 //   obs_validate --ndjson FILE...      one JSON object per line
 //   obs_validate --timeseries FILE...  Timeseries snapshot NDJSON
 //   obs_validate --flight FILE...      flight-recorder bundle JSON
+//   obs_validate --gaming FILE...      bench_gaming --json report
 //   obs_validate --json FILE...        any JSON document (syntax only)
 //
 // Modes may be mixed on one command line; each flag applies to the files
@@ -68,6 +69,11 @@ int main(int argc, char** argv) {
       mode = "--flight";
       continue;
     }
+    if (arg == "--gaming") {
+      validate = ncdrf::obs::validate_gaming_json;
+      mode = "--gaming";
+      continue;
+    }
     if (arg == "--json") {
       validate = ncdrf::obs::validate_json;
       mode = "--json";
@@ -92,7 +98,7 @@ int main(int argc, char** argv) {
 
   if (checked == 0 && failures == 0) {
     std::cerr << "usage: obs_validate [--trace|--metrics|--ndjson|"
-                 "--timeseries|--flight|--json] FILE...\n";
+                 "--timeseries|--flight|--gaming|--json] FILE...\n";
     return 2;
   }
   return failures == 0 ? 0 : 1;
